@@ -1,0 +1,297 @@
+// Command lukewarm regenerates the paper's figures and tables from the
+// simulator. Each subcommand corresponds to one figure/table (see DESIGN.md
+// for the index); `all` runs everything in paper order.
+//
+// Usage:
+//
+//	lukewarm [-measure N] [-warmup N] [-funcs Auth-G,Email-P] <experiment>
+//
+// Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5a fig5b fig6a fig6b
+// fig8 fig9 fig10 fig11 fig12 fig13 table3 crrb compaction snapshot dynmeta
+// baselines server scaling all. The -csv flag mirrors every table into
+// machine-readable CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lukewarm"
+)
+
+func main() {
+	measure := flag.Int("measure", 0, "measured invocations per configuration (0 = default)")
+	warmup := flag.Int("warmup", 0, "warm-up invocations per configuration (0 = default)")
+	funcs := flag.String("funcs", "", "comma-separated function subset (default: all 20)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	opt := lukewarm.ExperimentOptions{Measure: *measure, Warmup: *warmup}
+	if *funcs != "" {
+		opt.Functions = strings.Split(*funcs, ",")
+	}
+	p := printer{csvDir: *csvDir}
+
+	name := flag.Arg(0)
+	start := time.Now()
+	if err := run(name, opt, p); err != nil {
+		fmt.Fprintln(os.Stderr, "lukewarm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `lukewarm - regenerate the figures and tables of
+"Lukewarm Serverless Functions: Characterization and Optimization" (ISCA'22)
+
+usage: lukewarm [flags] <experiment>
+
+experiments:
+  table1, table2        configuration tables
+  fig1                  CPI vs inter-arrival time
+  fig2, fig3, fig4      Top-Down characterization
+  fig5a, fig5b          L2 / LLC MPKI breakdowns
+  fig6a, fig6b          instruction footprints and commonality
+  fig8                  metadata size vs region size
+  fig9                  speedup vs metadata budget
+  fig10, fig11, fig12   Jukebox performance, coverage, bandwidth
+  fig13                 comparison with PIF
+  table3                Skylake vs Broadwell MPKI reductions
+  crrb                  CRRB-size sensitivity (Sec. 5.1)
+  compaction            virtual-vs-physical metadata ablation (Sec. 3.3)
+  snapshot              snapshot/cold-boot replay extension (Sec. 3.4.2)
+  dynmeta               per-function metadata sizing extension
+  baselines             Jukebox vs next-line and RECAP-style restoration (Sec. 6)
+  server                system-level Poisson-traffic simulation
+  scaling               multi-core scaling under saturating traffic
+  all                   everything above, in paper order
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+// printer renders tables to stdout and, when csvDir is set, mirrors each
+// one into <csvDir>/<slug>.csv.
+type printer struct {
+	csvDir string
+}
+
+func (p printer) show(t *lukewarm.Table) error {
+	fmt.Println(t)
+	if p.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(p.csvDir, t.Slug()+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+// run dispatches one experiment by name.
+func run(name string, opt lukewarm.ExperimentOptions, p printer) error {
+	switch name {
+	case "table1":
+		if err := p.show(lukewarm.Table1()); err != nil {
+			return err
+		}
+	case "table2":
+		if err := p.show(lukewarm.Table2()); err != nil {
+			return err
+		}
+	case "fig1":
+		if err := p.show(lukewarm.Fig1(opt).Table()); err != nil {
+			return err
+		}
+	case "fig2":
+		if err := p.show(lukewarm.Characterize(opt).Fig2Table()); err != nil {
+			return err
+		}
+	case "fig3":
+		if err := p.show(lukewarm.Characterize(opt).Fig3Table()); err != nil {
+			return err
+		}
+	case "fig4":
+		if err := p.show(lukewarm.Characterize(opt).Fig4Table()); err != nil {
+			return err
+		}
+	case "fig5a":
+		if err := p.show(lukewarm.Characterize(opt).Fig5aTable()); err != nil {
+			return err
+		}
+	case "fig5b":
+		if err := p.show(lukewarm.Characterize(opt).Fig5bTable()); err != nil {
+			return err
+		}
+	case "fig6a":
+		if err := p.show(lukewarm.Footprints(opt, 25).Fig6aTable()); err != nil {
+			return err
+		}
+	case "fig6b":
+		if err := p.show(lukewarm.Footprints(opt, 25).Fig6bTable()); err != nil {
+			return err
+		}
+	case "fig8":
+		if err := p.show(lukewarm.Fig8(opt, 16).Table()); err != nil {
+			return err
+		}
+	case "fig9":
+		if err := p.show(lukewarm.Fig9(opt).Table()); err != nil {
+			return err
+		}
+	case "fig10":
+		if err := p.show(lukewarm.Performance(opt).Fig10Table()); err != nil {
+			return err
+		}
+	case "fig11":
+		if err := p.show(lukewarm.Performance(opt).Fig11Table()); err != nil {
+			return err
+		}
+	case "fig12":
+		if err := p.show(lukewarm.Performance(opt).Fig12Table()); err != nil {
+			return err
+		}
+	case "fig13":
+		if err := p.show(lukewarm.Fig13(opt).Table()); err != nil {
+			return err
+		}
+	case "table3":
+		if err := p.show(lukewarm.Table3(opt).Table()); err != nil {
+			return err
+		}
+	case "crrb":
+		if err := p.show(lukewarm.CRRBAblation(opt).Table()); err != nil {
+			return err
+		}
+	case "compaction":
+		if err := p.show(lukewarm.Compaction(opt).Table()); err != nil {
+			return err
+		}
+	case "snapshot":
+		if err := p.show(lukewarm.Snapshot(opt).Table()); err != nil {
+			return err
+		}
+	case "dynmeta":
+		if err := p.show(lukewarm.DynamicMetadata(opt).Table()); err != nil {
+			return err
+		}
+	case "baselines":
+		if err := p.show(lukewarm.Baselines(opt).Table()); err != nil {
+			return err
+		}
+	case "server":
+		if err := p.show(lukewarm.ServerSim(opt).Table()); err != nil {
+			return err
+		}
+	case "scaling":
+		if err := p.show(lukewarm.Scaling(opt).Table()); err != nil {
+			return err
+		}
+	case "all":
+		return runAll(opt, p)
+	default:
+		return fmt.Errorf("unknown experiment %q (run with no arguments for the list)", name)
+	}
+	return nil
+}
+
+// runAll regenerates everything, sharing runs between figures that come
+// from the same experiment.
+func runAll(opt lukewarm.ExperimentOptions, p printer) error {
+	if err := p.show(lukewarm.Table1()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Table2()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Fig1(opt).Table()); err != nil {
+		return err
+	}
+
+	char := lukewarm.Characterize(opt)
+	if err := p.show(char.Fig2Table()); err != nil {
+		return err
+	}
+	if err := p.show(char.Fig3Table()); err != nil {
+		return err
+	}
+	if err := p.show(char.Fig4Table()); err != nil {
+		return err
+	}
+	if err := p.show(char.Fig5aTable()); err != nil {
+		return err
+	}
+	if err := p.show(char.Fig5bTable()); err != nil {
+		return err
+	}
+
+	fp := lukewarm.Footprints(opt, 25)
+	if err := p.show(fp.Fig6aTable()); err != nil {
+		return err
+	}
+	if err := p.show(fp.Fig6bTable()); err != nil {
+		return err
+	}
+
+	if err := p.show(lukewarm.Fig8(opt, 16).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Fig9(opt).Table()); err != nil {
+		return err
+	}
+
+	perf := lukewarm.Performance(opt)
+	if err := p.show(perf.Fig10Table()); err != nil {
+		return err
+	}
+	if err := p.show(perf.Fig11Table()); err != nil {
+		return err
+	}
+	if err := p.show(perf.Fig12Table()); err != nil {
+		return err
+	}
+
+	if err := p.show(lukewarm.Fig13(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Table3(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.CRRBAblation(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Compaction(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Snapshot(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.DynamicMetadata(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Baselines(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.ServerSim(opt).Table()); err != nil {
+		return err
+	}
+	if err := p.show(lukewarm.Scaling(opt).Table()); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Capacity planning: size Jukebox's metadata for a consolidated serverless
+// host. For each function the example measures the metadata actually
+// required (the Fig. 8 quantity), then projects the total main-memory cost
+// and expected throughput gain of deploying Jukebox for a server keeping
+// 1000 warm instances — the paper's "32 MB for a thousand functions"
+// headline, recomputed from first principles.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+
+	"lukewarm"
+)
+
+func main() {
+	suite := lukewarm.Suite()
+	jbDefault := lukewarm.DefaultJukeboxConfig()
+
+	fmt.Println("Per-function Jukebox metadata requirement and speedup (lukewarm, Skylake-like):")
+	fmt.Println()
+	fmt.Printf("%-10s %-8s %12s %12s %10s\n", "Function", "Lang", "Required", "Budgeted", "Speedup")
+
+	var totalRequired, totalBudgeted int
+	var speedups []float64
+	for _, fn := range suite {
+		// Record-only pass with an unlimited buffer: how much metadata does
+		// one invocation's working set need?
+		sizing := jbDefault
+		sizing.MetadataBytes = 0
+		sizing.ReplayEnabled = false
+		srv := lukewarm.NewServer(lukewarm.ServerConfig{Jukebox: &sizing})
+		inst := srv.Deploy(fn)
+		srv.RunLukewarm(inst, 1)
+		required := inst.Jukebox.Stats.LastRecordBytes
+
+		// Measured speedup with the paper's fixed 16 KB budget.
+		base := lukewarm.NewServer(lukewarm.ServerConfig{})
+		bres := base.RunLukewarm(base.Deploy(fn), 3)
+		jb := jbDefault
+		jsrv := lukewarm.NewServer(lukewarm.ServerConfig{Jukebox: &jb})
+		jinst := jsrv.Deploy(fn)
+		jres := jsrv.RunLukewarm(jinst, 3)
+		speedup := float64(bres.Cycles)/float64(jres.Cycles) - 1
+		speedups = append(speedups, speedup)
+
+		budgeted := jinst.Jukebox.MetadataFootprintBytes()
+		totalRequired += 2 * required // record + replay directions
+		totalBudgeted += budgeted
+		fmt.Printf("%-10s %-8s %9.1f KB %9.1f KB %+9.1f%%\n",
+			fn.Name, fn.Lang, float64(required)/1024, float64(budgeted)/1024, speedup*100)
+	}
+
+	n := len(suite)
+	mean := 0.0
+	for _, s := range speedups {
+		mean += s
+	}
+	mean /= float64(n)
+
+	const instances = 1000
+	fmt.Println()
+	fmt.Printf("Projection for a host keeping %d warm instances (suite mix):\n", instances)
+	fmt.Printf("  fixed 16KBx2 budget:    %5.1f MB of metadata (paper: 32 MB)\n",
+		float64(totalBudgeted)/float64(n)*instances/(1<<20))
+	fmt.Printf("  per-function sizing:    %5.1f MB of metadata\n",
+		float64(totalRequired)/float64(n)*instances/(1<<20))
+	fmt.Printf("  mean lukewarm speedup:  %+5.1f%% -> equal throughput gain at fixed load\n", mean*100)
+	fmt.Println("\n(Speedup on lukewarm invocations translates directly into throughput:")
+	fmt.Println(" the same core serves proportionally more invocations per second.)")
+}

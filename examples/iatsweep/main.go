@@ -1,0 +1,49 @@
+// IAT sweep: reproduce the Figure 1 scenario for any function — how the
+// invocation inter-arrival time drives a warm instance lukewarm as
+// co-resident instances thrash the host's microarchitectural state.
+//
+//	go run ./examples/iatsweep [function]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"lukewarm"
+)
+
+func main() {
+	name := "Auth-P"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	fn, err := lukewarm.FunctionByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CPI of %s vs inter-arrival time on a ~50%%-loaded host\n", fn.Name)
+	fmt.Printf("(normalized to back-to-back invocations; paper Fig. 1 saturates at 150-270%%)\n\n")
+
+	iats := []float64{0, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
+	var base float64
+	for _, iat := range iats {
+		srv := lukewarm.NewServer(lukewarm.ServerConfig{CPU: lukewarm.CharacterizationConfig()})
+		inst := srv.Deploy(fn)
+		srv.RunReference(inst, 2) // warm up
+		var cpi float64
+		const n = 3
+		for i := 0; i < n; i++ {
+			cpi += srv.RunWithIAT(inst, 1, iat).CPI()
+		}
+		cpi /= n
+		if iat == 0 {
+			base = cpi
+		}
+		norm := cpi / base * 100
+		bar := strings.Repeat("#", int(norm/5))
+		fmt.Printf("IAT %8.1f ms  CPI %.3f  %4.0f%%  %s\n", iat, cpi, norm, bar)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: deploy one serverless function on a simulated host and
+// compare a truly warm invocation, a lukewarm invocation (microarchitectural
+// state obliterated by interleaving), and a lukewarm invocation accelerated
+// by Jukebox.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lukewarm"
+)
+
+func main() {
+	fn, err := lukewarm.FunctionByName("Auth-G")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A plain host: no prefetcher.
+	srv := lukewarm.NewServer(lukewarm.ServerConfig{})
+	inst := srv.Deploy(fn)
+	warm := srv.RunReference(inst, 3) // back-to-back: everything stays warm
+	luke := srv.RunLukewarm(inst, 3)  // full flush between invocations
+
+	// The same host with Jukebox deployed per instance.
+	jb := lukewarm.DefaultJukeboxConfig()
+	srvJB := lukewarm.NewServer(lukewarm.ServerConfig{Jukebox: &jb})
+	instJB := srvJB.Deploy(fn)
+	withJB := srvJB.RunLukewarm(instJB, 3)
+
+	fmt.Printf("function: %s (%s, %s)\n\n", fn.Name, fn.Lang, fn.App)
+	report := func(label string, r lukewarm.RunResult) {
+		fmt.Printf("%-22s CPI %.3f  (retiring %.2f, fetch-lat %.2f, fetch-bw %.2f, bad-spec %.2f, backend %.2f)\n",
+			label, r.CPI(),
+			r.Stack.CPIOf(lukewarm.Retiring),
+			r.Stack.CPIOf(lukewarm.FetchLatency),
+			r.Stack.CPIOf(lukewarm.FetchBandwidth),
+			r.Stack.CPIOf(lukewarm.BadSpeculation),
+			r.Stack.CPIOf(lukewarm.BackendBound))
+	}
+	report("warm (reference)", warm)
+	report("lukewarm (baseline)", luke)
+	report("lukewarm + Jukebox", withJB)
+
+	fmt.Printf("\nlukewarm penalty:   +%.0f%% CPI over warm (paper: 31-114%%)\n",
+		(luke.CPI()/warm.CPI()-1)*100)
+	fmt.Printf("Jukebox speedup:    +%.1f%% over lukewarm baseline (paper avg: 18.7%%)\n",
+		(float64(luke.Cycles)/float64(withJB.Cycles)-1)*100)
+	fmt.Printf("Jukebox metadata:   %d KB per instance (record + replay)\n",
+		instJB.Jukebox.MetadataFootprintBytes()/1024)
+}

@@ -1,0 +1,3 @@
+module lukewarm
+
+go 1.22

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"lukewarm/internal/mem"
+)
+
+func BenchmarkCRRBRecordCoalesce(b *testing.B) {
+	c := NewCRRB(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Record(uint64(i%8), i%16)
+	}
+}
+
+func BenchmarkCRRBRecordChurn(b *testing.B) {
+	c := NewCRRB(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Record(uint64(i), i%16)
+	}
+}
+
+func BenchmarkJukeboxRecordPath(b *testing.B) {
+	r := newRig(DefaultConfig())
+	res := mem.Result{L2Miss: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.jb.OnFetch(mem.Cycle(i), uint64(i)<<6, uint64(i)<<6, res)
+	}
+}
+
+func BenchmarkJukeboxReplay(b *testing.B) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.core.FlushMicroarch()
+	r.core.RunInvocation(p.NewInvocation(0)) // seal one metadata generation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.core.Hier.FlushAll()
+		r.jb.InvocationStart(mem.Cycle(i) * 1_000_000)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements Jukebox, the paper's contribution: a
+// record-and-replay instruction prefetcher for lukewarm serverless function
+// invocations (Sec. 3).
+//
+// Jukebox records the stream of L2 instruction misses using a
+// spatio-temporal encoding — a FIFO of (code-region pointer, per-line access
+// vector) entries coalesced in a small Code Region Reference Buffer (CRRB) —
+// and stores it in main memory, ~16-32 KB per function instance. When the OS
+// schedules the instance for a new invocation, the replay engine streams the
+// metadata back in recording order, pre-translates each region through the
+// ITLB, and bulk-prefetches the encoded cache lines into the L2 without ever
+// synchronizing with the core.
+//
+// Design properties reproduced here:
+//   - Record filters L2 hits: only L1-I misses that also miss in the L2 are
+//     recorded (Sec. 3.2).
+//   - Evicted CRRB entries are immutable; re-touched regions allocate fresh
+//     entries, trading metadata size for design simplicity (Sec. 3.2).
+//   - Metadata holds *virtual* addresses, so page migration by the OS does
+//     not invalidate it; a physical-address mode exists solely as the
+//     ablation strawman (Sec. 3.3).
+//   - FIFO order encodes temporal order at region granularity, giving
+//     approximate replay timeliness (Sec. 3.2-3.3).
+//   - Record and replay are armed by base/limit register pairs written by
+//     the OS scheduler from per-process state (Sec. 3.4.1); Instance in this
+//     package models that bookkeeping.
+package core
+
+import (
+	"fmt"
+
+	"lukewarm/internal/mem"
+)
+
+// Config parameterizes one Jukebox instance. The paper's preferred
+// configuration (Table 1) is the default: 1 KB regions, a 16-entry CRRB,
+// 16 KB of metadata per direction (32 KB per instance).
+type Config struct {
+	// RegionSizeBytes is the spatial region granularity. Must be a
+	// power-of-two multiple of the cache line size, at most 8 KB (the
+	// largest the paper sweeps in Fig. 8).
+	RegionSizeBytes int
+	// CRRBEntries is the Code Region Reference Buffer capacity.
+	CRRBEntries int
+	// MetadataBytes caps each metadata buffer (record and replay each get
+	// this much: the paper's "16KB record + 16KB replay"). Zero or negative
+	// means unlimited, used by the Fig. 8 sizing study.
+	MetadataBytes int
+	// VABits is the virtual address width used to size the region pointer
+	// field (48 in the paper).
+	VABits int
+	// ReplayEnabled can be cleared for record-only runs (Fig. 8).
+	ReplayEnabled bool
+	// RecordEnabled can be cleared to freeze the metadata (snapshot mode,
+	// Sec. 3.4.2).
+	RecordEnabled bool
+	// UsePhysicalAddresses switches record/replay to physical addresses —
+	// the ablation strawman defeated by page migration (Sec. 3.3 argues
+	// virtual addressing; see the compaction tests).
+	UsePhysicalAddresses bool
+}
+
+// DefaultConfig returns the paper's preferred configuration.
+func DefaultConfig() Config {
+	return Config{
+		RegionSizeBytes: 1024,
+		CRRBEntries:     16,
+		MetadataBytes:   16 << 10,
+		VABits:          48,
+		ReplayEnabled:   true,
+		RecordEnabled:   true,
+	}
+}
+
+// Validate reports a descriptive error for inconsistent configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RegionSizeBytes < mem.LineSize || c.RegionSizeBytes > 8<<10:
+		return fmt.Errorf("core: region size %d out of [64, 8192]", c.RegionSizeBytes)
+	case c.RegionSizeBytes&(c.RegionSizeBytes-1) != 0:
+		return fmt.Errorf("core: region size %d not a power of two", c.RegionSizeBytes)
+	case c.CRRBEntries <= 0:
+		return fmt.Errorf("core: CRRB needs at least one entry, got %d", c.CRRBEntries)
+	case c.VABits < 32 || c.VABits > 64:
+		return fmt.Errorf("core: VABits %d out of [32, 64]", c.VABits)
+	}
+	return nil
+}
+
+// LinesPerRegion reports cache lines per region.
+func (c Config) LinesPerRegion() int { return c.RegionSizeBytes / mem.LineSize }
+
+// regionShift reports log2(RegionSizeBytes).
+func (c Config) regionShift() uint {
+	s := uint(0)
+	for 1<<s < c.RegionSizeBytes {
+		s++
+	}
+	return s
+}
+
+// EntryBits reports the storage cost of one metadata entry in bits: the
+// region pointer (VABits minus the region offset) plus one access-vector bit
+// per line. The paper's 1 KB/48-bit configuration yields 38+16 = 54 bits.
+func (c Config) EntryBits() int {
+	return c.VABits - int(c.regionShift()) + c.LinesPerRegion()
+}

@@ -1,0 +1,223 @@
+package core
+
+import "testing"
+
+func TestEntryBits(t *testing.T) {
+	var e Entry
+	e.SetBit(0)
+	e.SetBit(15)
+	e.SetBit(100)
+	for _, n := range []int{0, 15, 100} {
+		if !e.Bit(n) {
+			t.Errorf("bit %d not set", n)
+		}
+	}
+	if e.Bit(1) || e.Bit(64) {
+		t.Error("unset bits read as set")
+	}
+	if e.PopCount() != 3 {
+		t.Errorf("PopCount = %d", e.PopCount())
+	}
+}
+
+func TestCRRBCoalescing(t *testing.T) {
+	c := NewCRRB(4)
+	if _, ev := c.Record(100, 1); ev {
+		t.Error("first record evicted")
+	}
+	if _, ev := c.Record(100, 5); ev {
+		t.Error("coalesced record evicted")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Coalesced != 1 {
+		t.Errorf("Coalesced = %d", c.Coalesced)
+	}
+	got := c.Drain()
+	if len(got) != 1 || got[0].Region != 100 || !got[0].Bit(1) || !got[0].Bit(5) {
+		t.Errorf("drained entry wrong: %+v", got)
+	}
+}
+
+func TestCRRBFIFOEviction(t *testing.T) {
+	c := NewCRRB(2)
+	c.Record(1, 0)
+	c.Record(2, 0)
+	out, ev := c.Record(3, 0) // evicts region 1 (oldest)
+	if !ev || out.Region != 1 {
+		t.Fatalf("eviction = %+v, %v", out, ev)
+	}
+	out, ev = c.Record(4, 0) // evicts region 2
+	if !ev || out.Region != 2 {
+		t.Fatalf("second eviction = %+v, %v", out, ev)
+	}
+	if c.Evictions != 2 {
+		t.Errorf("Evictions = %d", c.Evictions)
+	}
+}
+
+func TestCRRBEvictedEntriesAreImmutable(t *testing.T) {
+	// After a region's entry is evicted, a new miss to it allocates a fresh
+	// entry; the same region appears twice in the trace (Sec. 3.2).
+	c := NewCRRB(1)
+	c.Record(7, 0)
+	out, ev := c.Record(8, 1) // evicts region 7 with bit 0
+	if !ev || out.Region != 7 || !out.Bit(0) || out.PopCount() != 1 {
+		t.Fatalf("evicted = %+v", out)
+	}
+	out, ev = c.Record(7, 2) // region 7 again: fresh entry, evicts 8
+	if !ev || out.Region != 8 {
+		t.Fatalf("re-allocation eviction = %+v, %v", out, ev)
+	}
+	got := c.Drain()
+	if len(got) != 1 || got[0].Region != 7 || !got[0].Bit(2) || got[0].Bit(0) {
+		t.Errorf("fresh entry carries stale bits: %+v", got)
+	}
+}
+
+func TestCRRBDrainOrder(t *testing.T) {
+	c := NewCRRB(4)
+	for r := uint64(10); r < 14; r++ {
+		c.Record(r, 0)
+	}
+	got := c.Drain()
+	if len(got) != 4 {
+		t.Fatalf("drained %d entries", len(got))
+	}
+	for i, e := range got {
+		if e.Region != uint64(10+i) {
+			t.Errorf("drain[%d].Region = %d, want %d (FIFO order)", i, e.Region, 10+i)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after drain = %d", c.Len())
+	}
+}
+
+func TestCRRBDrainAfterWrap(t *testing.T) {
+	c := NewCRRB(2)
+	c.Record(1, 0)
+	c.Record(2, 0)
+	c.Record(3, 0) // wraps: evicts 1
+	got := c.Drain()
+	if len(got) != 2 || got[0].Region != 2 || got[1].Region != 3 {
+		t.Errorf("drain after wrap = %+v", got)
+	}
+}
+
+func TestCRRBReset(t *testing.T) {
+	c := NewCRRB(2)
+	c.Record(1, 0)
+	c.Record(1, 1)
+	c.Reset()
+	if c.Len() != 0 || c.Coalesced != 0 || c.Evictions != 0 {
+		t.Errorf("reset incomplete: len=%d", c.Len())
+	}
+	if got := c.Drain(); len(got) != 0 {
+		t.Errorf("drain after reset = %+v", got)
+	}
+}
+
+func TestCRRBPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCRRB(0)
+}
+
+func TestMetadataBufferLimit(t *testing.T) {
+	// 54-bit entries, 27-byte limit => 4 entries fit (4*54=216 <= 216).
+	b := NewMetadataBuffer(0x1000, 54, 27)
+	for i := 0; i < 4; i++ {
+		if !b.Append(Entry{Region: uint64(i)}) {
+			t.Fatalf("append %d rejected", i)
+		}
+	}
+	if b.Full() != true {
+		t.Error("buffer should be full")
+	}
+	if b.Append(Entry{Region: 99}) {
+		t.Error("append beyond limit accepted")
+	}
+	if b.Dropped != 1 {
+		t.Errorf("Dropped = %d", b.Dropped)
+	}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.SizeBytes() != 27 {
+		t.Errorf("SizeBytes = %d", b.SizeBytes())
+	}
+}
+
+func TestMetadataBufferUnlimited(t *testing.T) {
+	b := NewMetadataBuffer(0, 54, 0)
+	for i := 0; i < 10_000; i++ {
+		if !b.Append(Entry{Region: uint64(i)}) {
+			t.Fatal("unlimited buffer rejected an append")
+		}
+	}
+	if b.SizeBytes() != (10_000*54+7)/8 {
+		t.Errorf("SizeBytes = %d", b.SizeBytes())
+	}
+}
+
+func TestMetadataBufferReset(t *testing.T) {
+	b := NewMetadataBuffer(0, 54, 10)
+	b.Append(Entry{})
+	b.Append(Entry{})
+	b.Append(Entry{}) // dropped (3*54 > 80)
+	b.Reset()
+	if b.Len() != 0 || b.Dropped != 0 || b.SizeBytes() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestMetadataBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMetadataBuffer(0, 0, 10)
+}
+
+func TestConfigEntryBits(t *testing.T) {
+	cfg := DefaultConfig()
+	// Paper: 38-bit region pointer + 16-bit vector = 54 bits at 1 KB
+	// regions with 48-bit VAs.
+	if got := cfg.EntryBits(); got != 54 {
+		t.Errorf("EntryBits = %d, want 54", got)
+	}
+	if got := cfg.LinesPerRegion(); got != 16 {
+		t.Errorf("LinesPerRegion = %d, want 16", got)
+	}
+	cfg.RegionSizeBytes = 8 << 10
+	if got := cfg.EntryBits(); got != 48-13+128 {
+		t.Errorf("8KB EntryBits = %d", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.RegionSizeBytes = 32 },
+		func(c *Config) { c.RegionSizeBytes = 16 << 10 },
+		func(c *Config) { c.RegionSizeBytes = 1000 },
+		func(c *Config) { c.CRRBEntries = 0 },
+		func(c *Config) { c.VABits = 16 },
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"lukewarm/internal/mem"
+	"lukewarm/internal/vm"
+)
+
+// Stats aggregates one Jukebox instance's activity counters.
+type Stats struct {
+	// RecordedEntries counts metadata entries written (CRRB evictions plus
+	// end-of-invocation drains that fit the limit).
+	RecordedEntries uint64
+	// DroppedEntries counts entries lost to the metadata limit.
+	DroppedEntries uint64
+	// ReplayEntries counts metadata entries consumed by replay phases.
+	ReplayEntries uint64
+	// ReplayPrefetches counts prefetch requests issued to the L2.
+	ReplayPrefetches uint64
+	// ReplayWalks counts ITLB translations performed during replay (these
+	// pre-populate the ITLB for the upcoming invocation).
+	ReplayWalks uint64
+	// Invocations counts record/replay cycles completed.
+	Invocations uint64
+	// LastRecordBytes is the sealed metadata size of the most recent
+	// invocation (the Fig. 8 metric when run without a limit).
+	LastRecordBytes int
+	// LastReplayDone is the cycle at which the most recent replay finished
+	// issuing.
+	LastReplayDone mem.Cycle
+}
+
+// Jukebox is one function instance's prefetcher state: the per-instance
+// record/replay metadata in main memory plus (architecturally shared, but
+// stateless between invocations) CRRB and replay engine. It implements the
+// cpu.InstrPrefetcher hook interface structurally.
+type Jukebox struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	mmu  *vm.MMU
+	crrb *CRRB
+
+	record *MetadataBuffer
+	replay *MetadataBuffer
+
+	// pendingBits accumulates packed record bits until a 64 B line of
+	// metadata is filled and written to memory.
+	pendingBits int
+
+	Stats Stats
+}
+
+// New builds a Jukebox for one function instance. hier and mmu are the
+// core's memory system (the instance's address space must be active in mmu
+// whenever the instance runs). alloc places the two metadata buffers in
+// physically contiguous frames, as the OS does at instance start
+// (Sec. 3.4.1).
+func New(cfg Config, hier *mem.Hierarchy, mmu *vm.MMU, alloc *vm.FrameAllocator) *Jukebox {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	bufBytes := cfg.MetadataBytes
+	if bufBytes <= 0 {
+		bufBytes = 64 << 10 // physical reservation for unlimited-mode studies
+	}
+	pages := (bufBytes + vm.PageSize - 1) / vm.PageSize
+	recBase := alloc.AllocContiguous(pages)
+	repBase := alloc.AllocContiguous(pages)
+	return &Jukebox{
+		cfg:    cfg,
+		hier:   hier,
+		mmu:    mmu,
+		crrb:   NewCRRB(cfg.CRRBEntries),
+		record: NewMetadataBuffer(recBase, cfg.EntryBits(), cfg.MetadataBytes),
+		replay: NewMetadataBuffer(repBase, cfg.EntryBits(), cfg.MetadataBytes),
+	}
+}
+
+// Config returns the configuration in effect.
+func (j *Jukebox) Config() Config { return j.cfg }
+
+// Bind points the prefetcher at the core the OS scheduled the instance
+// onto. Jukebox's metadata lives in main memory, so an instance can migrate
+// freely between cores: scheduling it is exactly the OS writing the
+// base/limit registers of the chosen core (Sec. 3.4.1). The instance's
+// address space must be active in the bound core's MMU when it runs.
+func (j *Jukebox) Bind(hier *mem.Hierarchy, mmu *vm.MMU) {
+	j.hier = hier
+	j.mmu = mmu
+}
+
+// RecordBuffer exposes the in-progress record metadata (sizing studies).
+func (j *Jukebox) RecordBuffer() *MetadataBuffer { return j.record }
+
+// ReplayBuffer exposes the sealed metadata the next invocation will replay.
+func (j *Jukebox) ReplayBuffer() *MetadataBuffer { return j.replay }
+
+// MetadataFootprintBytes reports the total main-memory cost of this
+// instance's metadata (both directions), the per-instance cost the paper
+// quotes as 32 KB.
+func (j *Jukebox) MetadataFootprintBytes() int {
+	if j.cfg.MetadataBytes > 0 {
+		return 2 * j.cfg.MetadataBytes
+	}
+	return j.record.SizeBytes() + j.replay.SizeBytes()
+}
+
+// InvocationStart triggers the replay phase (Sec. 3.3): the OS has scheduled
+// the instance onto the core and programmed the replay base/limit registers.
+func (j *Jukebox) InvocationStart(now mem.Cycle) {
+	if !j.cfg.ReplayEnabled || j.replay.Len() == 0 {
+		return
+	}
+	// The engine reads metadata sequentially; the first line's fetch is
+	// exposed, subsequent lines are fetched ahead of consumption and cost
+	// only bandwidth.
+	cursor := now + j.hier.DRAM.Access(now, mem.TrafficMetadataReplay)
+	bitsConsumed := 0
+	shift := j.cfg.regionShift()
+	lines := j.cfg.LinesPerRegion()
+
+	var havePage bool
+	var curVPage, curPagePhys uint64
+
+	for i := range j.replay.Entries() {
+		e := &j.replay.Entries()[i]
+		j.Stats.ReplayEntries++
+		bitsConsumed += j.cfg.EntryBits()
+		if bitsConsumed >= 8*mem.LineSize {
+			bitsConsumed -= 8 * mem.LineSize
+			j.hier.DRAM.Access(cursor, mem.TrafficMetadataReplay)
+		}
+		regionAddr := e.Region << shift
+		for n := 0; n < lines; n++ {
+			if !e.Bit(n) {
+				continue
+			}
+			lineAddr := regionAddr + uint64(n)*mem.LineSize
+			var paddr uint64
+			if j.cfg.UsePhysicalAddresses {
+				// Ablation mode: the stored pointer is already physical —
+				// and stale after any page migration.
+				paddr = lineAddr
+			} else {
+				// Translate through the ITLB like a normal code request,
+				// pre-populating it for the invocation (Sec. 3.3). One
+				// translation covers all lines on the same page.
+				vp := vm.PageOf(lineAddr)
+				if !havePage || vp != curVPage {
+					p, walk := j.mmu.TranslateInstr(cursor, lineAddr)
+					cursor += walk
+					curVPage, curPagePhys = vp, p&^uint64(vm.PageSize-1)
+					havePage = true
+					j.Stats.ReplayWalks++
+				}
+				paddr = curPagePhys | (lineAddr & (vm.PageSize - 1))
+			}
+			j.hier.PrefetchIntoL2(cursor, paddr, mem.TrafficPrefetch)
+			j.Stats.ReplayPrefetches++
+			cursor++ // L2 prefetch queue issue rate
+		}
+	}
+	j.Stats.LastReplayDone = cursor
+}
+
+// OnFetch implements the record filter (Sec. 3.2): L1-I misses that also
+// missed in the L2 are recorded when the fill returns. Demand hits on
+// *prefetched* L2 lines are recorded too: they are lines that would have
+// missed without Jukebox, and without them the metadata would decay to
+// nothing one invocation after a successful replay (each replay turns the
+// working set into L2 hits, which the plain filter would discard). The
+// prefetched bit the L2 already tracks makes this a one-signal change; see
+// DESIGN.md. Unused prefetches are never re-recorded, so stale metadata
+// washes out after one generation — the property the paper relies on for
+// adapting to JIT-induced working-set changes (Sec. 4.3).
+func (j *Jukebox) OnFetch(now mem.Cycle, vaddr, paddr uint64, res mem.Result) {
+	if !j.cfg.RecordEnabled || (!res.L2Miss && !res.L2PrefetchHit) {
+		return
+	}
+	addr := vaddr
+	if j.cfg.UsePhysicalAddresses {
+		addr = paddr
+	}
+	region := addr >> j.cfg.regionShift()
+	lineIdx := int(addr>>mem.LineShift) & (j.cfg.LinesPerRegion() - 1)
+	if evicted, ok := j.crrb.Record(region, lineIdx); ok {
+		j.writeEntry(now, evicted)
+	}
+}
+
+// OnBlockRetire is unused by Jukebox (it records misses, not the retirement
+// stream).
+func (j *Jukebox) OnBlockRetire(mem.Cycle, uint64, uint64) {}
+
+// InvocationEnd seals the record metadata: the CRRB drains to memory, the
+// buffers swap so the next invocation replays what this one recorded, and
+// per-invocation state resets (Sec. 3.4.1's descheduling bookkeeping).
+func (j *Jukebox) InvocationEnd(now mem.Cycle) {
+	for _, e := range j.crrb.Drain() {
+		j.writeEntry(now, e)
+	}
+	if j.pendingBits > 0 {
+		j.hier.DRAM.Access(now, mem.TrafficMetadataRecord)
+		j.pendingBits = 0
+	}
+	j.Stats.LastRecordBytes = j.record.SizeBytes()
+	j.Stats.DroppedEntries += j.record.Dropped
+
+	j.record, j.replay = j.replay, j.record
+	j.record.Reset()
+	j.crrb.Reset()
+	j.Stats.Invocations++
+}
+
+// writeEntry appends an evicted entry to the record buffer, charging DRAM
+// bandwidth one 64 B line at a time. Metadata writes bypass the caches —
+// on-chip reuse is not expected (Sec. 3.2).
+func (j *Jukebox) writeEntry(now mem.Cycle, e Entry) {
+	if !j.record.Append(e) {
+		return
+	}
+	j.Stats.RecordedEntries++
+	j.pendingBits += j.cfg.EntryBits()
+	for j.pendingBits >= 8*mem.LineSize {
+		j.pendingBits -= 8 * mem.LineSize
+		j.hier.DRAM.Access(now, mem.TrafficMetadataRecord)
+	}
+}
+
+// ResetStats zeroes the counters (metadata contents persist).
+func (j *Jukebox) ResetStats() { j.Stats = Stats{} }
+
+// AdoptMetadata copies donor's sealed replay metadata into j, modeling a
+// snapshot-based cold boot (Sec. 3.4.2): the metadata recorded before the
+// snapshot ships with the image, so a freshly restored instance replays on
+// its very first invocation. Both instances must use the same region
+// geometry; the entries are virtual addresses, valid in any address space
+// cloned from the snapshot.
+func (j *Jukebox) AdoptMetadata(donor *Jukebox) {
+	if j.cfg.RegionSizeBytes != donor.cfg.RegionSizeBytes {
+		panic("core: AdoptMetadata requires identical region geometry")
+	}
+	j.replay.Reset()
+	for _, e := range donor.replay.Entries() {
+		j.replay.Append(e)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+)
+
+// Interface conformance: Jukebox plugs into the core's prefetcher socket.
+var _ cpu.InstrPrefetcher = (*Jukebox)(nil)
+
+func testProgram() *program.Program {
+	return program.New(program.Config{
+		Name:          "jb-test-fn",
+		Seed:          31,
+		CodeKB:        192,
+		DynamicInstrs: 120_000,
+		CoreFrac:      0.85,
+		OptionalProb:  0.8,
+		RareFrac:      0.04,
+		RareProb:      0.05,
+		InstrPerLine:  16,
+		LoadFrac:      0.22,
+		StoreFrac:     0.08,
+		CondFrac:      0.3,
+		CondBias:      0.9,
+		NoisyFrac:     0.02,
+		IndirectFrac:  0.15,
+		CallFrac:      0.35,
+		DataKB:        96,
+		HotDataKB:     16,
+		HotDataFrac:   0.7,
+		ColdDataFrac:  0.05,
+		DepLoadFrac:   0.2,
+		KernelFrac:    0.1,
+	})
+}
+
+// rig is a core + address space + jukebox harness.
+type rig struct {
+	core  *cpu.Core
+	jb    *Jukebox
+	alloc *vm.FrameAllocator
+}
+
+func newRig(cfg Config) *rig {
+	c := cpu.NewCore(cpu.SkylakeConfig())
+	alloc := vm.NewFrameAllocator(0)
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(alloc))
+	jb := New(cfg, c.Hier, c.MMU, alloc)
+	c.Prefetcher = jb
+	return &rig{core: c, jb: jb, alloc: alloc}
+}
+
+// runLukewarm executes n invocations with a full microarchitectural flush
+// before each (the paper's interleaved baseline), returning the last result.
+func (r *rig) runLukewarm(p *program.Program, n int) cpu.RunResult {
+	var last cpu.RunResult
+	for i := 0; i < n; i++ {
+		r.core.FlushMicroarch()
+		last = r.core.RunInvocation(p.NewInvocation(uint64(i)))
+	}
+	return last
+}
+
+func TestRecordProducesMetadata(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.core.FlushMicroarch()
+	r.core.RunInvocation(p.NewInvocation(0))
+	// After the first invocation the replay buffer holds the sealed trace.
+	if r.jb.ReplayBuffer().Len() == 0 {
+		t.Fatal("no metadata recorded on a cold run")
+	}
+	if r.jb.Stats.RecordedEntries == 0 {
+		t.Error("RecordedEntries = 0")
+	}
+	if r.jb.Stats.Invocations != 1 {
+		t.Errorf("Invocations = %d", r.jb.Stats.Invocations)
+	}
+	if got := r.jb.Stats.LastRecordBytes; got == 0 || got > 16<<10 {
+		t.Errorf("LastRecordBytes = %d", got)
+	}
+	// Record traffic reached DRAM.
+	if r.core.Hier.DRAM.Bytes(mem.TrafficMetadataRecord) == 0 {
+		t.Error("no metadata-record DRAM traffic")
+	}
+}
+
+func TestReplayCoversMisses(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.runLukewarm(p, 1) // record
+	r.core.FlushMicroarch()
+	r.core.Hier.ResetStats()
+	r.core.RunInvocation(p.NewInvocation(1)) // replay + record
+
+	l2 := r.core.Hier.L2.Stats
+	if l2.PrefetchFills[mem.Instr] == 0 {
+		t.Fatal("replay issued no L2 fills")
+	}
+	if l2.PrefetchUsed[mem.Instr] == 0 {
+		t.Fatal("no covered misses")
+	}
+	coverage := float64(l2.PrefetchUsed[mem.Instr]) / float64(l2.PrefetchUsed[mem.Instr]+l2.DemandMisses[mem.Instr])
+	if coverage < 0.4 {
+		t.Errorf("coverage = %v, too low for a high-commonality workload", coverage)
+	}
+	if r.jb.Stats.ReplayPrefetches == 0 || r.jb.Stats.ReplayEntries == 0 {
+		t.Errorf("replay stats empty: %+v", r.jb.Stats)
+	}
+	if r.core.Hier.DRAM.Bytes(mem.TrafficMetadataReplay) == 0 {
+		t.Error("no metadata-replay DRAM traffic")
+	}
+}
+
+func TestJukeboxSpeedsUpLukewarmRuns(t *testing.T) {
+	p := testProgram()
+
+	base := cpu.NewCore(cpu.SkylakeConfig())
+	base.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	var baseLast cpu.RunResult
+	for i := 0; i < 3; i++ {
+		base.FlushMicroarch()
+		baseLast = base.RunInvocation(p.NewInvocation(uint64(i)))
+	}
+
+	r := newRig(DefaultConfig())
+	jbLast := r.runLukewarm(p, 3)
+
+	if jbLast.Cycles >= baseLast.Cycles {
+		t.Errorf("Jukebox run not faster: %d vs %d cycles", jbLast.Cycles, baseLast.Cycles)
+	}
+	speedup := float64(baseLast.Cycles)/float64(jbLast.Cycles) - 1
+	if speedup < 0.05 {
+		t.Errorf("speedup only %.1f%%", speedup*100)
+	}
+}
+
+func TestReplayPrepopulatesITLB(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.runLukewarm(p, 1)
+	r.core.FlushMicroarch()
+	if r.jb.Stats.ReplayWalks != 0 {
+		t.Fatal("stats bleed before replay")
+	}
+	r.core.MMU.ResetStats()
+	r.core.RunInvocation(p.NewInvocation(1))
+	if r.jb.Stats.ReplayWalks == 0 {
+		t.Error("replay performed no ITLB translations")
+	}
+}
+
+func TestRecordOnlyMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplayEnabled = false
+	cfg.MetadataBytes = 0 // unlimited: the Fig. 8 sizing configuration
+	r := newRig(cfg)
+	p := testProgram()
+	r.runLukewarm(p, 2)
+	if r.jb.Stats.ReplayPrefetches != 0 {
+		t.Error("replay ran in record-only mode")
+	}
+	if r.jb.Stats.LastRecordBytes == 0 {
+		t.Error("record-only mode recorded nothing")
+	}
+	if r.jb.Stats.DroppedEntries != 0 {
+		t.Error("unlimited buffer dropped entries")
+	}
+}
+
+func TestMetadataLimitDropsEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MetadataBytes = 1 << 10 // absurdly small: 1 KB
+	r := newRig(cfg)
+	p := testProgram()
+	r.runLukewarm(p, 2)
+	if r.jb.Stats.DroppedEntries == 0 {
+		t.Error("tiny metadata limit dropped nothing")
+	}
+	if got := r.jb.ReplayBuffer().SizeBytes(); got > 1<<10 {
+		t.Errorf("replay buffer %d bytes exceeds limit", got)
+	}
+}
+
+func TestLargerMetadataCoversMore(t *testing.T) {
+	p := testProgram()
+	cov := func(limit int) float64 {
+		cfg := DefaultConfig()
+		cfg.MetadataBytes = limit
+		r := newRig(cfg)
+		r.runLukewarm(p, 1)
+		r.core.FlushMicroarch()
+		r.core.Hier.ResetStats()
+		r.core.RunInvocation(p.NewInvocation(1))
+		s := r.core.Hier.L2.Stats
+		return float64(s.PrefetchUsed[mem.Instr]) / float64(s.PrefetchUsed[mem.Instr]+s.DemandMisses[mem.Instr])
+	}
+	small, large := cov(2<<10), cov(16<<10)
+	if large <= small {
+		t.Errorf("coverage did not grow with metadata: %v vs %v", small, large)
+	}
+}
+
+func TestRecordFilterSkipsL2Hits(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	// Warm everything, then run again without flushing: L2 misses are rare,
+	// so recorded metadata shrinks drastically.
+	r.core.RunInvocation(p.NewInvocation(0))
+	coldBytes := r.jb.Stats.LastRecordBytes
+	r.core.RunInvocation(p.NewInvocation(0))
+	warmBytes := r.jb.Stats.LastRecordBytes
+	if warmBytes >= coldBytes/4 {
+		t.Errorf("warm-run metadata %d not much smaller than cold %d; L2-hit filter broken", warmBytes, coldBytes)
+	}
+}
+
+func TestVirtualMetadataSurvivesCompaction(t *testing.T) {
+	p := testProgram()
+
+	run := func(physical bool) float64 {
+		cfg := DefaultConfig()
+		cfg.UsePhysicalAddresses = physical
+		r := newRig(cfg)
+		r.runLukewarm(p, 1) // record
+		// The OS compacts memory between invocations; TLBs shot down.
+		r.core.MMU.AddressSpace().Compact()
+		r.core.FlushMicroarch()
+		r.core.Hier.ResetStats()
+		r.core.RunInvocation(p.NewInvocation(1))
+		s := r.core.Hier.L2.Stats
+		return float64(s.PrefetchUsed[mem.Instr]) / float64(s.PrefetchUsed[mem.Instr]+s.DemandMisses[mem.Instr])
+	}
+
+	virtual := run(false)
+	physical := run(true)
+	if virtual < 0.4 {
+		t.Errorf("virtual-address coverage after compaction = %v", virtual)
+	}
+	if physical > virtual/2 {
+		t.Errorf("physical-address metadata should collapse after compaction: %v vs virtual %v", physical, virtual)
+	}
+}
+
+func TestMetadataFootprint(t *testing.T) {
+	r := newRig(DefaultConfig())
+	if got := r.jb.MetadataFootprintBytes(); got != 32<<10 {
+		t.Errorf("MetadataFootprintBytes = %d, want 32KB", got)
+	}
+	cfg := DefaultConfig()
+	cfg.MetadataBytes = 0
+	r2 := newRig(cfg)
+	p := testProgram()
+	r2.core.FlushMicroarch()
+	r2.core.RunInvocation(p.NewInvocation(0))
+	if got := r2.jb.MetadataFootprintBytes(); got == 0 {
+		t.Error("unlimited-mode footprint should reflect stored bytes")
+	}
+}
+
+func TestBuffersPhysicallyPlaced(t *testing.T) {
+	r := newRig(DefaultConfig())
+	rec, rep := r.jb.RecordBuffer().PhysBase, r.jb.ReplayBuffer().PhysBase
+	if rec == rep {
+		t.Error("record and replay buffers alias")
+	}
+	if rec%vm.PageSize != 0 || rep%vm.PageSize != 0 {
+		t.Error("metadata buffers not page aligned")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.RegionSizeBytes = 3
+	newRig(cfg)
+}
+
+func TestResetStats(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.runLukewarm(p, 1)
+	r.jb.ResetStats()
+	if r.jb.Stats.RecordedEntries != 0 || r.jb.Stats.Invocations != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}

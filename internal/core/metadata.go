@@ -1,0 +1,60 @@
+package core
+
+// MetadataBuffer is one direction of a function instance's in-memory Jukebox
+// metadata: an append-only sequence of entries bounded by the OS-programmed
+// limit register. The buffer lives in physically contiguous memory
+// (Sec. 3.4.1); PhysBase records where, so the replay engine can fetch it
+// without address translation.
+type MetadataBuffer struct {
+	// PhysBase is the buffer's physical base address.
+	PhysBase uint64
+	entries  []Entry
+	// entryBits is the packed storage cost per entry.
+	entryBits int
+	// limitBytes caps the buffer; <= 0 means unlimited (sizing studies).
+	limitBytes int
+	// Dropped counts entries discarded because the buffer was full.
+	Dropped uint64
+}
+
+// NewMetadataBuffer creates a buffer storing entries of entryBits packed
+// bits, bounded by limitBytes (<= 0 for unlimited).
+func NewMetadataBuffer(physBase uint64, entryBits, limitBytes int) *MetadataBuffer {
+	if entryBits <= 0 {
+		panic("core: metadata entry size must be positive")
+	}
+	return &MetadataBuffer{PhysBase: physBase, entryBits: entryBits, limitBytes: limitBytes}
+}
+
+// Append stores e if the limit allows and reports whether it was stored.
+func (b *MetadataBuffer) Append(e Entry) bool {
+	if b.limitBytes > 0 && (len(b.entries)+1)*b.entryBits > b.limitBytes*8 {
+		b.Dropped++
+		return false
+	}
+	b.entries = append(b.entries, e)
+	return true
+}
+
+// Entries returns the stored entries in record order. The returned slice is
+// the buffer's backing store; callers must not mutate it.
+func (b *MetadataBuffer) Entries() []Entry { return b.entries }
+
+// Len reports the number of stored entries.
+func (b *MetadataBuffer) Len() int { return len(b.entries) }
+
+// SizeBytes reports the packed metadata size (rounded up to whole bytes).
+func (b *MetadataBuffer) SizeBytes() int {
+	return (len(b.entries)*b.entryBits + 7) / 8
+}
+
+// Full reports whether the next Append would be dropped.
+func (b *MetadataBuffer) Full() bool {
+	return b.limitBytes > 0 && (len(b.entries)+1)*b.entryBits > b.limitBytes*8
+}
+
+// Reset empties the buffer for reuse, keeping its physical placement.
+func (b *MetadataBuffer) Reset() {
+	b.entries = b.entries[:0]
+	b.Dropped = 0
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"lukewarm/internal/mem"
+	"lukewarm/internal/vm"
+)
+
+// TestLargeRegionReplaySpansPages exercises the 8 KB region configuration
+// (the largest in the Fig. 8 sweep): one region covers two 4 KB pages, so
+// the replay engine must translate each page separately and the access
+// vector must address 128 lines.
+func TestLargeRegionReplaySpansPages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RegionSizeBytes = 8 << 10
+	r := newRig(cfg)
+
+	// Record misses across a full 8 KB region (two pages).
+	base := uint64(0x40_0000) // region-aligned
+	for i := 0; i < 128; i++ {
+		vaddr := base + uint64(i)*mem.LineSize
+		paddr := r.core.MMU.AddressSpace().Translate(vaddr)
+		r.jb.OnFetch(0, vaddr, paddr, mem.Result{L2Miss: true})
+	}
+	r.jb.InvocationEnd(0)
+	if got := r.jb.ReplayBuffer().Len(); got != 1 {
+		t.Fatalf("expected a single coalesced region entry, got %d", got)
+	}
+	e := r.jb.ReplayBuffer().Entries()[0]
+	if e.PopCount() != 128 {
+		t.Fatalf("vector popcount = %d, want 128", e.PopCount())
+	}
+
+	// Replay after a flush: all 128 lines must land in the L2 with correct
+	// physical addresses despite the page boundary.
+	r.core.FlushMicroarch()
+	r.core.Hier.ResetStats()
+	r.jb.InvocationStart(1000)
+	if got := r.jb.Stats.ReplayPrefetches; got != 128 {
+		t.Fatalf("ReplayPrefetches = %d, want 128", got)
+	}
+	if r.jb.Stats.ReplayWalks != 2 {
+		t.Errorf("ReplayWalks = %d, want 2 (one per page)", r.jb.Stats.ReplayWalks)
+	}
+	for i := 0; i < 128; i++ {
+		paddr := r.core.MMU.AddressSpace().Translate(base + uint64(i)*mem.LineSize)
+		if !r.core.Hier.L2.Probe(paddr) {
+			t.Fatalf("line %d not prefetched into L2", i)
+		}
+	}
+}
+
+// TestTinyRegionConfiguration exercises the 128 B end of the sweep: two
+// lines per region, so the vector barely matters and entries churn.
+func TestTinyRegionConfiguration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RegionSizeBytes = 128
+	cfg.MetadataBytes = 0
+	r := newRig(cfg)
+	for i := 0; i < 64; i++ {
+		vaddr := uint64(0x40_0000) + uint64(i)*mem.LineSize
+		paddr := r.core.MMU.AddressSpace().Translate(vaddr)
+		r.jb.OnFetch(0, vaddr, paddr, mem.Result{L2Miss: true})
+	}
+	r.jb.InvocationEnd(0)
+	// 64 lines at 2 lines/region = 32 entries.
+	if got := r.jb.ReplayBuffer().Len(); got != 32 {
+		t.Errorf("entries = %d, want 32", got)
+	}
+}
+
+// TestReplayOrderFollowsRecordOrder checks the FIFO temporal-order property
+// (Sec. 3.2): regions are replayed in the order they were first recorded.
+func TestReplayOrderFollowsRecordOrder(t *testing.T) {
+	r := newRig(DefaultConfig())
+	// Touch regions in a distinctive order: C, A, B (each one line).
+	order := []uint64{0x80_0000, 0x40_0000, 0x60_0000}
+	for _, base := range order {
+		paddr := r.core.MMU.AddressSpace().Translate(base)
+		r.jb.OnFetch(0, base, paddr, mem.Result{L2Miss: true})
+	}
+	r.jb.InvocationEnd(0)
+	entries := r.jb.ReplayBuffer().Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	shift := DefaultConfig().regionShift()
+	for i, base := range order {
+		if entries[i].Region != base>>shift {
+			t.Errorf("entry %d region = %#x, want %#x", i, entries[i].Region<<shift, base)
+		}
+	}
+}
+
+// TestJukeboxMetadataSurvivesIATThrash: the whole point of storing metadata
+// in main memory — partial or total on-chip thrash cannot touch it.
+func TestJukeboxMetadataSurvivesIATThrash(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.core.FlushMicroarch()
+	r.core.RunInvocation(p.NewInvocation(0))
+	before := r.jb.ReplayBuffer().Len()
+	if before == 0 {
+		t.Fatal("nothing recorded")
+	}
+	// Obliterate on-chip state repeatedly; metadata must be untouched.
+	for i := 0; i < 3; i++ {
+		r.core.FlushMicroarch()
+	}
+	if got := r.jb.ReplayBuffer().Len(); got != before {
+		t.Errorf("metadata changed by flushes: %d -> %d", before, got)
+	}
+}
+
+// TestBindMovesPrefetcherBetweenCores exercises Bind directly at the unit
+// level (the serverless package has the integration test).
+func TestBindMovesPrefetcherBetweenCores(t *testing.T) {
+	r := newRig(DefaultConfig())
+	p := testProgram()
+	r.core.FlushMicroarch()
+	r.core.RunInvocation(p.NewInvocation(0)) // record on core A
+
+	// A second, independent memory system ("core B").
+	hierB := mem.NewHierarchy(mem.SkylakeHierarchy())
+	mmuB := vm.NewMMU(vm.DefaultMMUConfig(), hierB.DRAM)
+	mmuB.SetAddressSpace(r.core.MMU.AddressSpace())
+	r.jb.Bind(hierB, mmuB)
+	r.jb.InvocationStart(0)
+	if hierB.L2.Stats.PrefetchFills[mem.Instr] == 0 {
+		t.Error("replay after Bind did not fill the new core's L2")
+	}
+}

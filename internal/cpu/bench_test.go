@@ -1,0 +1,62 @@
+package cpu
+
+import (
+	"testing"
+
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+)
+
+func BenchmarkPredictorUpdate(b *testing.B) {
+	bp := NewBranchPredictor(BPConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.Update(uint64(i%1024)<<4, i%3 == 0)
+	}
+}
+
+func BenchmarkBTBLookup(b *testing.B) {
+	btb := NewBTB(8 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		btb.LookupAndUpdate(uint64(i%4096)<<4, uint64(i)<<6)
+	}
+}
+
+func BenchmarkRunInvocationWarm(b *testing.B) {
+	c := NewCore(SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	p := testProgram()
+	c.RunInvocation(p.NewInvocation(0)) // warm
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.RunInvocation(p.NewInvocation(uint64(i)))
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkRunInvocationLukewarm(b *testing.B) {
+	c := NewCore(SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	p := testProgram()
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FlushMicroarch()
+		res := c.RunInvocation(p.NewInvocation(uint64(i)))
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+var benchSink program.Instr
+
+func BenchmarkFlushMicroarch(b *testing.B) {
+	c := NewCore(SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	for i := 0; i < b.N; i++ {
+		c.FlushMicroarch()
+	}
+}

@@ -1,0 +1,122 @@
+// Package cpu implements the core timing model: an interval-analysis engine
+// (Karkhanis & Smith style) over the synthetic instruction streams of
+// package program, driving the cache hierarchy of package mem and the MMU of
+// package vm, and charging every stall cycle to a Top-Down category.
+//
+// The model processes instructions in program order. Steady-state throughput
+// is bounded by the dispatch width; miss events open intervals:
+//
+//   - L1-I misses, ITLB walks and BTB resteers charge Fetch Latency. The
+//     front end cannot reorder instruction misses, but modern fetch engines
+//     do run ahead; misses in a dense burst overlap by the configured
+//     FetchMLP factor.
+//   - Taken-branch fetch-block breaks and miss-induced decode bubbles charge
+//     Fetch Bandwidth.
+//   - Branch direction mispredictions charge Bad Speculation.
+//   - L1-D load misses charge Backend Bound after MLP overlap: independent
+//     misses within the ROB window overlap by DataMLP; dependent (pointer
+//     chasing) loads expose their full latency. Stores retire through the
+//     store buffer without stalling (they still consume cache and DRAM
+//     bandwidth). DTLB walks charge Backend Bound.
+//   - Every retired instruction charges 1/DispatchWidth cycles of Retiring.
+//
+// This reproduces the causal structure the paper measures: in-order fetch
+// makes instruction misses expensive while the out-of-order back end hides
+// much of the data-miss latency (Sec. 2.4).
+package cpu
+
+import (
+	"lukewarm/internal/mem"
+	"lukewarm/internal/vm"
+)
+
+// Config describes one simulated platform (core + hierarchy + MMU + BP).
+type Config struct {
+	// Name labels the platform in reports.
+	Name string
+	// FreqGHz is the core clock, used only to convert cycles to time in
+	// reports.
+	FreqGHz float64
+	// DispatchWidth is the sustained pipeline width in instructions/cycle.
+	DispatchWidth int
+	// ROBSize bounds the data-miss overlap window, in instructions.
+	ROBSize int
+	// MispredictPenalty is the pipeline-refill cost of a direction
+	// misprediction, in cycles.
+	MispredictPenalty mem.Cycle
+	// ResteerPenalty is the front-end redirect bubble of a BTB miss on a
+	// taken branch, in cycles (charged to Fetch Latency).
+	ResteerPenalty mem.Cycle
+	// FetchMLP divides instruction-miss latency (beyond the L1-I hit) when
+	// the previous instruction miss was within FetchMLPWindow instructions:
+	// the effective memory-level parallelism of a running fetch engine.
+	FetchMLP int
+	// FetchHide is the portion of an instruction miss absorbed by the
+	// decode queue and fetch-target queue before any pipeline bubble is
+	// visible: short (L2-hit) misses are largely hidden, DRAM-bound misses
+	// barely notice. Applied before the FetchMLP division.
+	FetchHide mem.Cycle
+	// FetchMLPWindow is the instruction distance within which instruction
+	// misses overlap.
+	FetchMLPWindow int
+	// DataMLP divides independent load-miss latency within the ROB window.
+	DataMLP int
+	// TakenBranchBubble is the fetch-bandwidth cost of breaking a fetch
+	// block at a taken branch, in cycles.
+	TakenBranchBubble mem.Cycle
+	// MissDecodeBubble is the fetch-bandwidth cost charged per L1-I miss
+	// (decoder restart / queue refill inefficiency).
+	MissDecodeBubble mem.Cycle
+
+	Hier mem.HierarchyConfig
+	MMU  vm.MMUConfig
+	BP   BPConfig
+}
+
+// SkylakeConfig returns the paper's Table 1 platform: a 2.6 GHz Skylake-like
+// core with a 1 MB L2.
+func SkylakeConfig() Config {
+	return Config{
+		Name:              "Skylake-like",
+		FreqGHz:           2.6,
+		DispatchWidth:     4,
+		ROBSize:           224,
+		MispredictPenalty: 14,
+		ResteerPenalty:    8,
+		FetchMLP:          5,
+		FetchHide:         18,
+		FetchMLPWindow:    128,
+		DataMLP:           4,
+		TakenBranchBubble: 2,
+		MissDecodeBubble:  1,
+		Hier:              mem.SkylakeHierarchy(),
+		MMU:               vm.DefaultMMUConfig(),
+		BP:                DefaultBPConfig(),
+	}
+}
+
+// BroadwellConfig returns the Sec. 5.6 platform: same core, 256 KB L2.
+func BroadwellConfig() Config {
+	c := SkylakeConfig()
+	c.Name = "Broadwell-like"
+	c.FreqGHz = 2.4
+	c.Hier = mem.BroadwellHierarchy()
+	return c
+}
+
+// CharacterizationConfig returns the Sec. 4.1 real-hardware stand-in: the
+// Broadwell-like core with the CloudLab host's large LLC, used for the
+// characterization figures (Figs. 1-5).
+func CharacterizationConfig() Config {
+	c := BroadwellConfig()
+	c.Name = "Broadwell-xl170"
+	c.Hier = mem.CharacterizationHierarchy()
+	return c
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) validate() {
+	if c.DispatchWidth <= 0 || c.ROBSize <= 0 || c.FetchMLP <= 0 || c.DataMLP <= 0 {
+		panic("cpu: Config has non-positive structural parameters")
+	}
+}

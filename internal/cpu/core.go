@@ -1,0 +1,304 @@
+package cpu
+
+import (
+	"lukewarm/internal/mem"
+	"lukewarm/internal/program"
+	"lukewarm/internal/topdown"
+	"lukewarm/internal/vm"
+)
+
+// InstrSource supplies the dynamic instruction stream of one invocation.
+// *program.Invocation implements it; so does a trace reader (package
+// trace), which lets the core replay externally captured streams.
+type InstrSource interface {
+	Next() (program.Instr, bool)
+}
+
+// InstrPrefetcher is the hook surface for instruction prefetchers (Jukebox
+// in package core, PIF in package pif). A nil prefetcher is valid.
+type InstrPrefetcher interface {
+	// InvocationStart fires when the OS schedules the instance to process a
+	// new invocation — Jukebox's replay trigger (Sec. 3.3).
+	InvocationStart(now mem.Cycle)
+	// InvocationEnd fires when the invocation completes and the process is
+	// descheduled — record metadata is sealed here (Sec. 3.4.1).
+	InvocationEnd(now mem.Cycle)
+	// OnFetch fires after every demand instruction-block fetch with the
+	// hierarchy's result; res.L2Miss drives Jukebox's record filter. Both
+	// the virtual and physical addresses of the fetch are provided:
+	// Jukebox records virtual addresses, PIF's physically-indexed
+	// structures use physical ones.
+	OnFetch(now mem.Cycle, vaddr, paddr uint64, res mem.Result)
+	// OnBlockRetire fires once per executed code block in program order —
+	// the retired-instruction stream PIF records.
+	OnBlockRetire(now mem.Cycle, vBlock, pBlock uint64)
+}
+
+// RunResult summarizes one invocation's execution.
+type RunResult struct {
+	Instrs uint64
+	Cycles mem.Cycle
+	Stack  topdown.Stack
+	// Mispredicts and Resteers are the branch events in this run.
+	Mispredicts uint64
+	Resteers    uint64
+}
+
+// CPI reports cycles per instruction.
+func (r RunResult) CPI() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instrs)
+}
+
+// Core is one simulated CPU core plus its private memory system.
+type Core struct {
+	Cfg  Config
+	Hier *mem.Hierarchy
+	MMU  *vm.MMU
+	BP   *BranchPredictor
+	BTB  *BTB
+	// Prefetcher receives the hook calls; nil disables prefetching.
+	Prefetcher InstrPrefetcher
+
+	now mem.Cycle
+
+	// retireAcc accumulates sub-cycle retiring quanta.
+	retireAcc int
+	// instruction-miss overlap state
+	lastIMissInstr uint64
+	// data-miss overlap state
+	lastDMissInstr uint64
+	dBurstCount    int
+	instrCount     uint64
+}
+
+// NewCore builds a core from cfg with its own full memory hierarchy. The
+// caller attaches address spaces via core.MMU.SetAddressSpace before
+// running.
+func NewCore(cfg Config) *Core {
+	cfg.validate()
+	return NewCoreWithHierarchy(cfg, mem.NewHierarchy(cfg.Hier))
+}
+
+// NewCoreWithHierarchy builds a core around an externally constructed
+// hierarchy — used by multi-core servers whose cores share an LLC and
+// memory controller (mem.NewSharedHierarchy).
+func NewCoreWithHierarchy(cfg Config, hier *mem.Hierarchy) *Core {
+	cfg.validate()
+	return &Core{
+		Cfg:  cfg,
+		Hier: hier,
+		MMU:  vm.NewMMU(cfg.MMU, hier.DRAM),
+		BP:   NewBranchPredictor(cfg.BP),
+		BTB:  NewBTB(cfg.BP.BTBEntries),
+	}
+}
+
+// Now reports the core's current cycle.
+func (c *Core) Now() mem.Cycle { return c.now }
+
+// AdvanceCycles moves the clock forward without executing (idle time between
+// invocations).
+func (c *Core) AdvanceCycles(n mem.Cycle) { c.now += n }
+
+// FlushMicroarch obliterates all on-core and cache state: the paper's
+// simulated interleaving baseline "flushes all microarchitectural state
+// in-between function invocations".
+func (c *Core) FlushMicroarch() {
+	c.Hier.FlushAll()
+	c.MMU.Flush()
+	c.BP.Flush()
+	c.BTB.Flush()
+	c.lastIMissInstr = 0
+	c.lastDMissInstr = 0
+	c.dBurstCount = 0
+}
+
+// RunInvocation executes one invocation stream to completion and returns its
+// timing decomposition. The prefetcher hooks fire at the boundaries.
+func (c *Core) RunInvocation(inv InstrSource) RunResult {
+	cfg := &c.Cfg
+	var td topdown.Stack
+	var res RunResult
+	mispBefore := c.BP.Stats.Mispredicts
+	resteerBefore := c.BTB.Stats.Resteers
+	start := c.now
+
+	if c.Prefetcher != nil {
+		c.Prefetcher.InvocationStart(c.now)
+	}
+
+	var curBlock uint64 = ^uint64(0)
+
+	for {
+		in, ok := inv.Next()
+		if !ok {
+			break
+		}
+		c.instrCount++
+		res.Instrs++
+
+		// Retiring quantum: one cycle per DispatchWidth instructions.
+		c.retireAcc++
+		if c.retireAcc >= cfg.DispatchWidth {
+			c.retireAcc = 0
+			c.now++
+			td.Add(topdown.Retiring, 1)
+		}
+
+		// Front end: new fetch block?
+		if blk := in.VAddr &^ (mem.LineSize - 1); blk != curBlock {
+			curBlock = blk
+			c.fetchBlock(in.VAddr, &td)
+		}
+
+		switch in.Op {
+		case program.OpLoad:
+			c.load(&in, &td)
+		case program.OpStore:
+			c.store(&in, &td)
+		case program.OpBranch:
+			c.branch(&in, &td)
+		}
+	}
+
+	if c.Prefetcher != nil {
+		c.Prefetcher.InvocationEnd(c.now)
+	}
+
+	td.AddInstrs(res.Instrs)
+	res.Cycles = c.now - start
+	res.Stack = td
+	res.Mispredicts = c.BP.Stats.Mispredicts - mispBefore
+	res.Resteers = c.BTB.Stats.Resteers - resteerBefore
+	return res
+}
+
+// fetchBlock performs the instruction-side access for a new fetch block:
+// ITLB translation, L1-I access, miss-latency exposure with fetch-engine
+// overlap, and prefetcher notification.
+func (c *Core) fetchBlock(vaddr uint64, td *topdown.Stack) {
+	cfg := &c.Cfg
+	paddr, walkLat := c.MMU.TranslateInstr(c.now, vaddr)
+	if walkLat > 0 {
+		// ITLB miss: the walk serializes instruction delivery.
+		w := walkLat / 2 // PTE reads partially overlap fetch-ahead
+		c.now += w
+		td.Add(topdown.FetchLatency, float64(w))
+	}
+
+	fres := c.Hier.FetchInstr(c.now, paddr)
+	if c.Prefetcher != nil {
+		c.Prefetcher.OnFetch(c.now, vaddr, paddr, fres)
+		c.Prefetcher.OnBlockRetire(c.now, vaddr&^(mem.LineSize-1), paddr&^(mem.LineSize-1))
+	}
+	miss := fres.Latency - cfg.Hier.L1I.HitLatency
+	if miss <= 0 {
+		return
+	}
+	// Instruction miss: the first FetchHide cycles disappear into the
+	// decode/fetch-target queues; the remainder is exposed, with
+	// fetch-engine overlap when the previous instruction miss was close by.
+	if miss <= cfg.FetchHide {
+		c.lastIMissInstr = c.instrCount
+		return
+	}
+	exposed := miss - cfg.FetchHide
+	if c.instrCount-c.lastIMissInstr <= uint64(cfg.FetchMLPWindow) {
+		exposed = exposed / mem.Cycle(cfg.FetchMLP)
+		if exposed == 0 {
+			exposed = 1
+		}
+	}
+	c.lastIMissInstr = c.instrCount
+	c.now += exposed
+	td.Add(topdown.FetchLatency, float64(exposed))
+	// Decoder undersupply while the fetch queue refills after the miss: a
+	// small bandwidth-class cost that scales with the exposed latency, plus
+	// the fixed restart bubble.
+	fb := exposed/16 + cfg.MissDecodeBubble
+	if fb > 0 {
+		c.now += fb
+		td.Add(topdown.FetchBandwidth, float64(fb))
+	}
+}
+
+// load performs the data-side access for a load and charges exposed miss
+// latency to Backend Bound under the MLP model.
+func (c *Core) load(in *program.Instr, td *topdown.Stack) {
+	cfg := &c.Cfg
+	paddr, walkLat := c.MMU.TranslateData(c.now, in.MemAddr)
+	if walkLat > 0 {
+		w := walkLat / 2
+		c.now += w
+		td.Add(topdown.BackendBound, float64(w))
+	}
+	res := c.Hier.AccessData(c.now, paddr, false)
+	miss := res.Latency - cfg.Hier.L1D.HitLatency
+	if miss <= 0 {
+		return
+	}
+	// Independent misses within the ROB window overlap by DataMLP, but only
+	// while L1-D MSHRs remain: a burst longer than the MSHR count stalls
+	// and restarts (Table 1: 10 MSHRs).
+	exposed := miss
+	overlapped := !in.DepLoad &&
+		c.instrCount-c.lastDMissInstr <= uint64(cfg.ROBSize) &&
+		c.dBurstCount < cfg.Hier.L1D.MSHRs
+	if overlapped {
+		c.dBurstCount++
+		exposed = miss / mem.Cycle(cfg.DataMLP)
+		if exposed == 0 {
+			exposed = 1
+		}
+	} else {
+		c.dBurstCount = 1
+	}
+	c.lastDMissInstr = c.instrCount
+	c.now += exposed
+	td.Add(topdown.BackendBound, float64(exposed))
+}
+
+// store retires through the store buffer: it consumes cache/DRAM bandwidth
+// but does not stall the pipeline.
+func (c *Core) store(in *program.Instr, td *topdown.Stack) {
+	paddr, walkLat := c.MMU.TranslateData(c.now, in.MemAddr)
+	if walkLat > 0 {
+		w := walkLat / 2
+		c.now += w
+		td.Add(topdown.BackendBound, float64(w))
+	}
+	c.Hier.AccessData(c.now, paddr, true)
+}
+
+// branch resolves a control transfer: direction prediction for
+// conditionals, BTB target check for taken branches.
+func (c *Core) branch(in *program.Instr, td *topdown.Stack) {
+	cfg := &c.Cfg
+	if in.Cond {
+		if correct := c.BP.Update(in.VAddr, in.Taken); !correct {
+			c.now += cfg.MispredictPenalty
+			td.Add(topdown.BadSpeculation, float64(cfg.MispredictPenalty))
+		}
+	}
+	if !in.Taken {
+		return
+	}
+	// Taken branch: fetch-block break.
+	if cfg.TakenBranchBubble > 0 {
+		c.now += cfg.TakenBranchBubble
+		td.Add(topdown.FetchBandwidth, float64(cfg.TakenBranchBubble))
+	}
+	// Indirect branches never have a stable BTB target; model them as a
+	// fresh target each time (interpreter dispatch).
+	target := in.Target
+	if in.Indirect {
+		target = in.Target ^ (c.instrCount << 32) // unique per occurrence
+	}
+	if hit := c.BTB.LookupAndUpdate(in.VAddr, target); !hit {
+		c.now += cfg.ResteerPenalty
+		td.Add(topdown.FetchLatency, float64(cfg.ResteerPenalty))
+	}
+}

@@ -1,0 +1,199 @@
+package cpu
+
+import (
+	"testing"
+
+	"lukewarm/internal/mem"
+	"lukewarm/internal/program"
+	"lukewarm/internal/topdown"
+	"lukewarm/internal/vm"
+)
+
+// scriptedSource feeds a hand-written instruction sequence to the core, so
+// timing rules can be checked in isolation.
+type scriptedSource struct {
+	ins []program.Instr
+	pos int
+}
+
+func (s *scriptedSource) Next() (program.Instr, bool) {
+	if s.pos >= len(s.ins) {
+		return program.Instr{}, false
+	}
+	in := s.ins[s.pos]
+	s.pos++
+	return in, true
+}
+
+// plainRun executes a hand-written sequence on a fresh core.
+func plainRun(t *testing.T, ins []program.Instr) (RunResult, *Core) {
+	t.Helper()
+	c := NewCore(SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	res := c.RunInvocation(&scriptedSource{ins: ins})
+	return res, c
+}
+
+// block returns n plain instructions filling the 64 B block at base.
+func block(base uint64, n int) []program.Instr {
+	ins := make([]program.Instr, n)
+	for i := range ins {
+		ins[i] = program.Instr{VAddr: base + uint64(i)*4, Op: program.OpPlain}
+	}
+	return ins
+}
+
+func TestFetchHideSwallowsShortMisses(t *testing.T) {
+	// Two blocks: the second is L2-resident (latency 36 < FetchHide+L1...).
+	// Warm the L2 by running once, flushing only the L1I, and re-running.
+	c := NewCore(SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	seq := append(block(0x1000, 16), block(0x1040, 16)...)
+	c.RunInvocation(&scriptedSource{ins: seq})
+	c.Hier.L1I.Flush()
+	res := c.RunInvocation(&scriptedSource{ins: seq})
+	// L1I misses hit the L2 (36 cycles); miss-beyond-hit is 36, FetchHide
+	// is 18, so exposure is (36-18)/5 = 3 cycles per block at most.
+	fl := res.Stack.Cycles[topdown.FetchLatency]
+	if fl > 10 {
+		t.Errorf("L2-hit instruction misses exposed %v cycles; FetchHide broken", fl)
+	}
+}
+
+func TestDependentLoadExposesFullLatency(t *testing.T) {
+	mk := func(dep bool) []program.Instr {
+		ins := block(0x1000, 12)
+		// Two loads to cold, distinct lines.
+		ins = append(ins,
+			program.Instr{VAddr: 0x1030, Op: program.OpLoad, MemAddr: 0x10_0000},
+			program.Instr{VAddr: 0x1034, Op: program.OpLoad, MemAddr: 0x20_0000, DepLoad: dep},
+		)
+		return ins
+	}
+	indep, _ := plainRun(t, mk(false))
+	dep, _ := plainRun(t, mk(true))
+	if dep.Cycles <= indep.Cycles {
+		t.Errorf("dependent load not slower: %d vs %d", dep.Cycles, indep.Cycles)
+	}
+	// The difference is roughly the unhidden fraction of a miss.
+	diff := float64(dep.Cycles - indep.Cycles)
+	if diff < 50 {
+		t.Errorf("dependence penalty only %v cycles", diff)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	loads := append(block(0x1000, 12),
+		program.Instr{VAddr: 0x1030, Op: program.OpLoad, MemAddr: 0x10_0000, DepLoad: true},
+		program.Instr{VAddr: 0x1034, Op: program.OpLoad, MemAddr: 0x20_0000, DepLoad: true})
+	stores := append(block(0x1000, 12),
+		program.Instr{VAddr: 0x1030, Op: program.OpStore, MemAddr: 0x10_0000},
+		program.Instr{VAddr: 0x1034, Op: program.OpStore, MemAddr: 0x20_0000})
+	lr, _ := plainRun(t, loads)
+	sr, _ := plainRun(t, stores)
+	if sr.Cycles >= lr.Cycles {
+		t.Errorf("stores (%d) not cheaper than dependent loads (%d)", sr.Cycles, lr.Cycles)
+	}
+	// Stores still reach the memory system.
+	_, c := plainRun(t, stores)
+	if c.Hier.L1D.Stats.DemandAccesses[mem.Data] == 0 {
+		t.Error("stores never accessed the L1D")
+	}
+}
+
+func TestMispredictChargesBadSpeculation(t *testing.T) {
+	// A conditional branch with an adversarial pattern: random outcomes.
+	var ins []program.Instr
+	rng := program.NewRNG(9)
+	for b := 0; b < 64; b++ {
+		base := uint64(0x1000 + b*64)
+		ins = append(ins, block(base, 15)...)
+		ins = append(ins, program.Instr{
+			VAddr: base + 60, Op: program.OpBranch, Cond: true,
+			Taken: rng.Bool(0.5), Target: base + 64,
+		})
+	}
+	res, _ := plainRun(t, ins)
+	bs := res.Stack.Cycles[topdown.BadSpeculation]
+	if bs == 0 {
+		t.Fatal("no bad speculation charged for random branches")
+	}
+	// Mispredict rate near 50%: ~32 mispredicts x 14 cycles.
+	if bs < 14*10 || bs > 14*60 {
+		t.Errorf("bad speculation = %v cycles, want roughly 32x14", bs)
+	}
+}
+
+func TestIndirectBranchAlwaysResteers(t *testing.T) {
+	var ins []program.Instr
+	for b := 0; b < 16; b++ {
+		base := uint64(0x1000 + b*128) // taken target skips a block
+		ins = append(ins, block(base, 15)...)
+		ins = append(ins, program.Instr{
+			VAddr: base + 60, Op: program.OpBranch, Taken: true,
+			Indirect: true, Target: base + 128,
+		})
+	}
+	res, _ := plainRun(t, ins)
+	if res.Resteers < 16 {
+		t.Errorf("resteers = %d, want one per indirect branch", res.Resteers)
+	}
+}
+
+func TestITLBWalkChargedOnPageChange(t *testing.T) {
+	// Two blocks on different pages: the second fetch needs a new ITLB
+	// entry and a walk.
+	ins := append(block(0x1000, 16), block(0x5000, 16)...)
+	res, c := plainRun(t, ins)
+	if c.MMU.ITLB.Stats.Misses < 2 {
+		t.Errorf("ITLB misses = %d, want >= 2", c.MMU.ITLB.Stats.Misses)
+	}
+	if res.Stack.Cycles[topdown.FetchLatency] == 0 {
+		t.Error("no fetch latency charged despite cold fetches")
+	}
+}
+
+func TestMSHRCapLimitsOverlap(t *testing.T) {
+	// A burst of independent cold loads overlaps only up to the L1-D MSHR
+	// count; longer bursts pay a full-latency restart. Compare per-load
+	// cost of a burst inside the cap with one well beyond it.
+	mshrs := SkylakeConfig().Hier.L1D.MSHRs
+	cost := func(n int) float64 {
+		c := NewCore(SkylakeConfig())
+		c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+		// Warm the code block so the front end is quiet during measurement.
+		c.RunInvocation(&scriptedSource{ins: block(0x1000, 16)})
+		var ins []program.Instr
+		for i := 0; i < n; i++ {
+			ins = append(ins, program.Instr{
+				VAddr: 0x1000 + uint64(i%16)*4, Op: program.OpLoad,
+				MemAddr: 0x100_0000 + uint64(i)*4096, // distinct cold lines
+			})
+		}
+		res := c.RunInvocation(&scriptedSource{ins: ins})
+		return float64(res.Cycles) / float64(n)
+	}
+	inside := cost(mshrs - 2)
+	beyond := cost(mshrs * 8)
+	if beyond <= inside*1.1 {
+		t.Errorf("per-load cost beyond the MSHR cap (%.1f) not clearly above within-cap (%.1f)",
+			beyond, inside)
+	}
+}
+
+func TestRetiringFloor(t *testing.T) {
+	// A long warm run approaches the dispatch-width floor of 0.25 CPI plus
+	// small L1-resident overheads.
+	seq := block(0x1000, 16)
+	c := NewCore(SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	c.RunInvocation(&scriptedSource{ins: seq}) // warm
+	var long []program.Instr
+	for i := 0; i < 100; i++ {
+		long = append(long, seq...)
+	}
+	res := c.RunInvocation(&scriptedSource{ins: long})
+	if cpi := res.CPI(); cpi > 0.3 {
+		t.Errorf("warm straight-line CPI = %.3f, want near 0.25", cpi)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/stats"
+	"lukewarm/internal/workload"
+)
+
+// CompactionResult backs the virtual-vs-physical metadata ablation
+// (Sec. 3.3 argues Jukebox must record virtual addresses to survive OS page
+// migration; this experiment demonstrates why).
+type CompactionResult struct {
+	// Coverage maps addressing mode -> mean covered fraction of baseline L2
+	// instruction misses after a page-compaction event.
+	Coverage map[string]float64
+	// Speedup maps addressing mode -> mean speedup over baseline after
+	// compaction.
+	Speedup map[string]float64
+}
+
+// Compaction records metadata, migrates every page of the instance
+// (vm.AddressSpace.Compact), and measures the next lukewarm invocation,
+// for both addressing modes.
+func Compaction(opt Options) CompactionResult {
+	opt = opt.withDefaults()
+	out := CompactionResult{Coverage: map[string]float64{}, Speedup: map[string]float64{}}
+	for _, physical := range []bool{false, true} {
+		label := "virtual"
+		if physical {
+			label = "physical"
+		}
+		var cov stats.Summary
+		var speed []float64
+		for _, w := range opt.suite() {
+			base := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+
+			jb := core.DefaultConfig()
+			jb.UsePhysicalAddresses = physical
+			srv := newServer(cpu.SkylakeConfig(), &jb, false)
+			inst := srv.Deploy(w)
+			srv.RunLukewarm(inst, opt.Warmup) // record metadata
+			inst.AS.Compact()                 // the OS migrates every page
+			srv.FlushMicroarch()
+			srv.Core.Hier.ResetStats()
+			// Measure exactly the first post-compaction invocation: later
+			// ones re-record valid addresses and would mask the effect.
+			m := measure(srv, inst, lukewarm, Options{Warmup: -1, Measure: 1}.withDefaults())
+
+			l2 := m.L2
+			denom := float64(l2.PrefetchUsed[mem.Instr] + l2.DemandMisses[mem.Instr])
+			if denom > 0 {
+				cov.Add(float64(l2.PrefetchUsed[mem.Instr]) / denom)
+			}
+			speed = append(speed, 1+stats.SpeedupPct(normCycles(base), normCycles(m))/100)
+		}
+		out.Coverage[label] = cov.Mean()
+		out.Speedup[label] = (stats.GeoMean(speed) - 1) * 100
+	}
+	return out
+}
+
+// Table renders the ablation.
+func (r CompactionResult) Table() *stats.Table {
+	t := stats.NewTable("Ablation: metadata addressing vs OS page migration",
+		"Metadata addresses", "Coverage after compaction", "Speedup after compaction")
+	for _, mode := range []string{"virtual", "physical"} {
+		t.AddRow(mode,
+			fmt.Sprintf("%.0f%%", r.Coverage[mode]*100),
+			fmt.Sprintf("%.1f%%", r.Speedup[mode]))
+	}
+	return t
+}
+
+// SnapshotResult backs the Sec. 3.4.2 extension: shipping Jukebox metadata
+// inside a function snapshot accelerates the very first invocation of a
+// freshly restored instance (which is otherwise fully cold).
+type SnapshotResult struct {
+	// FirstInvocationSpeedupPct is the geomean speedup of a restored
+	// instance's first invocation when it adopts snapshot metadata.
+	FirstInvocationSpeedupPct float64
+	// PerFunction lists the per-function speedups.
+	PerFunction map[string]float64
+}
+
+// Snapshot measures cold-start replay: a donor instance records metadata;
+// a fresh instance with an identical (snapshot-cloned) layout adopts it and
+// replays on its first invocation.
+func Snapshot(opt Options) SnapshotResult {
+	opt = opt.withDefaults()
+	out := SnapshotResult{PerFunction: map[string]float64{}}
+	var speed []float64
+	for _, w := range opt.suite() {
+		// Cold first invocation without metadata.
+		srvA := newServer(cpu.SkylakeConfig(), nil, false)
+		instA := srvA.Deploy(w)
+		srvA.FlushMicroarch()
+		cold := srvA.Invoke(instA)
+
+		// Donor records; restored instance adopts and replays.
+		jb := core.DefaultConfig()
+		srvB := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: &jb})
+		donor := srvB.Deploy(w)
+		srvB.RunLukewarm(donor, opt.Warmup)
+
+		restored := srvB.Deploy(w)
+		restored.Jukebox.AdoptMetadata(donor.Jukebox)
+		srvB.FlushMicroarch()
+		first := srvB.Invoke(restored)
+
+		sp := stats.SpeedupPct(
+			float64(cold.Cycles)/float64(cold.Instrs)*1e6,
+			float64(first.Cycles)/float64(first.Instrs)*1e6)
+		out.PerFunction[w.Name] = sp
+		speed = append(speed, 1+sp/100)
+	}
+	out.FirstInvocationSpeedupPct = (stats.GeoMean(speed) - 1) * 100
+	return out
+}
+
+// Table renders the snapshot study.
+func (r SnapshotResult) Table() *stats.Table {
+	t := stats.NewTable("Extension: snapshot-shipped metadata accelerates the first invocation",
+		"Function", "First-invocation speedup")
+	for _, name := range workload.Names() {
+		if sp, ok := r.PerFunction[name]; ok {
+			t.AddRow(name, fmt.Sprintf("%.1f%%", sp))
+		}
+	}
+	t.AddRow("GEOMEAN", fmt.Sprintf("%.1f%%", r.FirstInvocationSpeedupPct))
+	return t
+}
+
+// DynamicMetadataResult backs the Sec. 5.1 extension: per-function metadata
+// sizing (each instance gets its Fig. 8 requirement instead of a fixed
+// budget).
+type DynamicMetadataResult struct {
+	// FixedKB and Dynamic report the geomean speedup and total metadata
+	// cost of a 1000-instance server under each policy.
+	FixedSpeedupPct   float64
+	DynamicSpeedupPct float64
+	FixedTotalMB      float64
+	DynamicTotalMB    float64
+}
+
+// DynamicMetadata compares the fixed 16 KB budget against per-function
+// sizing at each function's measured requirement (rounded up to a page).
+func DynamicMetadata(opt Options) DynamicMetadataResult {
+	opt = opt.withDefaults()
+	var out DynamicMetadataResult
+	var fixed, dyn []float64
+	var fixedBytes, dynBytes float64
+	for _, w := range opt.suite() {
+		base := normCycles(measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt))
+
+		// Measure the requirement with an unlimited record-only pass.
+		sizing := core.DefaultConfig()
+		sizing.MetadataBytes = 0
+		sizing.ReplayEnabled = false
+		srv := newServer(cpu.SkylakeConfig(), &sizing, false)
+		inst := srv.Deploy(w)
+		srv.RunLukewarm(inst, 1)
+		need := inst.Jukebox.Stats.LastRecordBytes
+		pages := (need + 4095) / 4096
+		dynBudget := pages * 4096
+
+		run := func(budget int) float64 {
+			jb := core.DefaultConfig()
+			jb.MetadataBytes = budget
+			return normCycles(measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt))
+		}
+		fixed = append(fixed, 1+stats.SpeedupPct(base, run(16<<10))/100)
+		dyn = append(dyn, 1+stats.SpeedupPct(base, run(dynBudget))/100)
+		fixedBytes += 2 * 16 << 10
+		dynBytes += 2 * float64(dynBudget)
+	}
+	n := float64(len(fixed))
+	scale := 1000 / n // per-1000-instance cost, instances spread evenly
+	out.FixedSpeedupPct = (stats.GeoMean(fixed) - 1) * 100
+	out.DynamicSpeedupPct = (stats.GeoMean(dyn) - 1) * 100
+	out.FixedTotalMB = fixedBytes * scale / (1 << 20)
+	out.DynamicTotalMB = dynBytes * scale / (1 << 20)
+	return out
+}
+
+// Table renders the comparison.
+func (r DynamicMetadataResult) Table() *stats.Table {
+	t := stats.NewTable("Extension: dynamic per-function metadata sizing (1000 warm instances)",
+		"Policy", "Geomean speedup", "Total metadata")
+	t.AddRow("Fixed 16KB x2", fmt.Sprintf("%.1f%%", r.FixedSpeedupPct), fmt.Sprintf("%.0f MB", r.FixedTotalMB))
+	t.AddRow("Per-function", fmt.Sprintf("%.1f%%", r.DynamicSpeedupPct), fmt.Sprintf("%.0f MB", r.DynamicTotalMB))
+	return t
+}

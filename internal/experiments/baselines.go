@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lukewarm/internal/baselines"
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/stats"
+)
+
+// BaselinesResult backs the Sec. 6 related-work comparison: Jukebox against
+// a next-line instruction prefetcher and a RECAP-style whole-LLC context
+// restoration scheme.
+type BaselinesResult struct {
+	// SpeedupPct maps configuration -> geomean speedup over the lukewarm
+	// baseline.
+	SpeedupPct map[string]float64
+	// BandwidthPct maps configuration -> mean DRAM traffic increase over
+	// the baseline run.
+	BandwidthPct map[string]float64
+	// MetadataKB maps configuration -> mean per-instance metadata cost.
+	MetadataKB map[string]float64
+}
+
+// baselineConfigs names the compared schemes, in presentation order.
+var baselineConfigs = []string{"NextLine", "RECAP", "Jukebox"}
+
+// Baselines measures the three schemes across the selected suite on the
+// Skylake-like platform.
+func Baselines(opt Options) BaselinesResult {
+	opt = opt.withDefaults()
+	out := BaselinesResult{
+		SpeedupPct:   map[string]float64{},
+		BandwidthPct: map[string]float64{},
+		MetadataKB:   map[string]float64{},
+	}
+	type acc struct {
+		speed []float64
+		bw    stats.Summary
+		meta  stats.Summary
+	}
+	accs := map[string]*acc{}
+	for _, cfg := range baselineConfigs {
+		accs[cfg] = &acc{}
+	}
+
+	for _, w := range opt.suite() {
+		base := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+		var baseBytes float64
+		for _, b := range base.DRAM {
+			baseBytes += float64(b)
+		}
+
+		run := func(cfg string) (m measured, metaBytes int) {
+			switch cfg {
+			case "Jukebox":
+				jb := core.DefaultConfig()
+				srv := newServer(cpu.SkylakeConfig(), &jb, false)
+				inst := srv.Deploy(w)
+				m = measure(srv, inst, lukewarm, opt)
+				return m, inst.Jukebox.MetadataFootprintBytes()
+			case "NextLine":
+				srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig()})
+				srv.AttachCorePrefetcher(baselines.NewNextLineI(srv.Core.Hier, 1))
+				inst := srv.Deploy(w)
+				return measure(srv, inst, lukewarm, opt), 0
+			case "RECAP":
+				srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig()})
+				rc := baselines.NewRecap(baselines.DefaultRecapConfig(), srv.Core.Hier)
+				srv.AttachCorePrefetcher(rc)
+				inst := srv.Deploy(w)
+				m = measure(srv, inst, lukewarm, opt)
+				return m, rc.Stats.LastMetadataBytes
+			}
+			panic("unknown baseline config " + cfg)
+		}
+
+		for _, cfg := range baselineConfigs {
+			m, meta := run(cfg)
+			a := accs[cfg]
+			a.speed = append(a.speed, 1+stats.SpeedupPct(normCycles(base), normCycles(m))/100)
+			var bytes float64
+			for _, b := range m.DRAM {
+				bytes += float64(b)
+			}
+			scale := float64(base.Instrs) / float64(m.Instrs)
+			a.bw.Add(stats.Pct(bytes*scale-baseBytes, baseBytes))
+			a.meta.Add(float64(meta) / 1024)
+		}
+	}
+	for _, cfg := range baselineConfigs {
+		a := accs[cfg]
+		out.SpeedupPct[cfg] = (stats.GeoMean(a.speed) - 1) * 100
+		out.BandwidthPct[cfg] = a.bw.Mean()
+		out.MetadataKB[cfg] = a.meta.Mean()
+	}
+	return out
+}
+
+// Table renders the comparison.
+func (r BaselinesResult) Table() *stats.Table {
+	t := stats.NewTable("Related-work baselines vs Jukebox (lukewarm, Skylake-like)",
+		"Scheme", "Geomean speedup", "DRAM traffic increase", "Metadata per instance")
+	for _, cfg := range baselineConfigs {
+		meta := "-"
+		if r.MetadataKB[cfg] > 0 {
+			meta = fmt.Sprintf("%.0f KB", r.MetadataKB[cfg])
+		}
+		t.AddRow(cfg,
+			fmt.Sprintf("%.1f%%", r.SpeedupPct[cfg]),
+			fmt.Sprintf("%+.0f%%", r.BandwidthPct[cfg]),
+			meta)
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+// Package experiments contains one runner per figure and table of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each runner
+// builds the servers it needs, executes the workloads under the paper's
+// configurations, and returns typed rows plus rendered tables; the
+// cmd/lukewarm binary and the repository's benchmarks drive them.
+package experiments
+
+import (
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/topdown"
+	"lukewarm/internal/workload"
+)
+
+// Options scales an experiment run. The zero value selects defaults sized
+// for interactive use; the paper's methodology (20 measured invocations
+// after checkpoint warm-up) corresponds to Warmup: 2, Measure: 20.
+type Options struct {
+	// Warmup is the number of unmeasured invocations run first: they warm
+	// the reference configuration's caches and record the first Jukebox
+	// metadata generation (standing in for the paper's 20000-invocation
+	// functional warm-up and checkpoint).
+	Warmup int
+	// Measure is the number of measured invocations per configuration.
+	Measure int
+	// Functions restricts the suite to the named functions (nil = all 20).
+	Functions []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 2
+	}
+	if o.Warmup < 0 { // explicit "no warmup"
+		o.Warmup = 0
+	}
+	if o.Measure <= 0 {
+		o.Measure = 3
+	}
+	return o
+}
+
+// suite resolves the selected workloads.
+func (o Options) suite() []workload.Workload {
+	all := workload.Suite()
+	if len(o.Functions) == 0 {
+		return all
+	}
+	var out []workload.Workload
+	for _, name := range o.Functions {
+		for _, w := range all {
+			if w.Name == name {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// mode selects the execution regime of a measurement.
+type mode uint8
+
+const (
+	// reference: back-to-back invocations, fully warm (Sec. 2.3).
+	reference mode = iota
+	// lukewarm: full microarchitectural flush before every invocation —
+	// the paper's interleaved/baseline configuration.
+	lukewarm
+)
+
+// measured aggregates one measurement window.
+type measured struct {
+	Stack  topdown.Stack
+	Instrs uint64
+	Cycles mem.Cycle
+	L1I    mem.CacheStats
+	L2     mem.CacheStats
+	LLC    mem.CacheStats
+	DRAM   map[mem.TrafficClass]uint64 // bytes by class
+	JB     core.Stats
+}
+
+// CPI reports the window's cycles per instruction.
+func (m measured) CPI() float64 {
+	if m.Instrs == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Instrs)
+}
+
+// MPKI reports misses per kilo-instruction from a cache's counters.
+func (m measured) MPKI(s mem.CacheStats, k mem.Kind) float64 {
+	if m.Instrs == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses[k]) / float64(m.Instrs) * 1000
+}
+
+// measure runs warmup then measure invocations of inst under md and returns
+// the aggregated measurement window.
+func measure(srv *serverless.Server, inst *serverless.Instance, md mode, opt Options) measured {
+	invoke := func() cpu.RunResult {
+		if md == lukewarm {
+			srv.FlushMicroarch()
+		}
+		return srv.Invoke(inst)
+	}
+	for i := 0; i < opt.Warmup; i++ {
+		invoke()
+	}
+	srv.Core.Hier.ResetStats()
+	srv.Core.MMU.ResetStats()
+	srv.Core.BP.ResetStats()
+	srv.Core.BTB.ResetStats()
+	if inst.Jukebox != nil {
+		inst.Jukebox.ResetStats()
+	}
+
+	var out measured
+	for i := 0; i < opt.Measure; i++ {
+		res := invoke()
+		out.Stack.Merge(res.Stack)
+		out.Instrs += res.Instrs
+		out.Cycles += res.Cycles
+	}
+	hier := srv.Core.Hier
+	hier.DrainUnusedPrefetches()
+	out.L1I = hier.L1I.Stats
+	out.L2 = hier.L2.Stats
+	out.LLC = hier.LLC.Stats
+	out.DRAM = map[mem.TrafficClass]uint64{}
+	for _, cls := range []mem.TrafficClass{mem.TrafficDemand, mem.TrafficPrefetch,
+		mem.TrafficMetadataRecord, mem.TrafficMetadataReplay, mem.TrafficWriteback} {
+		out.DRAM[cls] = hier.DRAM.Bytes(cls)
+	}
+	if inst.Jukebox != nil {
+		out.JB = inst.Jukebox.Stats
+	}
+	return out
+}
+
+// newServer builds a single-purpose server for one measurement.
+func newServer(cfg cpu.Config, jb *core.Config, perfect bool) *serverless.Server {
+	return serverless.New(serverless.Config{CPU: cfg, Jukebox: jb, PerfectICache: perfect})
+}
+
+// measureWorkload deploys w on a fresh server and measures it.
+func measureWorkload(w workload.Workload, cfg cpu.Config, jb *core.Config, perfect bool, md mode, opt Options) measured {
+	srv := newServer(cfg, jb, perfect)
+	inst := srv.Deploy(w)
+	return measure(srv, inst, md, opt)
+}

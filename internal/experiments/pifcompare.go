@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/pif"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/stats"
+	"lukewarm/internal/workload"
+)
+
+// PIFConfig names one Fig. 13 configuration.
+type PIFConfig string
+
+// Fig. 13 configurations.
+const (
+	CfgBaseline   PIFConfig = "Baseline"
+	CfgPIF        PIFConfig = "PIF"
+	CfgPIFIdeal   PIFConfig = "PIF-ideal"
+	CfgJukebox    PIFConfig = "JB"
+	CfgJBPIFIdeal PIFConfig = "JB+PIF-ideal"
+)
+
+// Fig13Result backs the state-of-the-art comparison (Sec. 5.5).
+type Fig13Result struct {
+	Configs   []PIFConfig
+	Functions []string
+	// SpeedupPct[cfg][fn] is the speedup over baseline; fn "GEOMEAN" is the
+	// suite geomean.
+	SpeedupPct map[PIFConfig]map[string]float64
+}
+
+// measurePIF measures one workload under one Fig. 13 configuration.
+func measurePIF(w workload.Workload, cfg PIFConfig, opt Options) measured {
+	var jb *core.Config
+	if cfg == CfgJukebox || cfg == CfgJBPIFIdeal {
+		c := core.DefaultConfig()
+		jb = &c
+	}
+	srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: jb})
+	switch cfg {
+	case CfgPIF:
+		srv.AttachCorePrefetcher(pif.New(pif.DefaultConfig(), srv.Core.Hier))
+	case CfgPIFIdeal, CfgJBPIFIdeal:
+		srv.AttachCorePrefetcher(pif.New(pif.IdealConfig(), srv.Core.Hier))
+	}
+	inst := srv.Deploy(w)
+	return measure(srv, inst, lukewarm, opt)
+}
+
+// Fig13 compares Jukebox against PIF and PIF-ideal, alone and combined, on
+// the interleaved Skylake setup.
+func Fig13(opt Options) Fig13Result {
+	opt = opt.withDefaults()
+	out := Fig13Result{
+		Configs:    []PIFConfig{CfgPIF, CfgPIFIdeal, CfgJukebox, CfgJBPIFIdeal},
+		Functions:  workload.Representatives(),
+		SpeedupPct: map[PIFConfig]map[string]float64{},
+	}
+	suite := opt.suite()
+	base := map[string]float64{}
+	for _, w := range suite {
+		base[w.Name] = normCycles(measurePIF(w, CfgBaseline, opt))
+	}
+	for _, cfg := range out.Configs {
+		out.SpeedupPct[cfg] = map[string]float64{}
+		var all []float64
+		for _, w := range suite {
+			m := measurePIF(w, cfg, opt)
+			sp := stats.SpeedupPct(base[w.Name], normCycles(m))
+			all = append(all, 1+sp/100)
+			for _, rep := range out.Functions {
+				if rep == w.Name {
+					out.SpeedupPct[cfg][rep] = sp
+				}
+			}
+		}
+		out.SpeedupPct[cfg]["GEOMEAN"] = (stats.GeoMean(all) - 1) * 100
+	}
+	return out
+}
+
+// Table renders the comparison.
+func (r Fig13Result) Table() *stats.Table {
+	hdr := append(append([]string{"Config"}, r.Functions...), "GEOMEAN")
+	t := stats.NewTable("Figure 13: Jukebox vs PIF (speedup over interleaved baseline)", hdr...)
+	for _, cfg := range r.Configs {
+		cells := []string{string(cfg)}
+		for _, fn := range r.Functions {
+			if v, ok := r.SpeedupPct[cfg][fn]; ok {
+				cells = append(cells, fmt.Sprintf("%.1f%%", v))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.1f%%", r.SpeedupPct[cfg]["GEOMEAN"]))
+		t.AddRow(cells...)
+	}
+	return t
+}

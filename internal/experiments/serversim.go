@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/stats"
+)
+
+// ServerSimResult backs the system-level validation: the whole suite
+// co-resident on one host under Poisson invocation traffic, with and
+// without Jukebox. Unlike the per-figure experiments, interleaving here is
+// *natural* — one instance's execution thrashes the others — so the
+// end-to-end benefit emerges without any explicit flushing.
+type ServerSimResult struct {
+	// Baseline and Jukebox are the two configurations' traffic results.
+	Baseline, Jukebox serverless.TrafficResult
+	// ThroughputGainPct is the service-time reduction expressed as a
+	// throughput gain at fixed load.
+	ThroughputGainPct float64
+}
+
+// ServerSim deploys the selected suite as co-resident warm instances and
+// serves Poisson traffic (mean IAT scaled so the run stays tractable; the
+// ambient-thrash model stands in for the thousands of additional instances
+// a production host would hold).
+func ServerSim(opt Options) ServerSimResult {
+	opt = opt.withDefaults()
+	traffic := serverless.TrafficConfig{
+		MeanIATms:              30,
+		Poisson:                true,
+		InvocationsPerInstance: opt.Measure + opt.Warmup,
+		AmbientThrash:          true,
+		Seed:                   7,
+	}
+	run := func(jb *core.Config) serverless.TrafficResult {
+		srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: jb})
+		for _, w := range opt.suite() {
+			srv.Deploy(w)
+		}
+		return srv.ServeTraffic(traffic)
+	}
+	jbCfg := core.DefaultConfig()
+	out := ServerSimResult{
+		Baseline: run(nil),
+		Jukebox:  run(&jbCfg),
+	}
+	out.ThroughputGainPct = stats.SpeedupPct(
+		out.Baseline.ServiceCycles.Mean(), out.Jukebox.ServiceCycles.Mean())
+	return out
+}
+
+// Table renders the comparison.
+func (r ServerSimResult) Table() *stats.Table {
+	t := stats.NewTable("System-level traffic simulation (co-resident suite, Poisson arrivals)",
+		"Config", "Mean CPI", "Mean service [cyc]", "Mean latency [cyc]", "p99 latency [cyc]", "Busy")
+	add := func(label string, tr serverless.TrafficResult) {
+		t.AddRow(label,
+			fmt.Sprintf("%.3f", tr.CPI.Mean()),
+			fmt.Sprintf("%.0f", tr.ServiceCycles.Mean()),
+			fmt.Sprintf("%.0f", tr.LatencyCycles.Mean()),
+			fmt.Sprintf("%.0f", tr.P99LatencyCycles()),
+			fmt.Sprintf("%.0f%%", tr.BusyFraction*100))
+	}
+	add("Baseline", r.Baseline)
+	add("Jukebox", r.Jukebox)
+	t.AddRow("Throughput gain", fmt.Sprintf("%.1f%%", r.ThroughputGainPct))
+	return t
+}

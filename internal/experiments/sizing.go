@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/stats"
+	"lukewarm/internal/workload"
+)
+
+// Fig8Row is one function's metadata-size curve across region sizes.
+type Fig8Row struct {
+	Name string
+	// BytesByRegion maps region size (bytes) to recorded metadata size
+	// (bytes) with an unlimited buffer.
+	BytesByRegion map[int]int
+}
+
+// Fig8Result backs Fig. 8 (and the CRRB-size ablation when run with
+// different CRRB sizes).
+type Fig8Result struct {
+	RegionSizes []int
+	CRRBEntries int
+	Rows        []Fig8Row
+}
+
+// Fig8 measures the metadata required to record one full lukewarm
+// invocation of each function, across code-region sizes, with the given
+// CRRB size (16 in the paper's plot).
+func Fig8(opt Options, crrbEntries int) Fig8Result {
+	opt = opt.withDefaults()
+	if crrbEntries <= 0 {
+		crrbEntries = 16
+	}
+	regions := []int{128, 256, 512, 1024, 2048, 4096, 8192}
+	out := Fig8Result{RegionSizes: regions, CRRBEntries: crrbEntries}
+	for _, w := range opt.suite() {
+		row := Fig8Row{Name: w.Name, BytesByRegion: map[int]int{}}
+		for _, rs := range regions {
+			jb := core.Config{
+				RegionSizeBytes: rs,
+				CRRBEntries:     crrbEntries,
+				MetadataBytes:   0, // unlimited: measure required size
+				VABits:          48,
+				RecordEnabled:   true,
+				ReplayEnabled:   false,
+			}
+			srv := newServer(cpu.SkylakeConfig(), &jb, false)
+			inst := srv.Deploy(w)
+			// One lukewarm invocation records the full working set.
+			srv.RunLukewarm(inst, 1)
+			row.BytesByRegion[rs] = inst.Jukebox.Stats.LastRecordBytes
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// BestRegionSize reports the region size minimizing the suite-mean metadata
+// size (the paper finds 1 KB).
+func (r Fig8Result) BestRegionSize() int {
+	best, bestMean := 0, 0.0
+	for _, rs := range r.RegionSizes {
+		var s stats.Summary
+		for _, row := range r.Rows {
+			s.Add(float64(row.BytesByRegion[rs]))
+		}
+		if best == 0 || s.Mean() < bestMean {
+			best, bestMean = rs, s.Mean()
+		}
+	}
+	return best
+}
+
+// Table renders the sweep.
+func (r Fig8Result) Table() *stats.Table {
+	hdr := []string{"Function"}
+	for _, rs := range r.RegionSizes {
+		hdr = append(hdr, fmt.Sprintf("%dB", rs))
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 8: metadata size (KB) vs region size, CRRB=%d", r.CRRBEntries), hdr...)
+	sums := make([]stats.Summary, len(r.RegionSizes))
+	for _, row := range r.Rows {
+		cells := []string{row.Name}
+		for i, rs := range r.RegionSizes {
+			kb := float64(row.BytesByRegion[rs]) / 1024
+			sums[i].Add(kb)
+			cells = append(cells, fmt.Sprintf("%.1f", kb))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Mean"}
+	for i := range r.RegionSizes {
+		cells = append(cells, fmt.Sprintf("%.1f", sums[i].Mean()))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// CRRBAblationResult reports the paper's "modest sensitivity to the size of
+// the CRRB" claim (Sec. 5.1): mean metadata size at the preferred 1 KB
+// region for CRRB sizes 8, 16 and 32.
+type CRRBAblationResult struct {
+	Sizes  []int
+	MeanKB []float64
+}
+
+// CRRBAblation runs the CRRB-size sensitivity study.
+func CRRBAblation(opt Options) CRRBAblationResult {
+	opt = opt.withDefaults()
+	out := CRRBAblationResult{Sizes: []int{8, 16, 32}}
+	for _, n := range out.Sizes {
+		var s stats.Summary
+		for _, w := range opt.suite() {
+			jb := core.Config{
+				RegionSizeBytes: 1024, CRRBEntries: n, MetadataBytes: 0,
+				VABits: 48, RecordEnabled: true, ReplayEnabled: false,
+			}
+			srv := newServer(cpu.SkylakeConfig(), &jb, false)
+			inst := srv.Deploy(w)
+			srv.RunLukewarm(inst, 1)
+			s.Add(float64(inst.Jukebox.Stats.LastRecordBytes) / 1024)
+		}
+		out.MeanKB = append(out.MeanKB, s.Mean())
+	}
+	return out
+}
+
+// Table renders the ablation.
+func (r CRRBAblationResult) Table() *stats.Table {
+	t := stats.NewTable("CRRB-size sensitivity (mean metadata KB at 1KB regions)", "CRRB entries", "Mean KB")
+	for i, n := range r.Sizes {
+		t.AddRow(fmt.Sprint(n), fmt.Sprintf("%.1f", r.MeanKB[i]))
+	}
+	return t
+}
+
+// suiteByName is a convenience for single-function lookups in experiments.
+func suiteByName(name string) workload.Workload {
+	w, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

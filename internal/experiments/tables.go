@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lukewarm/internal/stats"
+	"lukewarm/internal/workload"
+)
+
+// Table2 renders the workload suite (Table 2).
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2: serverless functions and their language runtimes",
+		"Function", "Language", "Application", "Code KB", "Dyn. instrs")
+	for _, w := range workload.Suite() {
+		cfg := w.Program.Config()
+		t.AddRow(w.Name, w.Lang.String(), w.App,
+			fmt.Sprint(cfg.CodeKB), fmt.Sprint(cfg.DynamicInstrs))
+	}
+	return t
+}

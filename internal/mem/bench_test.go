@@ -1,0 +1,69 @@
+package mem
+
+import "testing"
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := NewCache(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, HitLatency: 4})
+	c.fill(0, 0x1000, Instr, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.access(Cycle(i), 0x1000, Instr, false)
+	}
+}
+
+func BenchmarkCacheAccessMiss(b *testing.B) {
+	c := NewCache(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, HitLatency: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.access(Cycle(i), uint64(i)<<LineShift, Data, false)
+	}
+}
+
+func BenchmarkCacheFillEvict(b *testing.B) {
+	c := NewCache(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, HitLatency: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.fill(Cycle(i), uint64(i)<<LineShift, Data, false, 0)
+	}
+}
+
+func BenchmarkHierarchyFetchWarm(b *testing.B) {
+	h := NewHierarchy(SkylakeHierarchy())
+	h.FetchInstr(0, 0x4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FetchInstr(Cycle(i), 0x4000)
+	}
+}
+
+func BenchmarkHierarchyFetchCold(b *testing.B) {
+	h := NewHierarchy(SkylakeHierarchy())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FetchInstr(Cycle(i), uint64(i)<<LineShift)
+	}
+}
+
+func BenchmarkHierarchyDataAccess(b *testing.B) {
+	h := NewHierarchy(SkylakeHierarchy())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessData(Cycle(i), uint64(i%4096)<<3, i%4 == 0)
+	}
+}
+
+func BenchmarkPrefetchIntoL2(b *testing.B) {
+	h := NewHierarchy(SkylakeHierarchy())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.PrefetchIntoL2(Cycle(i), uint64(i)<<LineShift, TrafficPrefetch)
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := NewDRAM(DRAMConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(Cycle(i*10), TrafficDemand)
+	}
+}

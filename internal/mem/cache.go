@@ -1,0 +1,324 @@
+package mem
+
+import "fmt"
+
+// line is one cache block's bookkeeping.
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool  // filled by a prefetcher rather than demand
+	used       bool  // touched by a demand access since fill
+	ready      Cycle // for in-flight prefetches: cycle the data arrives
+	lru        uint64
+	kind       Kind
+}
+
+// CacheStats aggregates the per-cache counters the experiments read.
+type CacheStats struct {
+	// DemandAccesses, DemandHits and DemandMisses are indexed by Kind.
+	DemandAccesses [numKinds]uint64
+	DemandHits     [numKinds]uint64
+	DemandMisses   [numKinds]uint64
+	// PrefetchFills counts lines installed by a prefetcher, indexed by the
+	// traffic kind the prefetcher declared at fill (instruction prefetchers
+	// vs. the L1-D next-line prefetcher).
+	PrefetchFills [numKinds]uint64
+	// PrefetchUsed counts prefetched lines touched by a later demand access
+	// (covered misses), by fill kind.
+	PrefetchUsed [numKinds]uint64
+	// PrefetchLate counts prefetched lines whose first demand use arrived
+	// before the prefetch data did (the access stalled for the residue).
+	PrefetchLate [numKinds]uint64
+	// PrefetchEvictedUnused counts prefetched lines evicted without ever
+	// being used (overprediction), by fill kind.
+	PrefetchEvictedUnused [numKinds]uint64
+	// Evictions counts valid lines displaced by fills.
+	Evictions uint64
+	// DirtyEvictions counts displaced lines that were dirty.
+	DirtyEvictions uint64
+}
+
+// DemandMissRate reports misses/accesses for kind k, or 0 with no accesses.
+func (s *CacheStats) DemandMissRate(k Kind) float64 {
+	if s.DemandAccesses[k] == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses[k]) / float64(s.DemandAccesses[k])
+}
+
+// Config describes one cache's geometry and timing.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency Cycle
+	MSHRs      int
+}
+
+// Sets reports the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (LineSize * c.Ways) }
+
+// Cache is a set-associative, LRU, write-back cache. It is a passive array:
+// the Hierarchy drives lookups and fills and decides what happens on a miss.
+type Cache struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	lines   []line // sets*ways, set-major
+	lruTick uint64
+	Stats   CacheStats
+}
+
+// NewCache builds a cache from cfg. It panics if the geometry is not a
+// power-of-two set count or ways is not positive — these are design-time
+// constants, not runtime inputs.
+func NewCache(cfg Config) *Cache {
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("mem: cache %s: ways must be positive", cfg.Name))
+	}
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %s: %d sets is not a positive power of two", cfg.Name, sets))
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(addr uint64) []line {
+	s := (addr >> LineShift) & c.setMask
+	base := int(s) * c.cfg.Ways
+	return c.lines[base : base+c.cfg.Ways]
+}
+
+func tagOf(addr uint64) uint64 { return addr >> LineShift }
+
+// Probe reports whether addr is present, without touching LRU or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := tagOf(addr)
+	for i := range c.set(addr) {
+		ln := &c.set(addr)[i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// accessOutcome describes a demand lookup.
+type accessOutcome struct {
+	hit         bool
+	prefetchHit bool  // hit on a prefetched, not-yet-used line
+	extraWait   Cycle // residual wait for an in-flight prefetch
+}
+
+// access performs a demand lookup for addr at time now, updating LRU and
+// demand counters.
+func (c *Cache) access(now Cycle, addr uint64, k Kind, write bool) accessOutcome {
+	c.Stats.DemandAccesses[k]++
+	tag := tagOf(addr)
+	set := c.set(addr)
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid || ln.tag != tag {
+			continue
+		}
+		c.lruTick++
+		ln.lru = c.lruTick
+		if write {
+			ln.dirty = true
+		}
+		out := accessOutcome{hit: true}
+		if ln.prefetched && !ln.used {
+			out.prefetchHit = true
+			c.Stats.PrefetchUsed[ln.kind]++
+			if ln.ready > now {
+				out.extraWait = ln.ready - now
+				c.Stats.PrefetchLate[ln.kind]++
+			}
+		}
+		ln.used = true
+		c.Stats.DemandHits[k]++
+		return out
+	}
+	c.Stats.DemandMisses[k]++
+	return accessOutcome{}
+}
+
+// victim describes a line displaced by a fill.
+type victim struct {
+	valid bool
+	dirty bool
+	addr  uint64
+	kind  Kind
+}
+
+// fill installs addr, evicting the LRU way if needed. prefetched marks
+// prefetcher-installed lines; ready is when in-flight data arrives (demand
+// fills pass now).
+func (c *Cache) fill(now Cycle, addr uint64, k Kind, prefetched bool, ready Cycle) victim {
+	tag := tagOf(addr)
+	set := c.set(addr)
+	// Already present (e.g., a prefetch raced a demand fill): refresh only.
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			if !prefetched {
+				ln.used = true
+			}
+			return victim{}
+		}
+	}
+	// Pick an invalid way, else the LRU way.
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	ln := &set[vi]
+	var v victim
+	if ln.valid {
+		// The victim's block address is reconstructed from its tag; the set
+		// index is implied by the set being filled.
+		v = victim{valid: true, dirty: ln.dirty, kind: ln.kind, addr: ln.tag << LineShift}
+		c.Stats.Evictions++
+		if ln.dirty {
+			c.Stats.DirtyEvictions++
+		}
+		if ln.prefetched && !ln.used {
+			c.Stats.PrefetchEvictedUnused[ln.kind]++
+		}
+	}
+	c.lruTick++
+	*ln = line{tag: tag, valid: true, prefetched: prefetched, used: !prefetched,
+		ready: ready, lru: c.lruTick, kind: k}
+	if prefetched {
+		ln.used = false
+		c.Stats.PrefetchFills[k]++
+	}
+	return v
+}
+
+// probeWait reports whether addr is resident and, for an in-flight
+// prefetched line, the residual wait at time now. Counters and LRU are not
+// touched.
+func (c *Cache) probeWait(now Cycle, addr uint64) (wait Cycle, present bool) {
+	tag := tagOf(addr)
+	for _, ln := range c.set(addr) {
+		if ln.valid && ln.tag == tag {
+			if ln.prefetched && !ln.used && ln.ready > now {
+				wait = ln.ready - now
+			}
+			return wait, true
+		}
+	}
+	return 0, false
+}
+
+// markDirty sets the dirty bit on addr's line if present (write-allocate
+// fills).
+func (c *Cache) markDirty(addr uint64) {
+	tag := tagOf(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Flush invalidates every line, modeling complete obliteration of the
+// cache's contents by interleaved executions. Unused prefetched lines are
+// counted as overpredicted.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && ln.prefetched && !ln.used {
+			c.Stats.PrefetchEvictedUnused[ln.kind]++
+		}
+		ln.valid = false
+	}
+}
+
+// EvictFraction invalidates approximately frac of the cache's valid lines,
+// chosen by a deterministic PRNG stream, modeling partial thrashing by a
+// bounded amount of interleaved foreign execution (Fig. 1's IAT sweep).
+func (c *Cache) EvictFraction(frac float64, rng func() uint64) {
+	if frac <= 0 {
+		return
+	}
+	if frac >= 1 {
+		c.Flush()
+		return
+	}
+	threshold := uint64(frac * float64(1<<32))
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		if rng()&0xFFFFFFFF < threshold {
+			if ln.prefetched && !ln.used {
+				c.Stats.PrefetchEvictedUnused[ln.kind]++
+			}
+			ln.valid = false
+		}
+	}
+}
+
+// CountValid reports the number of valid lines (used by tests and the
+// thrash model).
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// DrainUnusedPrefetches counts still-resident never-used prefetched lines as
+// overpredicted and marks them used so repeated calls are idempotent. Call at
+// the end of a measurement window.
+func (c *Cache) DrainUnusedPrefetches() {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && ln.prefetched && !ln.used {
+			c.Stats.PrefetchEvictedUnused[ln.kind]++
+			ln.used = true
+		}
+	}
+}
+
+// ResetStats zeroes the counters without touching cache contents, so warmup
+// traffic can be excluded from measurement.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+// ResidentBlocks appends the block addresses of all valid lines to dst and
+// returns it, in set-major order. Context-restoration schemes (RECAP-style)
+// use this to snapshot a cache's footprint at descheduling time.
+func (c *Cache) ResidentBlocks(dst []uint64) []uint64 {
+	for s := 0; s < c.sets; s++ {
+		base := s * c.cfg.Ways
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.lines[base+w].valid {
+				dst = append(dst, c.lines[base+w].tag<<LineShift)
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,113 @@
+package mem
+
+import "testing"
+
+func TestDRAMDefaults(t *testing.T) {
+	d := NewDRAM(DRAMConfig{})
+	def := DefaultDRAMConfig()
+	if d.Config() != def {
+		t.Errorf("defaults not applied: %+v", d.Config())
+	}
+}
+
+func TestDRAMIdleLatency(t *testing.T) {
+	d := NewDRAM(DRAMConfig{AccessLatency: 100, LinePeriod: 10})
+	if got := d.Access(0, TrafficDemand); got != 100 {
+		t.Errorf("idle latency = %d, want 100", got)
+	}
+	if d.Bytes(TrafficDemand) != LineSize {
+		t.Errorf("bytes = %d", d.Bytes(TrafficDemand))
+	}
+	if d.Accesses(TrafficDemand) != 1 {
+		t.Errorf("accesses = %d", d.Accesses(TrafficDemand))
+	}
+}
+
+func TestDRAMQueueing(t *testing.T) {
+	d := NewDRAM(DRAMConfig{AccessLatency: 100, LinePeriod: 10})
+	d.Access(0, TrafficDemand) // occupies channel until 10
+	if got := d.Access(0, TrafficDemand); got != 110 {
+		t.Errorf("queued latency = %d, want 110", got)
+	}
+	// Third request at cycle 5 queues behind both.
+	if got := d.Access(5, TrafficDemand); got != 115 {
+		t.Errorf("queued latency = %d, want 115", got)
+	}
+	// A request far in the future sees an idle channel.
+	if got := d.Access(10_000, TrafficDemand); got != 100 {
+		t.Errorf("idle-again latency = %d, want 100", got)
+	}
+}
+
+func TestDRAMPerClassAccounting(t *testing.T) {
+	d := NewDRAM(DRAMConfig{})
+	d.Access(0, TrafficDemand)
+	d.Access(0, TrafficPrefetch)
+	d.Access(0, TrafficMetadataRecord)
+	d.Access(0, TrafficMetadataReplay)
+	d.Access(0, TrafficWriteback)
+	for _, cls := range []TrafficClass{TrafficDemand, TrafficPrefetch,
+		TrafficMetadataRecord, TrafficMetadataReplay, TrafficWriteback} {
+		if d.Bytes(cls) != LineSize {
+			t.Errorf("%v bytes = %d", cls, d.Bytes(cls))
+		}
+	}
+	if d.TotalBytes() != 5*LineSize {
+		t.Errorf("total = %d", d.TotalBytes())
+	}
+	d.ResetStats()
+	if d.TotalBytes() != 0 {
+		t.Errorf("reset failed: %d", d.TotalBytes())
+	}
+}
+
+func TestDRAMAccessBytes(t *testing.T) {
+	d := NewDRAM(DRAMConfig{AccessLatency: 100, LinePeriod: 10})
+	// 130 bytes => 3 lines.
+	lat := d.AccessBytes(0, TrafficMetadataRecord, 130)
+	if lat != 100 {
+		t.Errorf("first-line latency = %d, want 100", lat)
+	}
+	if d.Accesses(TrafficMetadataRecord) != 3 {
+		t.Errorf("lines = %d, want 3", d.Accesses(TrafficMetadataRecord))
+	}
+	if got := d.AccessBytes(0, TrafficMetadataRecord, 0); got != 0 {
+		t.Errorf("zero-byte access latency = %d", got)
+	}
+}
+
+func TestTrafficClassStrings(t *testing.T) {
+	names := map[TrafficClass]string{
+		TrafficDemand:         "demand",
+		TrafficPrefetch:       "prefetch",
+		TrafficMetadataRecord: "metadata-record",
+		TrafficMetadataReplay: "metadata-replay",
+		TrafficWriteback:      "writeback",
+		TrafficClass(99):      "traffic?",
+	}
+	for cls, want := range names {
+		if got := cls.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cls, got, want)
+		}
+	}
+}
+
+func TestKindLevelStrings(t *testing.T) {
+	if Instr.String() != "instr" || Data.String() != "data" || Kind(9).String() != "kind?" {
+		t.Error("Kind strings wrong")
+	}
+	for l, want := range map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelLLC: "LLC", LevelMem: "Mem", Level(9): "Level?"} {
+		if l.String() != want {
+			t.Errorf("Level %d = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestBlockAddr(t *testing.T) {
+	if got := BlockAddr(0x12345); got != 0x12340 {
+		t.Errorf("BlockAddr = %#x", got)
+	}
+	if got := BlockAddr(0x12340); got != 0x12340 {
+		t.Errorf("BlockAddr aligned = %#x", got)
+	}
+}

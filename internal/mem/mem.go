@@ -1,0 +1,121 @@
+// Package mem models the on-chip memory hierarchy of the simulated server:
+// private L1-I/L1-D caches, a private unified L2, a shared non-inclusive LLC,
+// and a bandwidth-limited DRAM.
+//
+// The hierarchy is the substrate both for the characterization experiments
+// (Sec. 2 of the paper: MPKI breakdowns, lukewarm cache obliteration) and for
+// the Jukebox prefetcher (Sec. 3), which records L2 instruction misses and
+// replays them into the L2. Caches track per-kind (instruction vs. data)
+// demand traffic and per-line prefetch provenance so that coverage,
+// overprediction, and timeliness can be measured exactly.
+//
+// Addresses handed to this package are physical; virtual-to-physical
+// translation lives in package vm.
+package mem
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// LineSize is the cache block size in bytes throughout the hierarchy.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// BlockAddr truncates an address to its cache-block base.
+func BlockAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// Kind distinguishes instruction from data traffic; the paper's MPKI
+// breakdowns (Fig. 5) and Jukebox's record filter are keyed on it.
+type Kind uint8
+
+const (
+	// Instr marks instruction-fetch traffic.
+	Instr Kind = iota
+	// Data marks load/store traffic.
+	Data
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Instr:
+		return "instr"
+	case Data:
+		return "data"
+	}
+	return "kind?"
+}
+
+// Level identifies which level of the hierarchy served a demand access.
+type Level uint8
+
+// Hierarchy levels, ordered from closest to the core outward.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelMem:
+		return "Mem"
+	}
+	return "Level?"
+}
+
+// Result describes the outcome of one demand access.
+type Result struct {
+	// Latency is the total access latency in cycles, including any wait for
+	// an in-flight prefetch to land.
+	Latency Cycle
+	// Level is the hierarchy level that supplied the line.
+	Level Level
+	// L2Miss reports whether the access missed in the L2. Jukebox's record
+	// logic filters on this bit (Sec. 3.2: "effectively filtering all L2
+	// hits").
+	L2Miss bool
+	// L2PrefetchHit reports whether the access hit in the L2 on a line that
+	// a prefetcher placed there — a covered miss in the coverage study.
+	L2PrefetchHit bool
+}
+
+// TrafficClass labels DRAM traffic for the bandwidth study (Fig. 12).
+type TrafficClass uint8
+
+// Traffic classes accounted separately at the memory controller.
+const (
+	TrafficDemand TrafficClass = iota
+	TrafficPrefetch
+	TrafficMetadataRecord
+	TrafficMetadataReplay
+	TrafficWriteback
+	numTrafficClasses
+)
+
+// String implements fmt.Stringer.
+func (c TrafficClass) String() string {
+	switch c {
+	case TrafficDemand:
+		return "demand"
+	case TrafficPrefetch:
+		return "prefetch"
+	case TrafficMetadataRecord:
+		return "metadata-record"
+	case TrafficMetadataReplay:
+		return "metadata-replay"
+	case TrafficWriteback:
+		return "writeback"
+	}
+	return "traffic?"
+}

@@ -1,0 +1,296 @@
+// Package pif implements Proactive Instruction Fetch (Ferdman et al.,
+// MICRO'11), the state-of-the-art temporal-streaming instruction prefetcher
+// the paper compares Jukebox against (Sec. 5.5).
+//
+// PIF records the retired instruction stream at cache-block granularity into
+// a history buffer and maintains an index from block address to the most
+// recent history position. On the fly, it follows the recorded stream a
+// fixed lookahead ahead of the core, prefetching into the L1-I. Whenever the
+// core's actual stream diverges from the recorded one, PIF stops and
+// re-indexes from the diverging block.
+//
+// Two variants are modeled, matching the paper's methodology:
+//
+//   - PIF: the published configuration (49 KB index, 164 KB stream storage,
+//     idealized single-cycle lookups). Designed for long-running servers, it
+//     does not preserve state across function invocations: its on-chip
+//     history is part of the microarchitectural state obliterated between
+//     lukewarm invocations.
+//   - PIF-ideal: unlimited index and history that persist across
+//     invocations — the strongest possible temporal-streaming baseline.
+//
+// The structural weakness the paper identifies is reproduced faithfully: a
+// bounded lookahead tied to the core's progress covers L2/LLC-latency misses
+// but cannot run hundreds of cycles ahead to hide DRAM, and every divergence
+// resets the stream.
+package pif
+
+import (
+	"lukewarm/internal/mem"
+)
+
+// Config parameterizes a PIF instance.
+type Config struct {
+	// HistoryBytes bounds the temporal stream storage (paper: 164 KB,
+	// ~6 bytes per compressed block record). <= 0 means unlimited.
+	HistoryBytes int
+	// IndexBytes bounds the index (paper: 49 KB, ~6 bytes per entry).
+	// <= 0 means unlimited.
+	IndexBytes int
+	// LookaheadBlocks is how far ahead of the core's *fetch* stream the
+	// replay engine prefetches.
+	LookaheadBlocks int
+	// FrontierBlocks is how far the fetch frontier leads instruction
+	// commit, in blocks (~ROB size / instructions per block). The
+	// simulator's hooks fire in commit order, so the net prefetch lead in
+	// simulation time is LookaheadBlocks - FrontierBlocks. This is the
+	// structural reason PIF covers L2/LLC-latency misses but cannot run
+	// hundreds of cycles ahead to hide DRAM: its stream is tethered to the
+	// fetch engine, unlike Jukebox's bulk replay (Sec. 5.5).
+	FrontierBlocks int
+	// FrontierPenalty is the companion time-domain correction: the
+	// simulator's single clock advances at commit speed (~CPI x block
+	// instructions per block), while the real fetch engine demands blocks
+	// at fetch speed. A prefetch issued "k blocks ahead" therefore looks
+	// far more timely in commit time than it is in fetch time; the penalty
+	// is added to each prefetch's ready time to compensate. See DESIGN.md.
+	FrontierPenalty mem.Cycle
+	// Persist keeps history and index across invocations (PIF-ideal).
+	// The published design loses them with the rest of the
+	// microarchitectural state.
+	Persist bool
+}
+
+// bytesPerRecord models PIF's spatio-temporal compression: one stream or
+// index record covers one block at ~6 bytes (48-bit address region plus
+// footprint bits amortized).
+const bytesPerRecord = 6
+
+// DefaultConfig returns the published PIF configuration.
+func DefaultConfig() Config {
+	return Config{
+		HistoryBytes:    164 << 10,
+		IndexBytes:      49 << 10,
+		LookaheadBlocks: 16,
+		FrontierBlocks:  14, // 224-entry ROB / 16 instructions per block
+		FrontierPenalty: 40, // commit-clock vs fetch-clock correction
+	}
+}
+
+// IdealConfig returns PIF-ideal: unlimited, persistent metadata.
+func IdealConfig() Config {
+	c := DefaultConfig()
+	c.HistoryBytes = 0
+	c.IndexBytes = 0
+	c.Persist = true
+	return c
+}
+
+// Stats counts PIF activity.
+type Stats struct {
+	// Appends counts blocks recorded into the history.
+	Appends uint64
+	// Reindexes counts divergences that forced an index lookup.
+	Reindexes uint64
+	// IndexMisses counts re-index attempts that found no stream.
+	IndexMisses uint64
+	// Prefetches counts prefetch requests issued to the L1-I.
+	Prefetches uint64
+	// Invocations counts invocation boundaries observed.
+	Invocations uint64
+}
+
+// PIF is one core's prefetcher state. It implements the cpu.InstrPrefetcher
+// hook interface structurally.
+type PIF struct {
+	cfg  Config
+	hier *mem.Hierarchy
+
+	history  []uint64       // retired block stream, append-only ring
+	index    map[uint64]int // block -> most recent history position
+	indexAge []uint64       // insertion order for index capacity eviction
+
+	// replay state
+	active    bool
+	streamPos int // next expected history position
+	aheadPos  int // first not-yet-prefetched position
+
+	lastAppended uint64
+
+	Stats Stats
+}
+
+// prefetchBufferLines sizes the dedicated instruction prefetch buffer PIF
+// stages its lines in (probed alongside the L1-I, so speculative lines never
+// pollute it).
+const prefetchBufferLines = 32
+
+// New builds a PIF attached to hier. Prefetched lines are staged in hier's
+// instruction prefetch buffer, which New enables.
+func New(cfg Config, hier *mem.Hierarchy) *PIF {
+	if cfg.LookaheadBlocks <= 0 {
+		cfg.LookaheadBlocks = DefaultConfig().LookaheadBlocks
+	}
+	if hier != nil {
+		hier.EnablePrefetchBuffer(prefetchBufferLines)
+	}
+	return &PIF{cfg: cfg, hier: hier, index: make(map[uint64]int)}
+}
+
+// Config returns the configuration in effect.
+func (p *PIF) Config() Config { return p.cfg }
+
+// historyCap reports the history capacity in records, or 0 for unlimited.
+func (p *PIF) historyCap() int {
+	if p.cfg.HistoryBytes <= 0 {
+		return 0
+	}
+	return p.cfg.HistoryBytes / bytesPerRecord
+}
+
+// indexCap reports the index capacity in entries, or 0 for unlimited.
+func (p *PIF) indexCap() int {
+	if p.cfg.IndexBytes <= 0 {
+		return 0
+	}
+	return p.cfg.IndexBytes / bytesPerRecord
+}
+
+// InvocationStart clears transient replay state; the non-persistent variant
+// also loses its recorded metadata, like the rest of the on-chip state.
+func (p *PIF) InvocationStart(mem.Cycle) {
+	p.active = false
+	if !p.cfg.Persist {
+		p.history = p.history[:0]
+		p.index = make(map[uint64]int)
+		p.indexAge = p.indexAge[:0]
+		p.lastAppended = 0
+	}
+}
+
+// InvocationEnd is a no-op: PIF has no sealing step.
+func (p *PIF) InvocationEnd(mem.Cycle) { p.Stats.Invocations++ }
+
+// OnFetch triggers stream activation on instruction misses: an L1-I miss
+// that breaks out of the prefetched window forces a re-index from the
+// missing block (the "stop and re-index" behavior). PIF's structures are
+// physically indexed, like the caches they front.
+func (p *PIF) OnFetch(now mem.Cycle, vaddr, paddr uint64, res mem.Result) {
+	if res.Level == mem.LevelL1 {
+		return
+	}
+	blk := mem.BlockAddr(paddr)
+	if p.active && p.streamPos < len(p.history) && p.history[p.streamPos] == blk {
+		return // the stream already predicted this; OnBlockRetire advances it
+	}
+	p.reindex(now, blk)
+}
+
+// OnBlockRetire records the retired block stream and advances the replay
+// window when the stream matches.
+func (p *PIF) OnBlockRetire(now mem.Cycle, _, pBlock uint64) {
+	p.record(pBlock)
+	if !p.active {
+		return
+	}
+	if p.streamPos < len(p.history)-1 && p.history[p.streamPos] == pBlock {
+		// On stream: advance and keep the lookahead window full.
+		p.streamPos++
+		p.issueAhead(now)
+		return
+	}
+	// Divergence: stop prefetching; the next miss re-indexes.
+	p.active = false
+}
+
+// reindex looks the block up in the index and restarts the stream there.
+func (p *PIF) reindex(now mem.Cycle, blk uint64) {
+	p.Stats.Reindexes++
+	pos, ok := p.index[blk]
+	if !ok {
+		p.Stats.IndexMisses++
+		p.active = false
+		return
+	}
+	p.active = true
+	// streamPos points at the indexed block itself: the imminent
+	// OnBlockRetire for the triggering block matches it and advances the
+	// stream; prefetching starts from the following record.
+	p.streamPos = pos
+	p.aheadPos = pos + 1
+	p.issueAhead(now)
+}
+
+// issueAhead prefetches stream records up to the net lookahead limit (the
+// configured lookahead minus the fetch frontier's lead over commit time).
+func (p *PIF) issueAhead(now mem.Cycle) {
+	net := p.cfg.LookaheadBlocks - p.cfg.FrontierBlocks
+	if net < 1 {
+		net = 1
+	}
+	limit := p.streamPos + net
+	if limit > len(p.history) {
+		limit = len(p.history)
+	}
+	if p.aheadPos < p.streamPos {
+		p.aheadPos = p.streamPos
+	}
+	for ; p.aheadPos < limit; p.aheadPos++ {
+		p.hier.PrefetchIntoBuffer(now+p.cfg.FrontierPenalty, p.history[p.aheadPos], mem.TrafficPrefetch)
+		p.Stats.Prefetches++
+	}
+}
+
+// record appends a retired block to the history (consecutive duplicates are
+// compressed away) and updates the index, honoring the capacity limits.
+func (p *PIF) record(blk uint64) {
+	if blk == p.lastAppended && len(p.history) > 0 {
+		return
+	}
+	p.lastAppended = blk
+
+	if cap := p.historyCap(); cap > 0 && len(p.history) >= cap {
+		// The ring wraps: discard the oldest half to keep positions stable
+		// without per-append copying. Index positions below the cut become
+		// stale and are dropped lazily.
+		cut := len(p.history) / 2
+		p.history = append(p.history[:0], p.history[cut:]...)
+		for b, pos := range p.index {
+			if pos < cut {
+				delete(p.index, b)
+			} else {
+				p.index[b] = pos - cut
+			}
+		}
+		if p.active {
+			p.streamPos -= cut
+			p.aheadPos -= cut
+			if p.streamPos < 0 {
+				p.active = false
+			}
+		}
+		// indexAge positions refer to blocks, which remain valid keys.
+	}
+	p.history = append(p.history, blk)
+	pos := len(p.history) - 1
+
+	if _, exists := p.index[blk]; !exists {
+		if cap := p.indexCap(); cap > 0 && len(p.index) >= cap {
+			// Evict the oldest inserted entry.
+			for len(p.indexAge) > 0 {
+				victim := p.indexAge[0]
+				p.indexAge = p.indexAge[1:]
+				if _, ok := p.index[victim]; ok {
+					delete(p.index, victim)
+					break
+				}
+			}
+		}
+		p.indexAge = append(p.indexAge, blk)
+	}
+	p.index[blk] = pos
+	p.Stats.Appends++
+}
+
+// ResetStats zeroes the counters (metadata persists).
+func (p *PIF) ResetStats() { p.Stats = Stats{} }

@@ -1,0 +1,177 @@
+package pif
+
+import (
+	"testing"
+
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+)
+
+var _ cpu.InstrPrefetcher = (*PIF)(nil)
+
+func testProgram() *program.Program {
+	return program.New(program.Config{
+		Name: "pif-test-fn", Seed: 51, CodeKB: 192, DynamicInstrs: 120_000,
+		CoreFrac: 0.85, OptionalProb: 0.8, RareFrac: 0.04, RareProb: 0.05,
+		InstrPerLine: 16, LoadFrac: 0.22, StoreFrac: 0.08,
+		CondFrac: 0.3, CondBias: 0.9, NoisyFrac: 0.02, IndirectFrac: 0.15, CallFrac: 0.35, SkipFrac: 0.05,
+		DataKB: 96, HotDataKB: 16, HotDataFrac: 0.7, ColdDataFrac: 0.05,
+		DepLoadFrac: 0.2, KernelFrac: 0.1,
+	})
+}
+
+func newCoreWith(pf cpu.InstrPrefetcher) *cpu.Core {
+	c := cpu.NewCore(cpu.SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	c.Prefetcher = pf
+	return c
+}
+
+func lukewarmRun(c *cpu.Core, p *program.Program, n int) cpu.RunResult {
+	var last cpu.RunResult
+	for i := 0; i < n; i++ {
+		c.FlushMicroarch()
+		last = c.RunInvocation(p.NewInvocation(uint64(i)))
+	}
+	return last
+}
+
+func TestPIFRecordsAndReplays(t *testing.T) {
+	c := cpu.NewCore(cpu.SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	pf := New(DefaultConfig(), c.Hier)
+	c.Prefetcher = pf
+	p := testProgram()
+	c.FlushMicroarch()
+	c.RunInvocation(p.NewInvocation(0))
+	if pf.Stats.Appends == 0 {
+		t.Fatal("PIF recorded nothing")
+	}
+	// Within one invocation loops revisit recorded code: some prefetches
+	// must have been issued.
+	if pf.Stats.Prefetches == 0 {
+		t.Error("PIF issued no prefetches")
+	}
+	if pf.Stats.Reindexes == 0 {
+		t.Error("PIF never re-indexed")
+	}
+}
+
+func TestPIFNonPersistentLosesStateAcrossInvocations(t *testing.T) {
+	c := cpu.NewCore(cpu.SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	pf := New(DefaultConfig(), c.Hier)
+	c.Prefetcher = pf
+	p := testProgram()
+	lukewarmRun(c, p, 1)
+	// At the next invocation start the history is gone.
+	pf.InvocationStart(0)
+	if len(pf.history) != 0 || len(pf.index) != 0 {
+		t.Error("non-persistent PIF kept metadata across invocations")
+	}
+}
+
+func TestPIFIdealPersists(t *testing.T) {
+	c := cpu.NewCore(cpu.SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	pf := New(IdealConfig(), c.Hier)
+	c.Prefetcher = pf
+	p := testProgram()
+	lukewarmRun(c, p, 1)
+	before := len(pf.history)
+	pf.InvocationStart(0)
+	if len(pf.history) != before {
+		t.Error("PIF-ideal lost metadata at invocation start")
+	}
+}
+
+func TestPIFHistoryCapacityBounded(t *testing.T) {
+	cfg := Config{HistoryBytes: 6 * 100, IndexBytes: 6 * 50, LookaheadBlocks: 8}
+	hier := mem.NewHierarchy(mem.SkylakeHierarchy())
+	pf := New(cfg, hier)
+	for i := uint64(0); i < 10_000; i++ {
+		pf.record(i << 6)
+	}
+	if len(pf.history) > 100 {
+		t.Errorf("history grew to %d records (cap 100)", len(pf.history))
+	}
+	if len(pf.index) > 50 {
+		t.Errorf("index grew to %d entries (cap 50)", len(pf.index))
+	}
+}
+
+func TestPIFIndexPositionsValidAfterWrap(t *testing.T) {
+	cfg := Config{HistoryBytes: 6 * 64, IndexBytes: 0, LookaheadBlocks: 8}
+	hier := mem.NewHierarchy(mem.SkylakeHierarchy())
+	pf := New(cfg, hier)
+	for i := uint64(0); i < 1000; i++ {
+		pf.record(i << 6)
+	}
+	for blk, pos := range pf.index {
+		if pos < 0 || pos >= len(pf.history) {
+			t.Fatalf("index position %d out of range", pos)
+		}
+		if pf.history[pos] != blk {
+			t.Fatalf("index points at wrong record: %#x vs %#x", pf.history[pos], blk)
+		}
+	}
+}
+
+func TestPIFIdealBeatsPIFBeatsBaseline(t *testing.T) {
+	p := testProgram()
+	base := lukewarmRun(newCoreWith(nil), p, 3)
+	run := func(cfg Config) cpu.RunResult {
+		c := cpu.NewCore(cpu.SkylakeConfig())
+		c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+		c.Prefetcher = New(cfg, c.Hier)
+		return lukewarmRun(c, p, 3)
+	}
+	pifR := run(DefaultConfig())
+	idealR := run(IdealConfig())
+
+	if pifR.Cycles > base.Cycles {
+		t.Errorf("PIF slower than baseline: %d vs %d", pifR.Cycles, base.Cycles)
+	}
+	if idealR.Cycles >= pifR.Cycles {
+		t.Errorf("PIF-ideal (%d) not faster than PIF (%d)", idealR.Cycles, pifR.Cycles)
+	}
+	// The paper's key comparison: even PIF-ideal leaves most of the
+	// opportunity on the table because bounded lookahead cannot hide DRAM
+	// latency. Speedup should be positive but modest.
+	speedup := float64(base.Cycles)/float64(idealR.Cycles) - 1
+	if speedup <= 0 {
+		t.Errorf("PIF-ideal speedup %.2f%% not positive", speedup*100)
+	}
+	if speedup > 0.25 {
+		t.Errorf("PIF-ideal speedup %.1f%% implausibly high; lookahead model broken", speedup*100)
+	}
+}
+
+func TestMultiPrefetcherFansOut(t *testing.T) {
+	c := cpu.NewCore(cpu.SkylakeConfig())
+	c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+	a := New(IdealConfig(), c.Hier)
+	b := New(IdealConfig(), c.Hier)
+	c.Prefetcher = cpu.MultiPrefetcher{a, b}
+	p := testProgram()
+	c.FlushMicroarch()
+	c.RunInvocation(p.NewInvocation(0))
+	if a.Stats.Appends == 0 || b.Stats.Appends == 0 {
+		t.Error("MultiPrefetcher did not fan out hooks")
+	}
+	if a.Stats.Invocations != 1 || b.Stats.Invocations != 1 {
+		t.Error("invocation boundaries not fanned out")
+	}
+}
+
+func TestPIFResetStats(t *testing.T) {
+	hier := mem.NewHierarchy(mem.SkylakeHierarchy())
+	pf := New(DefaultConfig(), hier)
+	pf.record(0x40)
+	pf.ResetStats()
+	if pf.Stats.Appends != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}

@@ -1,0 +1,50 @@
+package program
+
+import "testing"
+
+func benchProgram() *Program {
+	return New(Config{
+		Name: "bench-fn", Seed: 7, CodeKB: 400, DynamicInstrs: 300_000,
+		CoreFrac: 0.8, OptionalProb: 0.7, RareFrac: 0.05, RareProb: 0.05,
+		InstrPerLine: 16, LoadFrac: 0.25, StoreFrac: 0.1,
+		CondFrac: 0.3, CondBias: 0.9, NoisyFrac: 0.03,
+		IndirectFrac: 0.2, CallFrac: 0.4, SkipFrac: 0.05,
+		DataKB: 160, HotDataKB: 24, HotDataFrac: 0.7, ColdDataFrac: 0.05,
+		DepLoadFrac: 0.2, KernelFrac: 0.12,
+	})
+}
+
+func BenchmarkProgramConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchProgram()
+	}
+}
+
+func BenchmarkWalkerNext(b *testing.B) {
+	p := benchProgram()
+	inv := p.NewInvocation(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := inv.Next(); !ok {
+			inv = p.NewInvocation(uint64(i))
+		}
+	}
+}
+
+func BenchmarkFootprintBlocks(b *testing.B) {
+	p := benchProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(p.FootprintBlocks(uint64(i))) == 0 {
+			b.Fatal("empty footprint")
+		}
+	}
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}

@@ -1,0 +1,125 @@
+package program
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomConfig maps arbitrary generator inputs onto a valid Config, so the
+// property tests explore the whole constructor surface.
+func randomConfig(seed uint64, a, b, c, d, e float64, codeSel, dynSel uint8) Config {
+	clamp01 := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0.5
+		}
+		return math.Abs(math.Mod(v, 1))
+	}
+	codeKB := 32 + int(codeSel)%512 // 32..543 KB
+	dynMul := 20 + int(dynSel)%80   // 20..99 instrs per line of code
+	return Config{
+		Name:          "prop-fn",
+		Seed:          seed,
+		CodeKB:        codeKB,
+		DynamicInstrs: codeKB * 16 * dynMul / 16 * 16, // comfortably above floor
+		CoreFrac:      0.5 + clamp01(a)*0.45,
+		OptionalProb:  0.3 + clamp01(b)*0.6,
+		RareFrac:      clamp01(c) * 0.1,
+		RareProb:      clamp01(d) * 0.2,
+		InstrPerLine:  16,
+		LoadFrac:      0.15 + clamp01(e)*0.15,
+		StoreFrac:     0.05 + clamp01(a)*0.08,
+		CondFrac:      clamp01(b) * 0.4,
+		CondBias:      0.7 + clamp01(c)*0.25,
+		NoisyFrac:     clamp01(d) * 0.05,
+		IndirectFrac:  clamp01(e) * 0.4,
+		CallFrac:      clamp01(a) * 0.6,
+		SkipFrac:      clamp01(b) * 0.1,
+		DataKB:        32 + int(codeSel)%128,
+		HotDataKB:     8,
+		HotDataFrac:   0.5 + clamp01(c)*0.3,
+		ColdDataFrac:  clamp01(d) * 0.1,
+		DepLoadFrac:   clamp01(e) * 0.3,
+		KernelFrac:    clamp01(a) * 0.25,
+	}
+}
+
+// TestProgramInvariantsProperty checks constructor-level invariants over
+// randomized valid configurations:
+//   - construction never panics,
+//   - every instruction lies inside the laid-out code,
+//   - the dynamic footprint never exceeds the static footprint,
+//   - the walk is deterministic per invocation id.
+func TestProgramInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, a, b, c, d, e float64, codeSel, dynSel uint8) bool {
+		cfg := randomConfig(seed, a, b, c, d, e, codeSel, dynSel)
+		if cfg.Validate() != nil {
+			return true // out-of-envelope draws are skipped, not failures
+		}
+		p := New(cfg)
+		lines := make(map[uint64]bool, p.CodeLines())
+		for _, addr := range p.lineAddr {
+			lines[addr] = true
+		}
+		fp := 0
+		seen := make(map[uint64]struct{})
+		inv := p.NewInvocation(seed % 7)
+		for {
+			in, ok := inv.Next()
+			if !ok {
+				break
+			}
+			blk := in.VAddr &^ uint64(lineSize-1)
+			if !lines[blk] {
+				t.Logf("instruction at %#x outside code layout", in.VAddr)
+				return false
+			}
+			if _, dup := seen[blk]; !dup {
+				seen[blk] = struct{}{}
+				fp++
+			}
+		}
+		if fp > p.CodeLines() {
+			t.Logf("dynamic footprint %d exceeds static %d", fp, p.CodeLines())
+			return false
+		}
+		if p.DynamicLength(seed%7) != inv.Emitted() {
+			t.Logf("walk length not deterministic")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBranchTargetsValidProperty checks that every taken branch targets a
+// laid-out code line.
+func TestBranchTargetsValidProperty(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		cfg := randomConfig(seed, a, b, a, b, a, uint8(seed), uint8(seed>>8))
+		if cfg.Validate() != nil {
+			return true
+		}
+		p := New(cfg)
+		lines := make(map[uint64]bool, p.CodeLines())
+		for _, addr := range p.lineAddr {
+			lines[addr] = true
+		}
+		inv := p.NewInvocation(1)
+		for {
+			in, ok := inv.Next()
+			if !ok {
+				return true
+			}
+			if in.Op == OpBranch && in.Taken && !lines[in.Target&^uint64(lineSize-1)] {
+				t.Logf("branch target %#x outside code layout", in.Target)
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced the same first value")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit only %d values", len(seen))
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, f := range []func(){
+		func() { r.Intn(0) },
+		func() { r.Intn(-1) },
+		func() { r.Range(5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRNGRangeInclusive(t *testing.T) {
+	r := NewRNG(3)
+	sawLo, sawHi := false, false
+	for i := 0; i < 2000; i++ {
+		v := r.Range(2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		sawLo = sawLo || v == 2
+		sawHi = sawHi || v == 5
+	}
+	if !sawLo || !sawHi {
+		t.Error("Range endpoints never produced")
+	}
+	if got := r.Range(7, 7); got != 7 {
+		t.Errorf("degenerate Range = %d", got)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	n := 20_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("Bool(0.3) rate = %v", frac)
+	}
+}
+
+func TestMixProperties(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix is symmetric; seed streams would collide")
+	}
+	if Mix(0, 0) == 0 {
+		t.Error("Mix(0,0) is zero")
+	}
+	f := func(a, b uint64) bool { return Mix(a, b) != 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGUniformityCoarse(t *testing.T) {
+	// Chi-squared-ish sanity: 16 buckets should each hold ~1/16.
+	r := NewRNG(99)
+	var buckets [16]int
+	n := 64_000
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()>>60]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / float64(n)
+		if frac < 0.045 || frac > 0.08 {
+			t.Errorf("bucket %d fraction %v", i, frac)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package program
+
+// Invocation is one deterministic walk of a program's template: the dynamic
+// instruction stream the core model consumes. The same (program, invocation
+// id) pair always yields the identical stream, which lets the footprint
+// analyses and the timing runs see exactly the same execution.
+//
+// The walk delivers code lines from the invocation's segment plan; lines
+// with call-outs detour through their helper routine before the walk
+// continues, interleaving distant code regions in the fetch stream exactly
+// the way real call-heavy runtime code does.
+type Invocation struct {
+	p    *Program
+	rng  *RNG
+	id   uint64
+	plan []int // sequence of segment indices
+
+	// normal-path cursor
+	step int // index into plan
+	line int // line within current segment
+	// call-out state
+	inCall   bool
+	callNext int // absolute index of the next callee line
+	callRem  int
+
+	// one-line lookahead: cur is the line being emitted, next follows it.
+	cur, next int
+	haveNext  bool
+	instr     int // instruction index within cur
+
+	emitted  uint64
+	coldPtr  uint64
+	prevLoad bool
+	done     bool
+}
+
+// NewInvocation creates the walker for invocation id. Ids are arbitrary;
+// distinct ids differ in optional-segment inclusion and data access streams.
+func (p *Program) NewInvocation(id uint64) *Invocation {
+	rng := NewRNG(Mix(p.cfg.Seed, Mix(0x1907, id)))
+	inv := &Invocation{p: p, rng: rng, id: id, plan: p.buildPlan(rng)}
+	cur, ok := inv.advanceLine()
+	if !ok {
+		inv.done = true
+		return inv
+	}
+	inv.cur = cur
+	inv.next, inv.haveNext = inv.advanceLine()
+	return inv
+}
+
+// buildPlan selects the segments this invocation executes, in template
+// order, interleaved with dispatcher re-entries, padded with loop-segment
+// iterations toward the configured dynamic length.
+func (p *Program) buildPlan(rng *RNG) []int {
+	per := float64(p.cfg.InstrPerLine)
+	expand := p.callExpansion()
+	plan := make([]int, 0, len(p.segments)*2)
+	est := 0.0
+	add := func(si int) {
+		plan = append(plan, si)
+		mul := expand
+		if si == p.dispatch {
+			mul = 1 // the dispatcher has no call-outs
+		}
+		est += float64(p.segments[si].numLines) * per * mul
+	}
+
+	add(p.dispatch)
+	for si := range p.segments {
+		s := &p.segments[si]
+		if si == p.dispatch {
+			continue
+		}
+		include := false
+		switch s.class {
+		case segCore:
+			include = true
+		case segOptional, segRare:
+			include = rng.Bool(s.prob)
+		}
+		if !include {
+			continue
+		}
+		add(si)
+		if rng.Bool(0.25) {
+			add(p.dispatch)
+		}
+	}
+
+	// Pad with loop-segment iterations (the handler's compute kernels)
+	// until the dynamic-length target is met.
+	var loops []int
+	for si := range p.segments {
+		if p.segments[si].loop {
+			loops = append(loops, si)
+		}
+	}
+	// Bias slightly above the target: the call-expansion estimate is an
+	// upper bound (some call draws fail), so undershoot would otherwise be
+	// systematic.
+	target := float64(p.cfg.DynamicInstrs) * 1.04
+	for len(loops) > 0 && est < target {
+		for _, si := range loops {
+			add(si)
+			if est >= target {
+				break
+			}
+			if rng.Bool(0.15) {
+				add(p.dispatch)
+			}
+		}
+	}
+	return plan
+}
+
+// advanceLine yields the next absolute code-line index of the walk,
+// handling call-out detours. Callee lines do not themselves call (no
+// nesting).
+func (inv *Invocation) advanceLine() (int, bool) {
+	if inv.inCall {
+		if inv.callRem > 0 {
+			l := inv.callNext
+			inv.callNext++
+			inv.callRem--
+			return l, true
+		}
+		inv.inCall = false
+	}
+	if inv.step >= len(inv.plan) {
+		return 0, false
+	}
+	s := &inv.p.segments[inv.plan[inv.step]]
+	abs := s.firstLine + inv.line
+	inv.line++
+	if inv.line >= s.numLines {
+		inv.line = 0
+		inv.step++
+	}
+	if t := inv.p.callTarget[abs]; t >= 0 {
+		inv.inCall = true
+		inv.callNext = int(t)
+		inv.callRem = int(inv.p.callLen[abs])
+	}
+	return abs, true
+}
+
+// Emitted reports the number of instructions produced so far.
+func (inv *Invocation) Emitted() uint64 { return inv.emitted }
+
+// Next produces the next dynamic instruction; ok is false at stream end.
+func (inv *Invocation) Next() (in Instr, ok bool) {
+	if inv.done {
+		return Instr{}, false
+	}
+	cfg := &inv.p.cfg
+	lineAddr := inv.p.lineAddr[inv.cur]
+	stride := uint64(lineSize / cfg.InstrPerLine)
+	in.VAddr = lineAddr + uint64(inv.instr)*stride
+	inv.emitted++
+
+	if inv.instr != cfg.InstrPerLine-1 {
+		inv.emitOp(&in)
+		inv.instr++
+		return in, true
+	}
+
+	// Last instruction of the line: control transfer decision.
+	switch {
+	case !inv.haveNext:
+		// Final instruction of the invocation: a return to the runtime.
+		in.Op = OpBranch
+		in.Taken = true
+		in.Target = inv.p.lineAddr[inv.p.segments[inv.p.dispatch].firstLine]
+		inv.done = true
+		return in, true
+	default:
+		nextAddr := inv.p.lineAddr[inv.next]
+		if nextAddr != lineAddr+lineSize {
+			// Non-sequential transfer: call, return, jump, or loop edge.
+			in.Op = OpBranch
+			in.Taken = true
+			in.Target = nextAddr
+			// Dispatch-style transfers (to a segment entry point) may be
+			// indirect: interpreter/JIT dispatch tables.
+			if inv.p.segStart[inv.next] {
+				in.Indirect = inv.rng.Bool(cfg.IndirectFrac)
+			}
+		} else if inv.rng.Bool(cfg.SkipFrac) {
+			// Taken conditional jumping over the next line: per-invocation
+			// control-flow divergence at block granularity.
+			in.Op = OpBranch
+			in.Cond = true
+			in.Taken = true
+			inv.next, inv.haveNext = inv.advanceLine() // skip one line
+			if inv.haveNext {
+				in.Target = inv.p.lineAddr[inv.next]
+			} else {
+				in.Target = inv.p.lineAddr[inv.p.segments[inv.p.dispatch].firstLine]
+				inv.done = true
+				return in, true
+			}
+		} else if inv.rng.Bool(cfg.NoisyFrac) {
+			// Data-dependent 50/50 conditional: the bad-speculation
+			// source. Both outcomes continue at the sequential next line
+			// (the taken path targets the if-body starting there).
+			in.Op = OpBranch
+			in.Cond = true
+			in.Taken = inv.rng.Bool(0.5)
+			in.Target = nextAddr
+		} else if inv.rng.Bool(cfg.CondFrac) {
+			// Biased, learnable conditional.
+			in.Op = OpBranch
+			in.Cond = true
+			in.Taken = inv.rng.Bool(1 - cfg.CondBias)
+			in.Target = nextAddr
+		} else {
+			inv.emitOp(&in)
+		}
+	}
+
+	// Advance the lookahead window.
+	inv.instr = 0
+	inv.cur = inv.next
+	inv.next, inv.haveNext = inv.advanceLine()
+	return in, true
+}
+
+// emitOp fills in a non-control instruction: plain, load, or store, with a
+// generated effective address.
+func (inv *Invocation) emitOp(in *Instr) {
+	cfg := &inv.p.cfg
+	r := inv.rng.Float64()
+	switch {
+	case r < cfg.LoadFrac:
+		in.Op = OpLoad
+		in.MemAddr = inv.dataAddr()
+		if inv.prevLoad && inv.rng.Bool(cfg.DepLoadFrac) {
+			in.DepLoad = true
+		}
+		inv.prevLoad = true
+		return
+	case r < cfg.LoadFrac+cfg.StoreFrac:
+		in.Op = OpStore
+		in.MemAddr = inv.dataAddr()
+	default:
+		in.Op = OpPlain
+	}
+	inv.prevLoad = false
+}
+
+// coldRegionBytes bounds the per-invocation streaming region (request
+// payload buffers), reused across invocations.
+const coldRegionBytes = 256 << 10
+
+// dataAddr generates one effective address from the hot/warm/cold mix.
+//
+// The hot subset (runtime state) and half of the warm set (long-lived
+// objects, caches, connection state) persist across invocations; the other
+// warm half (per-request heap allocations, churned by the allocator/GC
+// between requests) and the cold streaming region (request payload buffers)
+// alternate between two generations per invocation. The data footprint thus
+// has markedly lower cross-invocation commonality than the instruction
+// footprint — which is precisely why the paper targets instructions
+// (Sec. 2.5), and why indiscriminate whole-LLC restoration wastes bandwidth
+// on stale data.
+func (inv *Invocation) dataAddr() uint64 {
+	cfg := &inv.p.cfg
+	gen := inv.id & 1
+	r := inv.rng.Float64()
+	switch {
+	case r < cfg.HotDataFrac:
+		span := cfg.HotDataKB << 10
+		return heapBase + uint64(inv.rng.Intn(span))&^7
+	case r < cfg.HotDataFrac+cfg.ColdDataFrac:
+		inv.coldPtr += lineSize
+		if inv.coldPtr >= coldRegionBytes {
+			inv.coldPtr = 0
+		}
+		return coldBase + gen*coldRegionBytes + inv.coldPtr
+	default:
+		lo := uint64(cfg.HotDataKB << 10)
+		hi := uint64(cfg.DataKB << 10)
+		if hi <= lo {
+			hi = lo + 16
+		}
+		half := (hi - lo) / 2
+		off := uint64(inv.rng.Intn(int(half))) &^ 7
+		if inv.rng.Bool(0.5) {
+			// Persistent warm half.
+			return heapBase + lo + off
+		}
+		// Churned warm half: two generations, swapped each invocation.
+		return heapBase + lo + half + gen*half + off
+	}
+}
+
+// FootprintBlocks walks invocation id and returns the set of unique 64 B
+// instruction blocks it touches — the paper's Fig. 6a metric.
+func (p *Program) FootprintBlocks(id uint64) map[uint64]struct{} {
+	set := make(map[uint64]struct{}, p.CodeLines())
+	inv := p.NewInvocation(id)
+	for {
+		in, ok := inv.Next()
+		if !ok {
+			return set
+		}
+		set[in.VAddr&^uint64(lineSize-1)] = struct{}{}
+	}
+}
+
+// DynamicLength walks invocation id and returns its dynamic instruction
+// count.
+func (p *Program) DynamicLength(id uint64) uint64 {
+	inv := p.NewInvocation(id)
+	for {
+		if _, ok := inv.Next(); !ok {
+			return inv.Emitted()
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package serverless models the host side of the paper's setting: a cloud
+// server keeping many warm function instances memory-resident, scheduling
+// their invocations onto a core, and — crucially — the interleaving between
+// invocations of a given instance that obliterates its microarchitectural
+// state (Sec. 2.2).
+//
+// Three execution regimes are provided, matching the paper's methodology:
+//
+//   - Reference: back-to-back invocations of the same instance on the same
+//     core with nothing disturbed — the fully warm lower bound (Sec. 2.3).
+//   - Lukewarm: all microarchitectural state flushed between invocations —
+//     exactly how the paper's simulated interleaving baseline is modeled
+//     ("flushing all microarchitectural state in-between function
+//     invocations", Sec. 5.2).
+//   - Partial: an inter-arrival-time (IAT) dependent partial thrash, used
+//     for the Fig. 1 IAT sweep: during the idle gap, co-resident instances
+//     stream foreign state through the shared structures; each structure
+//     loses 1-exp(-bytes/capacity) of its contents.
+package serverless
+
+import (
+	"math"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+	"lukewarm/internal/workload"
+)
+
+// Config describes a server.
+type Config struct {
+	// CPU selects the platform (cpu.SkylakeConfig() by default).
+	CPU cpu.Config
+	// Cores is the number of cores (default 1). Cores have private L1s,
+	// L2, branch state and TLBs; they share the LLC and the memory
+	// controller, like the paper's 10-core host.
+	Cores int
+	// Jukebox, when non-nil, deploys every instance with its own Jukebox
+	// using this configuration.
+	Jukebox *core.Config
+	// ThrashBytesPerMs is the volume of foreign microarchitectural state
+	// streamed through the core and caches per millisecond of idle time at
+	// the ambient server load (Fig. 1 runs at ~50% CPU load). The default
+	// of 96 KB/ms puts the CPI knee at tens of milliseconds and saturation
+	// near one second on the characterization host, as in Fig. 1.
+	ThrashBytesPerMs int
+	// PerfectICache services all instruction fetches at L1 latency
+	// (the Fig. 10 upper bound).
+	PerfectICache bool
+}
+
+// DefaultThrashBytesPerMs is the Fig. 1 interleaving intensity.
+const DefaultThrashBytesPerMs = 96 << 10
+
+// Instance is one warm, memory-resident function instance: its address
+// space, its Jukebox metadata (if enabled), and its invocation counter.
+type Instance struct {
+	Workload workload.Workload
+	AS       *vm.AddressSpace
+	// Jukebox is the instance's prefetcher state, nil when disabled.
+	Jukebox *core.Jukebox
+	// Invocations counts invocations served.
+	Invocations uint64
+	srv         *Server
+}
+
+// Server is one simulated host with its co-resident instances. Core points
+// at core 0 for the common single-core workflows; Cores holds all of them.
+type Server struct {
+	Core      *cpu.Core
+	Cores     []*cpu.Core
+	Alloc     *vm.FrameAllocator
+	cfg       Config
+	instances []*Instance
+	thrashRNG *program.RNG
+	lastAS    []*vm.AddressSpace
+	corePFs   []cpu.InstrPrefetcher
+}
+
+// AttachCorePrefetcher installs a core-level instruction prefetcher (e.g.
+// PIF) on core 0; it composes with per-instance Jukeboxes via
+// cpu.MultiPrefetcher. Build the prefetcher against srv.Core.Hier.
+func (s *Server) AttachCorePrefetcher(pf cpu.InstrPrefetcher) { s.corePFs[0] = pf }
+
+// AttachCorePrefetcherOn installs a core-level prefetcher on core idx;
+// core-level structures are per-core hardware, so multi-core setups attach
+// one instance per core (built against s.Cores[idx].Hier).
+func (s *Server) AttachCorePrefetcherOn(idx int, pf cpu.InstrPrefetcher) { s.corePFs[idx] = pf }
+
+// New builds a server. Zero-valued config fields get defaults.
+func New(cfg Config) *Server {
+	if cfg.CPU.DispatchWidth == 0 {
+		cfg.CPU = cpu.SkylakeConfig()
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.ThrashBytesPerMs == 0 {
+		cfg.ThrashBytesPerMs = DefaultThrashBytesPerMs
+	}
+	llc := mem.NewCache(cfg.CPU.Hier.LLC)
+	dram := mem.NewDRAM(cfg.CPU.Hier.DRAM)
+	s := &Server{
+		Alloc:     vm.NewFrameAllocator(0),
+		cfg:       cfg,
+		thrashRNG: program.NewRNG(0x7A4A5),
+		lastAS:    make([]*vm.AddressSpace, cfg.Cores),
+		corePFs:   make([]cpu.InstrPrefetcher, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		hier := mem.NewSharedHierarchy(cfg.CPU.Hier, llc, dram)
+		hier.PerfectL1I = cfg.PerfectICache
+		s.Cores = append(s.Cores, cpu.NewCoreWithHierarchy(cfg.CPU, hier))
+	}
+	s.Core = s.Cores[0]
+	return s
+}
+
+// NumCores reports the core count.
+func (s *Server) NumCores() int { return len(s.Cores) }
+
+// Deploy creates a warm instance of w on the server.
+func (s *Server) Deploy(w workload.Workload) *Instance {
+	inst := &Instance{Workload: w, AS: vm.NewAddressSpace(s.Alloc), srv: s}
+	if s.cfg.Jukebox != nil {
+		inst.Jukebox = core.New(*s.cfg.Jukebox, s.Core.Hier, s.Core.MMU, s.Alloc)
+	}
+	s.instances = append(s.instances, inst)
+	return inst
+}
+
+// Instances lists the deployed instances in deployment order.
+func (s *Server) Instances() []*Instance { return s.instances }
+
+// Invoke schedules one invocation of inst on core 0 and runs it to
+// completion.
+func (s *Server) Invoke(inst *Instance) cpu.RunResult { return s.InvokeOn(0, inst) }
+
+// InvokeOn schedules one invocation of inst on core idx. The OS work is
+// modeled faithfully: the process's address space is installed (flushing
+// untagged TLBs on a process switch), and the scheduler programs the
+// Jukebox base/limit registers of the chosen core from the instance's
+// bookkeeping (Sec. 3.4.1) — metadata lives in memory, so the instance can
+// run on any core.
+func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
+	c := s.Cores[idx]
+	if s.lastAS[idx] != inst.AS {
+		c.MMU.SetAddressSpace(inst.AS)
+		c.MMU.Flush()
+		s.lastAS[idx] = inst.AS
+	}
+	var pf cpu.InstrPrefetcher
+	switch {
+	case inst.Jukebox != nil && s.corePFs[idx] != nil:
+		inst.Jukebox.Bind(c.Hier, c.MMU)
+		pf = cpu.MultiPrefetcher{inst.Jukebox, s.corePFs[idx]}
+	case inst.Jukebox != nil:
+		inst.Jukebox.Bind(c.Hier, c.MMU)
+		pf = inst.Jukebox
+	default:
+		pf = s.corePFs[idx]
+	}
+	c.Prefetcher = pf
+	inv := inst.Workload.Program.NewInvocation(inst.Invocations)
+	inst.Invocations++
+	return c.RunInvocation(inv)
+}
+
+// FlushMicroarch obliterates all on-chip state on every core (the lukewarm
+// baseline's inter-invocation interleaving).
+func (s *Server) FlushMicroarch() {
+	for i, c := range s.Cores {
+		c.FlushMicroarch() // includes the shared LLC; idempotent
+		s.lastAS[i] = nil
+	}
+}
+
+// AdvanceIAT models an idle inter-arrival gap of ms milliseconds on core 0:
+// the clock advances and co-resident instances partially thrash every
+// structure in proportion to the foreign state streamed through it
+// (Sec. 2.2's interleaving).
+func (s *Server) AdvanceIAT(ms float64) { s.AdvanceIATOn(0, ms) }
+
+// AdvanceIATOn is AdvanceIAT for core idx. The core's private structures
+// and the shared LLC thrash; other cores' private state is untouched (their
+// own gaps handle it).
+func (s *Server) AdvanceIATOn(idx int, ms float64) {
+	if ms <= 0 {
+		return
+	}
+	c := s.Cores[idx]
+	// ms * 1e-3 s * freq GHz * 1e9 cycles/s = ms * freq * 1e6 cycles.
+	c.AdvanceCycles(mem.Cycle(ms * s.cfg.CPU.FreqGHz * 1e6))
+
+	bytes := ms * float64(s.cfg.ThrashBytesPerMs)
+	rng := s.thrashRNG.Uint64
+	frac := func(capacityBytes int) float64 {
+		return 1 - math.Exp(-bytes/float64(capacityBytes))
+	}
+	hier := c.Hier
+	cfg := hier.Config()
+	hier.L1I.EvictFraction(frac(cfg.L1I.SizeBytes), rng)
+	hier.L1D.EvictFraction(frac(cfg.L1D.SizeBytes), rng)
+	hier.L2.EvictFraction(frac(cfg.L2.SizeBytes), rng)
+	hier.LLC.EvictFraction(frac(cfg.LLC.SizeBytes), rng)
+
+	// Core-side structures: sized in equivalent foreign-state bytes. The
+	// BTB holds ~8K entries trained by foreign taken branches (~1 per 64 B
+	// of foreign code); TLBs hold translations for foreign pages.
+	c.BTB.EvictFraction(frac(512<<10), rng)
+	c.BP.DecayFraction(frac(256<<10), rng)
+	c.MMU.ITLB.EvictFraction(frac(512<<10), rng)
+	c.MMU.DTLB.EvictFraction(frac(256<<10), rng)
+	if bytes > 256<<10 {
+		c.MMU.Walker.Flush()
+	}
+}
+
+// RunReference performs n back-to-back invocations of inst (the paper's
+// reference configuration) and returns the result of the last one, which is
+// fully warm.
+func (s *Server) RunReference(inst *Instance, n int) cpu.RunResult {
+	var last cpu.RunResult
+	for i := 0; i < n; i++ {
+		last = s.Invoke(inst)
+	}
+	return last
+}
+
+// RunLukewarm performs n invocations of inst with a full microarchitectural
+// flush before each (the paper's interleaved/baseline configuration) and
+// returns the last result.
+func (s *Server) RunLukewarm(inst *Instance, n int) cpu.RunResult {
+	var last cpu.RunResult
+	for i := 0; i < n; i++ {
+		s.FlushMicroarch()
+		last = s.Invoke(inst)
+	}
+	return last
+}
+
+// RunWithIAT performs n invocations of inst separated by idle gaps of
+// iatMs milliseconds (the Fig. 1 sweep) and returns the last result.
+func (s *Server) RunWithIAT(inst *Instance, n int, iatMs float64) cpu.RunResult {
+	var last cpu.RunResult
+	for i := 0; i < n; i++ {
+		s.AdvanceIAT(iatMs)
+		last = s.Invoke(inst)
+	}
+	return last
+}

@@ -1,0 +1,233 @@
+package serverless
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"lukewarm/internal/mem"
+	"lukewarm/internal/program"
+	"lukewarm/internal/stats"
+)
+
+// TrafficConfig drives a system-level simulation: invocations arrive for
+// each deployed instance as an independent arrival process and are served
+// in arrival order on the server's core. Interleaving here is *natural* —
+// running other instances thrashes the shared microarchitectural state, no
+// explicit flush — so lukewarm behavior emerges the way it does in
+// production (Sec. 2.2).
+type TrafficConfig struct {
+	// MeanIATms is each instance's mean inter-arrival time in milliseconds.
+	// The Azure study the paper builds on (Shahrad et al., ATC'20) puts the
+	// vast majority of warm invocations at 1 s to a few minutes.
+	MeanIATms float64
+	// Poisson selects exponential inter-arrival times; false gives fixed
+	// spacing (instances are phase-shifted either way).
+	Poisson bool
+	// HeavyTail layers burstiness over the Poisson process, approximating
+	// the Azure production traces (Shahrad et al., ATC'20): half the gaps
+	// are short intra-burst arrivals, half are long lulls, preserving the
+	// configured mean. Implies Poisson.
+	HeavyTail bool
+	// InvocationsPerInstance bounds the run.
+	InvocationsPerInstance int
+	// KeepAliveMs evicts instances idle longer than this (0 = keep forever,
+	// the paper's 5-60 min window is far above typical IATs). An evicted
+	// instance's next invocation is a cold start.
+	KeepAliveMs float64
+	// ColdStartMs is the instance boot cost charged to a cold start
+	// (paper Sec. 2.1: "hundreds of milliseconds in today's clouds").
+	ColdStartMs float64
+	// AmbientThrash treats the deployed instances as a sample of a much
+	// larger co-resident population: idle gaps apply the server's
+	// ThrashBytesPerMs partial-eviction model (as in the Fig. 1 sweep) in
+	// addition to the natural interleaving of the deployed instances.
+	AmbientThrash bool
+	// Seed determinizes arrivals.
+	Seed uint64
+}
+
+// DefaultTrafficConfig returns a 1 s Poisson workload, the representative
+// point of the paper's IAT discussion.
+func DefaultTrafficConfig() TrafficConfig {
+	return TrafficConfig{
+		MeanIATms:              1000,
+		Poisson:                true,
+		InvocationsPerInstance: 6,
+		ColdStartMs:            250,
+		Seed:                   1,
+	}
+}
+
+// TrafficResult summarizes a traffic run.
+type TrafficResult struct {
+	// Served counts completed invocations.
+	Served int
+	// ColdStarts counts invocations that found their instance evicted.
+	ColdStarts int
+	// CPI summarizes per-invocation CPI across all instances.
+	CPI stats.Summary
+	// ServiceCycles summarizes per-invocation service time (execution
+	// only), in cycles.
+	ServiceCycles stats.Summary
+	// LatencyCycles summarizes arrival-to-completion latency (queueing +
+	// cold start + execution), in cycles.
+	LatencyCycles stats.Summary
+	// BusyFraction is the core's utilization over the simulated span.
+	BusyFraction float64
+	// SimulatedMs is the simulated wall-clock span.
+	SimulatedMs float64
+	latencies   []float64
+}
+
+// P99LatencyCycles reports the 99th-percentile latency.
+func (r *TrafficResult) P99LatencyCycles() float64 {
+	return stats.Percentile(r.latencies, 99)
+}
+
+// arrival is one pending invocation.
+type arrival struct {
+	at   mem.Cycle
+	inst *Instance
+	seq  int // tie-breaker for determinism
+}
+
+// arrivalQueue is a min-heap of arrivals ordered by time.
+type arrivalQueue []arrival
+
+func (q arrivalQueue) Len() int { return len(q) }
+func (q arrivalQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q arrivalQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *arrivalQueue) Push(x any)   { *q = append(*q, x.(arrival)) }
+func (q *arrivalQueue) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+func (q arrivalQueue) Peek() arrival { return q[0] }
+
+// ServeTraffic runs the arrival process over every deployed instance until
+// each has received cfg.InvocationsPerInstance invocations, serving them
+// FIFO on the core. It returns the aggregate result.
+//
+// Idle gaps advance the clock but do not thrash state: with multiple
+// co-resident instances the interleaved executions themselves provide the
+// (realistic, partial) state destruction.
+func (s *Server) ServeTraffic(cfg TrafficConfig) TrafficResult {
+	if cfg.MeanIATms <= 0 || cfg.InvocationsPerInstance <= 0 || len(s.instances) == 0 {
+		panic("serverless: ServeTraffic needs instances, a positive IAT and a positive invocation budget")
+	}
+	rng := program.NewRNG(program.Mix(0x7AF1C, cfg.Seed))
+	cyclesPerMs := s.cfg.CPU.FreqGHz * 1e6
+
+	exp := func(mean float64) float64 {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		return -math.Log(u) * mean
+	}
+	nextIAT := func() mem.Cycle {
+		ms := cfg.MeanIATms
+		switch {
+		case cfg.HeavyTail:
+			// A 50/50 mixture of short intra-burst gaps (mean/4) and long
+			// lulls (7*mean/4) keeps the overall mean at MeanIATms.
+			if rng.Bool(0.5) {
+				ms = exp(cfg.MeanIATms / 4)
+			} else {
+				ms = exp(cfg.MeanIATms * 7 / 4)
+			}
+		case cfg.Poisson:
+			ms = exp(cfg.MeanIATms)
+		}
+		c := mem.Cycle(ms * cyclesPerMs)
+		if c == 0 {
+			c = 1
+		}
+		return c
+	}
+
+	var q arrivalQueue
+	seq := 0
+	remaining := map[*Instance]int{}
+	lastDone := map[*Instance]mem.Cycle{}
+	for _, inst := range s.instances {
+		remaining[inst] = cfg.InvocationsPerInstance
+		// Phase-shift first arrivals across instances.
+		first := s.Core.Now() + mem.Cycle(rng.Float64()*cfg.MeanIATms*cyclesPerMs)
+		heap.Push(&q, arrival{at: first, inst: inst, seq: seq})
+		seq++
+	}
+
+	var res TrafficResult
+	start := s.Core.Now()
+	var busy mem.Cycle
+
+	for q.Len() > 0 {
+		a := heap.Pop(&q).(arrival)
+		// Dispatch to the earliest-available core.
+		idx := 0
+		for i := range s.Cores {
+			if s.Cores[i].Now() < s.Cores[idx].Now() {
+				idx = i
+			}
+		}
+		core := s.Cores[idx]
+		if core.Now() < a.at {
+			gap := a.at - core.Now()
+			if cfg.AmbientThrash {
+				s.AdvanceIATOn(idx, float64(gap)/cyclesPerMs)
+			} else {
+				core.AdvanceCycles(gap)
+			}
+		}
+		// Keep-alive: evicted instances cold-start.
+		if cfg.KeepAliveMs > 0 {
+			if last, ok := lastDone[a.inst]; ok {
+				idle := float64(a.at-last) / cyclesPerMs
+				if idle > cfg.KeepAliveMs {
+					res.ColdStarts++
+					core.AdvanceCycles(mem.Cycle(cfg.ColdStartMs * cyclesPerMs))
+				}
+			}
+		}
+		r := s.InvokeOn(idx, a.inst)
+		busy += r.Cycles
+		res.Served++
+		res.CPI.Add(r.CPI())
+		res.ServiceCycles.Add(float64(r.Cycles))
+		lat := float64(core.Now() - a.at)
+		res.LatencyCycles.Add(lat)
+		res.latencies = append(res.latencies, lat)
+		lastDone[a.inst] = core.Now()
+
+		remaining[a.inst]--
+		if remaining[a.inst] > 0 {
+			heap.Push(&q, arrival{at: a.at + nextIAT(), inst: a.inst, seq: seq})
+			seq++
+		}
+	}
+
+	var span mem.Cycle
+	for _, c := range s.Cores {
+		if d := c.Now() - start; d > span {
+			span = d
+		}
+	}
+	if span > 0 {
+		res.BusyFraction = float64(busy) / (float64(span) * float64(len(s.Cores)))
+	}
+	res.SimulatedMs = float64(span) / cyclesPerMs
+	return res
+}
+
+// String renders a one-paragraph summary.
+func (r *TrafficResult) String() string {
+	return fmt.Sprintf(
+		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts); "+
+			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles",
+		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts,
+		r.CPI.Mean(), r.ServiceCycles.Mean(), r.LatencyCycles.Mean(), r.P99LatencyCycles())
+}

@@ -1,0 +1,179 @@
+package serverless
+
+import (
+	"strings"
+	"testing"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/workload"
+)
+
+// deploySubset deploys a small cross-language subset.
+func deploySubset(t *testing.T, s *Server, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Deploy(w)
+	}
+}
+
+func smallTraffic() TrafficConfig {
+	cfg := DefaultTrafficConfig()
+	cfg.InvocationsPerInstance = 3
+	cfg.MeanIATms = 50 // keep the simulated span short for tests
+	return cfg
+}
+
+func TestServeTrafficBasics(t *testing.T) {
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G", "ProdL-G", "Email-P")
+	res := s.ServeTraffic(smallTraffic())
+	if res.Served != 9 {
+		t.Fatalf("served = %d, want 9", res.Served)
+	}
+	if res.CPI.N() != 9 || res.LatencyCycles.N() != 9 {
+		t.Errorf("summaries incomplete: %d/%d", res.CPI.N(), res.LatencyCycles.N())
+	}
+	if res.BusyFraction <= 0 || res.BusyFraction > 1 {
+		t.Errorf("busy fraction = %v", res.BusyFraction)
+	}
+	if res.SimulatedMs <= 0 {
+		t.Errorf("simulated span = %v", res.SimulatedMs)
+	}
+	if res.P99LatencyCycles() < res.LatencyCycles.Mean() {
+		t.Errorf("p99 %.0f below mean %.0f", res.P99LatencyCycles(), res.LatencyCycles.Mean())
+	}
+	if !strings.Contains(res.String(), "served 9 invocations") {
+		t.Errorf("summary rendering: %s", res.String())
+	}
+}
+
+func TestServeTrafficDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := New(Config{})
+		deploySubset(t, s, "Auth-G", "Email-P")
+		res := s.ServeTraffic(smallTraffic())
+		return res.CPI.Mean()
+	}
+	if run() != run() {
+		t.Error("traffic run not deterministic")
+	}
+}
+
+func TestCoResidencyMakesInvocationsLukewarm(t *testing.T) {
+	// A lone instance under traffic stays warm; the same instance among
+	// many co-residents runs lukewarm — the paper's core observation,
+	// reproduced with natural interleaving rather than flushes.
+	w, err := workload.ByName("Auth-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallTraffic()
+	cfg.InvocationsPerInstance = 4
+
+	alone := New(Config{})
+	alone.Deploy(w)
+	aloneRes := alone.ServeTraffic(cfg)
+
+	crowded := New(Config{})
+	crowded.Deploy(w)
+	deploySubset(t, crowded, "Email-P", "Pay-N", "Auth-P", "Geo-G", "Prof-G", "Curr-N", "RecO-P")
+	crowdedRes := crowded.ServeTraffic(cfg)
+
+	if crowdedRes.CPI.Mean() <= aloneRes.CPI.Mean()*1.15 {
+		t.Errorf("co-residency did not degrade CPI: %.3f vs alone %.3f",
+			crowdedRes.CPI.Mean(), aloneRes.CPI.Mean())
+	}
+}
+
+func TestJukeboxHelpsUnderRealTraffic(t *testing.T) {
+	// Co-residency must exceed the LLC for the lukewarm effect to bite:
+	// with only a handful of instances the 8 MB LLC retains every footprint
+	// and Jukebox has little left to prefetch. Deploy the whole suite
+	// (~9 MB of code plus data) — still far below the thousands of
+	// instances on a production host.
+	run := func(jb bool) float64 {
+		var cfg Config
+		if jb {
+			j := core.DefaultConfig()
+			cfg.Jukebox = &j
+		}
+		s := New(cfg)
+		for _, w := range workload.Suite() {
+			s.Deploy(w)
+		}
+		tc := smallTraffic()
+		tc.InvocationsPerInstance = 3
+		res := s.ServeTraffic(tc)
+		return res.ServiceCycles.Sum()
+	}
+	base, withJB := run(false), run(true)
+	speedup := base/withJB - 1
+	if speedup < 0.04 {
+		t.Errorf("Jukebox speedup under traffic = %.1f%%, want clearly positive", speedup*100)
+	}
+}
+
+func TestKeepAliveColdStarts(t *testing.T) {
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G")
+	cfg := smallTraffic()
+	cfg.MeanIATms = 100
+	cfg.Poisson = false
+	cfg.KeepAliveMs = 10 // evict almost immediately
+	cfg.InvocationsPerInstance = 4
+	res := s.ServeTraffic(cfg)
+	if res.ColdStarts == 0 {
+		t.Error("tiny keep-alive produced no cold starts")
+	}
+	// Latency includes the boot cost.
+	bootCycles := cfg.ColdStartMs * 2.6e6
+	if res.LatencyCycles.Max() < bootCycles {
+		t.Errorf("max latency %.0f below a single cold start %.0f", res.LatencyCycles.Max(), bootCycles)
+	}
+}
+
+func TestHeavyTailTraffic(t *testing.T) {
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G", "Email-P")
+	cfg := smallTraffic()
+	cfg.HeavyTail = true
+	cfg.InvocationsPerInstance = 5
+	res := s.ServeTraffic(cfg)
+	if res.Served != 10 {
+		t.Fatalf("served %d", res.Served)
+	}
+	// Burstiness shows up as higher latency variance than fixed spacing.
+	sFixed := New(Config{})
+	deploySubset(t, sFixed, "Auth-G", "Email-P")
+	cfgF := cfg
+	cfgF.HeavyTail = false
+	cfgF.Poisson = false
+	resF := sFixed.ServeTraffic(cfgF)
+	if res.LatencyCycles.StdDev() <= resF.LatencyCycles.StdDev() {
+		t.Errorf("heavy-tail latency stddev %.0f not above fixed %.0f",
+			res.LatencyCycles.StdDev(), resF.LatencyCycles.StdDev())
+	}
+}
+
+func TestServeTrafficPanicsOnBadConfig(t *testing.T) {
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G")
+	for _, f := range []func(){
+		func() { s.ServeTraffic(TrafficConfig{MeanIATms: 0, InvocationsPerInstance: 1}) },
+		func() { s.ServeTraffic(TrafficConfig{MeanIATms: 10, InvocationsPerInstance: 0}) },
+		func() { New(Config{}).ServeTraffic(DefaultTrafficConfig()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
+// are clamped into the first/last bin so nothing is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	count  int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+// It panics if n <= 0 or hi <= lo: a histogram with no width is a
+// programming error, not a runtime condition.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must have hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.count++
+}
+
+// N reports the number of observations recorded.
+func (h *Histogram) N() int { return h.count }
+
+// BinCenter reports the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Quantile reports the q-th quantile (0..1) estimated from bin centers.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.Bins {
+		cum += float64(c)
+		if cum >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.BinCenter(len(h.Bins) - 1)
+}
+
+// Render draws the histogram as rows of "center | bar count" with bars scaled
+// to width characters.
+func (h *Histogram) Render(width int) string {
+	maxBin := 0
+	for _, c := range h.Bins {
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Bins {
+		bar := 0
+		if maxBin > 0 {
+			bar = int(math.Round(float64(c) / float64(maxBin) * float64(width)))
+		}
+		fmt.Fprintf(&b, "%10.3g |%-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.N() != 10 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for i, c := range h.Bins {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(1000)
+	h.Add(10) // exactly Hi lands in last bin
+	if h.Bins[0] != 1 {
+		t.Errorf("low outlier not clamped: %v", h.Bins)
+	}
+	if h.Bins[4] != 2 {
+		t.Errorf("high outliers not clamped: %v", h.Bins)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median estimate = %v", med)
+	}
+	if got := NewHistogram(0, 1, 4).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 4) },
+		func() { NewHistogram(10, 5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramCountConservedProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		h := NewHistogram(-50, 50, 7)
+		n := 0
+		for _, v := range vs {
+			if v != v { // NaN guard
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		sum := 0
+		for _, c := range h.Bins {
+			sum += c
+		}
+		return sum == n && h.N() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(3)
+	h.Add(3.5)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("render lines = %d, want 2:\n%s", lines, out)
+	}
+}

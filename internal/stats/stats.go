@@ -1,0 +1,193 @@
+// Package stats provides the small statistical toolkit used throughout the
+// simulator: streaming summaries, geometric means, Jaccard set commonality,
+// histograms, and percentage helpers.
+//
+// Everything in this package is deterministic and allocation-conscious; the
+// experiment runners lean on it to aggregate per-invocation measurements into
+// the rows the paper's figures report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations and reports basic
+// descriptive statistics. The zero value is ready to use.
+type Summary struct {
+	n    int
+	sum  float64
+	sumq float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumq += v * v
+}
+
+// N reports the number of observations recorded so far.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the arithmetic mean, or 0 if no observations were recorded.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min reports the smallest observation, or 0 if none were recorded.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 if none were recorded.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum reports the sum of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Variance reports the population variance.
+func (s *Summary) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumq/float64(s.n) - m*m
+	if v < 0 { // numerical noise
+		return 0
+	}
+	return v
+}
+
+// StdDev reports the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// String renders "mean [min, max] (n=N)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g] (n=%d)", s.Mean(), s.min, s.max, s.n)
+}
+
+// Mean reports the arithmetic mean of vs, or 0 for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// GeoMean reports the geometric mean of vs. All values must be positive;
+// non-positive values are skipped (they would otherwise poison the product),
+// matching how speedup geomeans are conventionally computed.
+func GeoMean(vs []float64) float64 {
+	logSum := 0.0
+	n := 0
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Median reports the median of vs (the slice is not modified), or 0 for an
+// empty slice.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(vs))
+	copy(c, vs)
+	sort.Float64s(c)
+	mid := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[mid]
+	}
+	return (c[mid-1] + c[mid]) / 2
+}
+
+// Percentile reports the p-th percentile (0..100) of vs using linear
+// interpolation, or 0 for an empty slice.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(vs))
+	copy(c, vs)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Jaccard reports the Jaccard index |a∩b| / |a∪b| of two sets of cache-block
+// addresses, the commonality metric of the paper's Sec. 2.5 (Fig. 6b).
+// Two empty sets have index 1 (identical).
+func Jaccard(a, b map[uint64]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Ratio reports num/den, or 0 when den is 0. It keeps MPKI/CPI style
+// divisions free of NaNs on empty runs.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pct reports num/den as a percentage, or 0 when den is 0.
+func Pct(num, den float64) float64 { return Ratio(num, den) * 100 }
+
+// SpeedupPct converts a pair of cycle counts into the "% speedup" the paper
+// plots: how much faster the optimized run is relative to the baseline.
+// A positive value means the optimized run took fewer cycles.
+func SpeedupPct(baselineCycles, optimizedCycles float64) float64 {
+	if optimizedCycles == 0 {
+		return 0
+	}
+	return (baselineCycles/optimizedCycles - 1) * 100
+}

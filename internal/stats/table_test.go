@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("CPI", "Function", "Ref", "Interleaved")
+	tb.AddRow("Fib-P", "1.00", "1.85")
+	tb.AddRow("AES-NodeJS-With-A-Long-Name", "0.90", "1.40")
+	out := tb.String()
+	if !strings.Contains(out, "== CPI ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Function") || !strings.Contains(out, "Interleaved") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "Ref" column starts at the same offset in each data row.
+	hdr := lines[1]
+	refCol := strings.Index(hdr, "Ref")
+	for _, ln := range lines[3:] {
+		cell := strings.TrimSpace(ln[refCol : refCol+4])
+		if cell != "1.00" && cell != "0.90" {
+			t.Errorf("misaligned column, found %q in %q", cell, ln)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z") // longer than header
+	out := tb.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extra column dropped:\n%s", out)
+	}
+	if strings.Contains(out, "== ") {
+		t.Errorf("empty title should not render a title line:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("Figure 10: speedups", "Function", "Jukebox")
+	tb.AddRow("Auth-G", "25.6%")
+	tb.AddRow("with,comma", "1%")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "Function,Jukebox\nAuth-G,25.6%\n\"with,comma\",1%\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Figure 10: speedup over baseline": "figure-10",
+		"Table 3: reductions":              "table-3",
+		"CRRB-size sensitivity (mean KB)":  "crrb-size-sensitivity-mean-kb",
+		"  Weird   spacing!!  ":            "weird-spacing",
+		"":                                 "",
+	}
+	for title, want := range cases {
+		tb := NewTable(title, "A")
+		if got := tb.Slug(); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", title, got, want)
+		}
+	}
+}
+
+func TestCell(t *testing.T) {
+	if got := Cell(3.14159); got != "3.14" {
+		t.Errorf("Cell(float64) = %q", got)
+	}
+	if got := Cell(float32(2.5)); got != "2.50" {
+		t.Errorf("Cell(float32) = %q", got)
+	}
+	if got := Cell(42); got != "42" {
+		t.Errorf("Cell(int) = %q", got)
+	}
+	if got := Cell("s"); got != "s" {
+		t.Errorf("Cell(string) = %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); len(got) != 10 {
+		t.Errorf("Bar overflow len = %d", len(got))
+	}
+	if got := Bar(-1, 10, 10); got != "" {
+		t.Errorf("Bar negative = %q", got)
+	}
+	if got := Bar(5, 0, 10); got != "" {
+		t.Errorf("Bar zero max = %q", got)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar([]float64{2, 2}, []rune{'R', 'F'}, 4, 8)
+	if got != "RRRRFFFF" {
+		t.Errorf("StackedBar = %q, want RRRRFFFF", got)
+	}
+	// zero and negative segments are skipped
+	got = StackedBar([]float64{2, 0, 2}, []rune{'R', 'X', 'F'}, 4, 8)
+	if got != "RRRRFFFF" {
+		t.Errorf("StackedBar with zero = %q", got)
+	}
+	// output truncated to width
+	got = StackedBar([]float64{4, 4}, []rune{'R', 'F'}, 4, 8)
+	if len(got) != 8 {
+		t.Errorf("StackedBar overflow len = %d", len(got))
+	}
+	if got := StackedBar([]float64{1}, nil, 0, 8); got != "" {
+		t.Errorf("StackedBar zero max = %q", got)
+	}
+}

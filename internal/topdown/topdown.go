@@ -1,0 +1,158 @@
+// Package topdown implements the Top-Down cycle-accounting methodology
+// (Yasin, ISPASS'14) at the granularity the paper uses: the four level-1
+// categories plus the level-2 split of Frontend Bound into Fetch Latency and
+// Fetch Bandwidth (Figs. 2-4).
+//
+// The core model charges cycles to categories as it executes; a Stack is the
+// resulting CPI decomposition for one run and supports the aggregation and
+// normalization the figures need.
+package topdown
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category is one Top-Down cycle class.
+type Category uint8
+
+// Top-Down categories. Retiring is useful work; everything else is a stall
+// class to be minimized. FetchLatency and FetchBandwidth together form the
+// level-1 "Frontend Bound" category.
+const (
+	Retiring Category = iota
+	FetchLatency
+	FetchBandwidth
+	BadSpeculation
+	BackendBound
+	NumCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Retiring:
+		return "Retiring"
+	case FetchLatency:
+		return "Fetch_Latency"
+	case FetchBandwidth:
+		return "Fetch_Bandwidth"
+	case BadSpeculation:
+		return "Bad_Speculation"
+	case BackendBound:
+		return "Backend_Bound"
+	}
+	return "Category?"
+}
+
+// Stack is the cycle decomposition of one or more runs. The zero value is an
+// empty stack ready for accumulation.
+type Stack struct {
+	Cycles [NumCategories]float64
+	Instrs uint64
+}
+
+// Add charges cyc cycles to category c.
+func (s *Stack) Add(c Category, cyc float64) { s.Cycles[c] += cyc }
+
+// AddInstrs records retired instructions.
+func (s *Stack) AddInstrs(n uint64) { s.Instrs += n }
+
+// Total reports total accounted cycles.
+func (s *Stack) Total() float64 {
+	t := 0.0
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}
+
+// CPI reports cycles per instruction, or 0 with no instructions.
+func (s *Stack) CPI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return s.Total() / float64(s.Instrs)
+}
+
+// CPIOf reports the CPI contribution of category c.
+func (s *Stack) CPIOf(c Category) float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return s.Cycles[c] / float64(s.Instrs)
+}
+
+// FrontendBound reports the combined level-1 frontend cycles.
+func (s *Stack) FrontendBound() float64 {
+	return s.Cycles[FetchLatency] + s.Cycles[FetchBandwidth]
+}
+
+// StallCycles reports all non-retiring cycles.
+func (s *Stack) StallCycles() float64 { return s.Total() - s.Cycles[Retiring] }
+
+// Fraction reports category c's share of total cycles, or 0 for an empty
+// stack.
+func (s *Stack) Fraction(c Category) float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return s.Cycles[c] / t
+}
+
+// Merge accumulates o into s (for averaging across invocations).
+func (s *Stack) Merge(o Stack) {
+	for i := range s.Cycles {
+		s.Cycles[i] += o.Cycles[i]
+	}
+	s.Instrs += o.Instrs
+}
+
+// Delta returns the per-category cycle difference s - o, clamped at zero
+// (used for "extra stall cycles in the interleaved setup" analyses, where a
+// category that shrank contributes no extra stalls). Instrs is carried from
+// s.
+func (s Stack) Delta(o Stack) Stack {
+	var d Stack
+	for i := range s.Cycles {
+		v := s.Cycles[i] - o.Cycles[i]
+		if v < 0 {
+			v = 0
+		}
+		d.Cycles[i] = v
+	}
+	d.Instrs = s.Instrs
+	return d
+}
+
+// Normalize returns a copy scaled so per-instruction comparisons hold when
+// two runs retired different instruction counts: cycles are divided by
+// Instrs (leaving CPI contributions) times the given reference instruction
+// count.
+func (s Stack) Normalize(refInstrs uint64) Stack {
+	if s.Instrs == 0 || refInstrs == 0 {
+		return s
+	}
+	f := float64(refInstrs) / float64(s.Instrs)
+	var n Stack
+	for i := range s.Cycles {
+		n.Cycles[i] = s.Cycles[i] * f
+	}
+	n.Instrs = refInstrs
+	return n
+}
+
+// String renders the stack as a one-line CPI breakdown.
+func (s *Stack) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPI %.3f [", s.CPI())
+	for c := Category(0); c < NumCategories; c++ {
+		if c > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.3f", c, s.CPIOf(c))
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package topdown
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStackAccumulation(t *testing.T) {
+	var s Stack
+	s.Add(Retiring, 100)
+	s.Add(FetchLatency, 50)
+	s.Add(FetchBandwidth, 10)
+	s.Add(BadSpeculation, 20)
+	s.Add(BackendBound, 20)
+	s.AddInstrs(100)
+	if s.Total() != 200 {
+		t.Errorf("Total = %v", s.Total())
+	}
+	if s.CPI() != 2.0 {
+		t.Errorf("CPI = %v", s.CPI())
+	}
+	if s.CPIOf(FetchLatency) != 0.5 {
+		t.Errorf("CPIOf(FetchLatency) = %v", s.CPIOf(FetchLatency))
+	}
+	if s.FrontendBound() != 60 {
+		t.Errorf("FrontendBound = %v", s.FrontendBound())
+	}
+	if s.StallCycles() != 100 {
+		t.Errorf("StallCycles = %v", s.StallCycles())
+	}
+	if got := s.Fraction(Retiring); got != 0.5 {
+		t.Errorf("Fraction = %v", got)
+	}
+}
+
+func TestEmptyStack(t *testing.T) {
+	var s Stack
+	if s.CPI() != 0 || s.CPIOf(Retiring) != 0 || s.Fraction(BackendBound) != 0 {
+		t.Error("empty stack should report zeros")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Stack
+	a.Add(Retiring, 10)
+	a.AddInstrs(10)
+	b.Add(BackendBound, 5)
+	b.AddInstrs(10)
+	a.Merge(b)
+	if a.Total() != 15 || a.Instrs != 20 {
+		t.Errorf("merged: total=%v instrs=%d", a.Total(), a.Instrs)
+	}
+}
+
+func TestDeltaClampsNegatives(t *testing.T) {
+	var ref, il Stack
+	ref.Add(FetchLatency, 100)
+	ref.Add(BadSpeculation, 50)
+	ref.AddInstrs(1000)
+	il.Add(FetchLatency, 300)
+	il.Add(BadSpeculation, 40) // shrank
+	il.AddInstrs(1000)
+	d := il.Delta(ref)
+	if d.Cycles[FetchLatency] != 200 {
+		t.Errorf("delta FetchLatency = %v", d.Cycles[FetchLatency])
+	}
+	if d.Cycles[BadSpeculation] != 0 {
+		t.Errorf("delta BadSpeculation = %v, want clamped 0", d.Cycles[BadSpeculation])
+	}
+	if d.Instrs != 1000 {
+		t.Errorf("delta instrs = %d", d.Instrs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	var s Stack
+	s.Add(Retiring, 200)
+	s.AddInstrs(100)
+	n := s.Normalize(50)
+	if n.Cycles[Retiring] != 100 || n.Instrs != 50 {
+		t.Errorf("normalized: %+v", n)
+	}
+	if math.Abs(n.CPI()-s.CPI()) > 1e-12 {
+		t.Errorf("CPI changed by normalization: %v vs %v", n.CPI(), s.CPI())
+	}
+	// Degenerate cases pass through.
+	if got := s.Normalize(0); got != s {
+		t.Error("Normalize(0) should be identity")
+	}
+	var empty Stack
+	if got := empty.Normalize(10); got != empty {
+		t.Error("Normalize of empty should be identity")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		Retiring:       "Retiring",
+		FetchLatency:   "Fetch_Latency",
+		FetchBandwidth: "Fetch_Bandwidth",
+		BadSpeculation: "Bad_Speculation",
+		BackendBound:   "Backend_Bound",
+		Category(77):   "Category?",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestStackString(t *testing.T) {
+	var s Stack
+	s.Add(Retiring, 4)
+	s.AddInstrs(4)
+	out := s.String()
+	if !strings.Contains(out, "CPI 1.000") || !strings.Contains(out, "Retiring=1.000") {
+		t.Errorf("String() = %q", out)
+	}
+}

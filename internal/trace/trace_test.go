@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+	"lukewarm/internal/workload"
+)
+
+func testProgram() *program.Program {
+	return program.New(program.Config{
+		Name: "tr-test-fn", Seed: 5, CodeKB: 64, DynamicInstrs: 40_000,
+		CoreFrac: 0.85, OptionalProb: 0.8, RareFrac: 0.04, RareProb: 0.05,
+		InstrPerLine: 16, LoadFrac: 0.22, StoreFrac: 0.08,
+		CondFrac: 0.3, CondBias: 0.9, NoisyFrac: 0.02, IndirectFrac: 0.15,
+		CallFrac: 0.35, SkipFrac: 0.05,
+		DataKB: 64, HotDataKB: 16, HotDataFrac: 0.7, ColdDataFrac: 0.05,
+		DepLoadFrac: 0.2, KernelFrac: 0.1,
+	})
+}
+
+func TestRoundTripExact(t *testing.T) {
+	p := testProgram()
+	var buf bytes.Buffer
+	n, err := Capture(p, 3, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty capture")
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := p.NewInvocation(3)
+	i := 0
+	for {
+		want, okW := inv.Next()
+		got, okR := r.Next()
+		if okW != okR {
+			t.Fatalf("length mismatch at %d: walker %v, trace %v", i, okW, okR)
+		}
+		if !okW {
+			break
+		}
+		if got != want {
+			t.Fatalf("instr %d differs:\n got %+v\nwant %+v", i, got, want)
+		}
+		i++
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if r.Count() != n {
+		t.Errorf("counts differ: %d vs %d", r.Count(), n)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	p := testProgram()
+	var buf bytes.Buffer
+	n, err := Capture(p, 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / float64(n)
+	if perInstr > 5 {
+		t.Errorf("%.2f bytes/instruction; delta encoding broken", perInstr)
+	}
+	if perInstr < 1 {
+		t.Errorf("%.2f bytes/instruction is impossibly small", perInstr)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("LW")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestTruncatedStreamReportsError(t *testing.T) {
+	p := testProgram()
+	var buf bytes.Buffer
+	if _, err := Capture(p, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Error("truncated stream ended without error")
+	}
+	// After the failure, Next stays terminated.
+	if _, ok := r.Next(); ok {
+		t.Error("reader resumed after error")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := w.Write(program.Instr{}); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+// TestRoundTripProperty round-trips arbitrary instruction sequences.
+func TestRoundTripProperty(t *testing.T) {
+	at := func(sl []uint32, i int) uint64 {
+		if len(sl) == 0 {
+			return 0
+		}
+		return uint64(sl[i%len(sl)])
+	}
+	opAt := func(sl []uint8, i int) program.Op {
+		if len(sl) == 0 {
+			return program.OpPlain
+		}
+		return program.Op(sl[i%len(sl)] % 4)
+	}
+	f := func(vaddrs []uint32, mems []uint32, ops []uint8) bool {
+		var ins []program.Instr
+		for i, va := range vaddrs {
+			in := program.Instr{VAddr: uint64(va), Op: opAt(ops, i)}
+			switch in.Op {
+			case program.OpLoad, program.OpStore:
+				in.MemAddr = at(mems, i)
+				in.DepLoad = in.Op == program.OpLoad && i%3 == 0
+			case program.OpBranch:
+				in.Cond = i%2 == 0
+				in.Taken = i%3 != 0
+				if in.Taken {
+					in.Target = uint64(va) ^ 0xF00
+					in.Indirect = i%5 == 0
+				}
+			}
+			ins = append(ins, in)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, in := range ins {
+			if err := w.Write(in); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range ins {
+			got, ok := r.Next()
+			if !ok || got != ins[i] {
+				t.Logf("mismatch at %d: %+v vs %+v", i, got, ins[i])
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayThroughCoreMatchesDirectRun(t *testing.T) {
+	w, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Capture(w.Program, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(src cpu.InstrSource) cpu.RunResult {
+		c := cpu.NewCore(cpu.SkylakeConfig())
+		c.MMU.SetAddressSpace(vm.NewAddressSpace(vm.NewFrameAllocator(0)))
+		c.FlushMicroarch()
+		return c.RunInvocation(src)
+	}
+	direct := run(w.Program.NewInvocation(0))
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := run(r)
+	if direct.Cycles != replayed.Cycles || direct.Instrs != replayed.Instrs {
+		t.Errorf("trace replay diverges: %d/%d vs %d/%d cycles/instrs",
+			replayed.Cycles, replayed.Instrs, direct.Cycles, direct.Instrs)
+	}
+}

@@ -1,0 +1,218 @@
+// Package vm models the virtual-memory subsystem: per-instance address
+// spaces backed by a global physical frame allocator, instruction and data
+// TLBs, a hardware page-table walker with a small walker cache, and page
+// migration (memory compaction).
+//
+// Jukebox deliberately records *virtual* addresses so that its metadata
+// survives OS page migration (paper Sec. 3.2/3.3); the Compact operation here
+// exists to demonstrate exactly that property against a physical-address
+// strawman.
+package vm
+
+import "fmt"
+
+// PageSize is the virtual-memory page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageOf returns the virtual page number containing addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// FrameAllocator hands out physical page frames. A single allocator is
+// shared by all address spaces on a server so that distinct instances
+// occupy distinct physical memory (and therefore contend in the shared LLC).
+type FrameAllocator struct {
+	next uint64
+}
+
+// NewFrameAllocator creates an allocator whose first frame starts at
+// baseFrame (frames, not bytes).
+func NewFrameAllocator(baseFrame uint64) *FrameAllocator {
+	return &FrameAllocator{next: baseFrame}
+}
+
+// Alloc returns the physical base address of one fresh frame.
+func (f *FrameAllocator) Alloc() uint64 {
+	frame := f.next
+	f.next++
+	return frame << PageShift
+}
+
+// AllocContiguous returns the physical base address of n physically
+// contiguous frames, as the OS does for Jukebox's metadata buffers
+// (Sec. 3.4.1). It panics for n <= 0.
+func (f *FrameAllocator) AllocContiguous(n int) uint64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("vm: AllocContiguous(%d)", n))
+	}
+	base := f.next
+	f.next += uint64(n)
+	return base << PageShift
+}
+
+// FramesAllocated reports how many frames have been handed out relative to
+// the allocator's base.
+func (f *FrameAllocator) FramesAllocated(baseFrame uint64) uint64 { return f.next - baseFrame }
+
+// AddressSpace is one process's page table: a demand-populated map from
+// virtual page to physical frame.
+type AddressSpace struct {
+	alloc *FrameAllocator
+	table map[uint64]uint64 // vpage -> physical frame base address
+	// Migrations counts pages moved by Compact, for reporting.
+	Migrations uint64
+}
+
+// NewAddressSpace creates an empty address space drawing frames from alloc.
+func NewAddressSpace(alloc *FrameAllocator) *AddressSpace {
+	return &AddressSpace{alloc: alloc, table: make(map[uint64]uint64)}
+}
+
+// Translate maps vaddr to its physical address, demand-allocating a frame on
+// first touch (anonymous mmap semantics: serverless instances are entirely
+// memory-resident, swap is disabled on FaaS hosts).
+func (as *AddressSpace) Translate(vaddr uint64) uint64 {
+	vp := PageOf(vaddr)
+	frame, ok := as.table[vp]
+	if !ok {
+		frame = as.alloc.Alloc()
+		as.table[vp] = frame
+	}
+	return frame | (vaddr & (PageSize - 1))
+}
+
+// Lookup is Translate without demand allocation; ok reports whether the page
+// is mapped.
+func (as *AddressSpace) Lookup(vaddr uint64) (paddr uint64, ok bool) {
+	frame, ok := as.table[PageOf(vaddr)]
+	if !ok {
+		return 0, false
+	}
+	return frame | (vaddr & (PageSize - 1)), true
+}
+
+// MappedPages reports the number of resident pages.
+func (as *AddressSpace) MappedPages() int { return len(as.table) }
+
+// Compact migrates every mapped page to a fresh physical frame, modeling OS
+// memory compaction / page migration. Virtual addresses are unaffected;
+// all previously returned physical addresses become stale.
+func (as *AddressSpace) Compact() {
+	for vp := range as.table {
+		as.table[vp] = as.alloc.Alloc()
+		as.Migrations++
+	}
+}
+
+// TLBConfig describes one TLB's geometry and the cost model of refills.
+type TLBConfig struct {
+	Name string
+	Sets int
+	Ways int
+}
+
+// tlbEntry is one translation cache entry.
+type tlbEntry struct {
+	vpage uint64
+	valid bool
+	lru   uint64
+}
+
+// TLBStats counts TLB demand traffic.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+	Flushes  uint64
+}
+
+// TLB is a set-associative translation lookaside buffer over virtual pages.
+// It caches only reachability (the physical mapping is read from the
+// AddressSpace on every translation, so Compact takes effect immediately
+// after a Flush, exactly like a real TLB shootdown).
+type TLB struct {
+	cfg     TLBConfig
+	entries []tlbEntry
+	tick    uint64
+	Stats   TLBStats
+}
+
+// NewTLB builds a TLB; it panics on non-positive or non-power-of-two set
+// counts (design-time constants).
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("vm: TLB %s: bad geometry %d sets x %d ways", cfg.Name, cfg.Sets, cfg.Ways))
+	}
+	return &TLB{cfg: cfg, entries: make([]tlbEntry, cfg.Sets*cfg.Ways)}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+func (t *TLB) set(vpage uint64) []tlbEntry {
+	s := int(vpage) & (t.cfg.Sets - 1)
+	return t.entries[s*t.cfg.Ways : (s+1)*t.cfg.Ways]
+}
+
+// Access looks up vpage, returning whether it hit, and inserts it on a miss.
+func (t *TLB) Access(vpage uint64) bool {
+	t.Stats.Accesses++
+	set := t.set(vpage)
+	for i := range set {
+		if set[i].valid && set[i].vpage == vpage {
+			t.tick++
+			set[i].lru = t.tick
+			return true
+		}
+	}
+	t.Stats.Misses++
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	t.tick++
+	set[vi] = tlbEntry{vpage: vpage, valid: true, lru: t.tick}
+	return false
+}
+
+// Probe reports residency without inserting or counting.
+func (t *TLB) Probe(vpage uint64) bool {
+	for _, e := range t.set(vpage) {
+		if e.valid && e.vpage == vpage {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all entries (context switch / shootdown).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+	t.Stats.Flushes++
+}
+
+// ResetStats zeroes the counters, keeping contents.
+func (t *TLB) ResetStats() { t.Stats = TLBStats{} }
+
+// EvictFraction invalidates approximately frac of the TLB's entries,
+// modeling partial displacement by interleaved foreign translations.
+func (t *TLB) EvictFraction(frac float64, rng func() uint64) {
+	if frac <= 0 {
+		return
+	}
+	threshold := uint64(frac * float64(1<<32))
+	for i := range t.entries {
+		if t.entries[i].valid && rng()&0xFFFFFFFF < threshold {
+			t.entries[i].valid = false
+		}
+	}
+}

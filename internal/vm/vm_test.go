@@ -1,0 +1,219 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameAllocator(t *testing.T) {
+	a := NewFrameAllocator(10)
+	p1 := a.Alloc()
+	p2 := a.Alloc()
+	if p1 != 10<<PageShift || p2 != 11<<PageShift {
+		t.Errorf("frames = %#x, %#x", p1, p2)
+	}
+	base := a.AllocContiguous(4)
+	if base != 12<<PageShift {
+		t.Errorf("contiguous base = %#x", base)
+	}
+	if got := a.FramesAllocated(10); got != 6 {
+		t.Errorf("FramesAllocated = %d", got)
+	}
+}
+
+func TestAllocContiguousPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFrameAllocator(0).AllocContiguous(0)
+}
+
+func TestAddressSpaceTranslate(t *testing.T) {
+	as := NewAddressSpace(NewFrameAllocator(100))
+	p1 := as.Translate(0x1234)
+	if p1&(PageSize-1) != 0x234 {
+		t.Errorf("offset not preserved: %#x", p1)
+	}
+	// Same page translates consistently.
+	if p2 := as.Translate(0x1FFF); PageOf(p2) != PageOf(p1) {
+		t.Errorf("same vpage mapped to different frames: %#x vs %#x", p2, p1)
+	}
+	// Different page gets a different frame.
+	if p3 := as.Translate(0x2000); PageOf(p3) == PageOf(p1) {
+		t.Errorf("distinct vpages share a frame")
+	}
+	if as.MappedPages() != 2 {
+		t.Errorf("MappedPages = %d", as.MappedPages())
+	}
+}
+
+func TestAddressSpaceLookup(t *testing.T) {
+	as := NewAddressSpace(NewFrameAllocator(0))
+	if _, ok := as.Lookup(0x5000); ok {
+		t.Error("unmapped lookup succeeded")
+	}
+	want := as.Translate(0x5042)
+	got, ok := as.Lookup(0x5042)
+	if !ok || got != want {
+		t.Errorf("Lookup = %#x,%v want %#x", got, ok, want)
+	}
+	if as.MappedPages() != 1 {
+		t.Error("Lookup allocated")
+	}
+}
+
+func TestDistinctAddressSpacesDoNotAlias(t *testing.T) {
+	alloc := NewFrameAllocator(0)
+	a := NewAddressSpace(alloc)
+	b := NewAddressSpace(alloc)
+	pa := a.Translate(0x4000)
+	pb := b.Translate(0x4000)
+	if PageOf(pa) == PageOf(pb) {
+		t.Errorf("two instances share a physical frame: %#x", pa)
+	}
+}
+
+func TestCompactMovesEveryPage(t *testing.T) {
+	as := NewAddressSpace(NewFrameAllocator(0))
+	vaddrs := []uint64{0x1000, 0x2000, 0x3abc, 0x4fff}
+	before := make(map[uint64]uint64)
+	for _, v := range vaddrs {
+		before[v] = as.Translate(v)
+	}
+	as.Compact()
+	for _, v := range vaddrs {
+		after := as.Translate(v)
+		if PageOf(after) == PageOf(before[v]) {
+			t.Errorf("page %#x not migrated", v)
+		}
+		if after&(PageSize-1) != before[v]&(PageSize-1) {
+			t.Errorf("offset changed by compaction")
+		}
+	}
+	if as.Migrations != 4 {
+		t.Errorf("Migrations = %d", as.Migrations)
+	}
+	if as.MappedPages() != 4 {
+		t.Errorf("MappedPages after compact = %d", as.MappedPages())
+	}
+}
+
+// Property: translation is a function — the same vaddr always maps to the
+// same paddr between compactions — and preserves page offsets.
+func TestTranslateStableProperty(t *testing.T) {
+	as := NewAddressSpace(NewFrameAllocator(0))
+	f := func(vaddrs []uint32) bool {
+		for _, v32 := range vaddrs {
+			v := uint64(v32)
+			p1 := as.Translate(v)
+			p2 := as.Translate(v)
+			if p1 != p2 {
+				return false
+			}
+			if p1&(PageSize-1) != v&(PageSize-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "t", Sets: 4, Ways: 2})
+	if tlb.Access(5) {
+		t.Error("cold access hit")
+	}
+	if !tlb.Access(5) {
+		t.Error("warm access missed")
+	}
+	if !tlb.Probe(5) {
+		t.Error("Probe missed resident page")
+	}
+	if tlb.Probe(6) {
+		t.Error("Probe hit absent page")
+	}
+	if tlb.Stats.Accesses != 2 || tlb.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", tlb.Stats)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "t", Sets: 1, Ways: 2})
+	tlb.Access(1)
+	tlb.Access(2)
+	tlb.Access(1) // 1 is MRU
+	tlb.Access(3) // evicts 2
+	if !tlb.Probe(1) || tlb.Probe(2) || !tlb.Probe(3) {
+		t.Errorf("LRU eviction wrong: 1=%v 2=%v 3=%v", tlb.Probe(1), tlb.Probe(2), tlb.Probe(3))
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "t", Sets: 4, Ways: 2})
+	tlb.Access(1)
+	tlb.Flush()
+	if tlb.Probe(1) {
+		t.Error("entry survived flush")
+	}
+	if tlb.Stats.Flushes != 1 {
+		t.Errorf("Flushes = %d", tlb.Stats.Flushes)
+	}
+	tlb.ResetStats()
+	if tlb.Stats.Accesses != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestTLBEvictFraction(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "t", Sets: 16, Ways: 8})
+	for vp := uint64(0); vp < 128; vp++ {
+		tlb.Access(vp)
+	}
+	var state uint64 = 42
+	rng := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	tlb.EvictFraction(0.5, rng)
+	resident := 0
+	for vp := uint64(0); vp < 128; vp++ {
+		if tlb.Probe(vp) {
+			resident++
+		}
+	}
+	if resident < 40 || resident > 90 {
+		t.Errorf("after 50%% evict, %d of 128 resident", resident)
+	}
+	tlb.EvictFraction(0, rng) // no-op
+	after := 0
+	for vp := uint64(0); vp < 128; vp++ {
+		if tlb.Probe(vp) {
+			after++
+		}
+	}
+	if after != resident {
+		t.Error("EvictFraction(0) changed contents")
+	}
+}
+
+func TestTLBPanicsOnBadGeometry(t *testing.T) {
+	for _, cfg := range []TLBConfig{
+		{Sets: 0, Ways: 2}, {Sets: 3, Ways: 2}, {Sets: 4, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			NewTLB(cfg)
+		}()
+	}
+}

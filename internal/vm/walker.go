@@ -1,0 +1,150 @@
+package vm
+
+import "lukewarm/internal/mem"
+
+// WalkerConfig describes the hardware page-table walker cost model.
+type WalkerConfig struct {
+	// BaseLatency is charged for every walk (pipeline + cached PTE levels).
+	BaseLatency mem.Cycle
+	// CacheEntries sizes the walker's PTE-line cache: leaf PTE cache lines
+	// recently read by walks. A walk whose leaf PTE line is resident costs
+	// BaseLatency; otherwise it also pays a memory access.
+	CacheEntries int
+}
+
+// DefaultWalkerConfig models a radix-4 walker whose upper levels are almost
+// always cached: ~25 cycles when the leaf PTE line is on chip, plus a DRAM
+// access when it is not.
+func DefaultWalkerConfig() WalkerConfig {
+	return WalkerConfig{BaseLatency: 25, CacheEntries: 64}
+}
+
+// Walker is the hardware page-table walker. PTE lines hold 8 PTEs (64 B /
+// 8 B), so vpage>>3 identifies the leaf PTE line for a page.
+type Walker struct {
+	cfg   WalkerConfig
+	dram  *mem.DRAM
+	cache []uint64 // FIFO of resident PTE-line ids
+	pos   int
+	// Walks and ColdWalks count total walks and walks that went to memory.
+	Walks     uint64
+	ColdWalks uint64
+}
+
+// NewWalker builds a walker issuing cold PTE reads to dram. Zero config
+// fields fall back to defaults.
+func NewWalker(cfg WalkerConfig, dram *mem.DRAM) *Walker {
+	def := DefaultWalkerConfig()
+	if cfg.BaseLatency == 0 {
+		cfg.BaseLatency = def.BaseLatency
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = def.CacheEntries
+	}
+	w := &Walker{cfg: cfg, dram: dram, cache: make([]uint64, cfg.CacheEntries)}
+	for i := range w.cache {
+		w.cache[i] = ^uint64(0)
+	}
+	return w
+}
+
+// Walk performs one page walk for vpage at time now and returns its latency.
+func (w *Walker) Walk(now mem.Cycle, vpage uint64) mem.Cycle {
+	w.Walks++
+	pteLine := vpage >> 3
+	for _, id := range w.cache {
+		if id == pteLine {
+			return w.cfg.BaseLatency
+		}
+	}
+	w.ColdWalks++
+	w.cache[w.pos] = pteLine
+	w.pos = (w.pos + 1) % len(w.cache)
+	return w.cfg.BaseLatency + w.dram.Access(now, mem.TrafficDemand)
+}
+
+// Flush empties the walker's PTE-line cache (microarchitectural flush).
+func (w *Walker) Flush() {
+	for i := range w.cache {
+		w.cache[i] = ^uint64(0)
+	}
+}
+
+// MMUConfig bundles TLB and walker configurations for one core.
+type MMUConfig struct {
+	ITLB, DTLB TLBConfig
+	Walker     WalkerConfig
+}
+
+// DefaultMMUConfig models a 128-entry ITLB and a 64-entry DTLB.
+func DefaultMMUConfig() MMUConfig {
+	return MMUConfig{
+		ITLB:   TLBConfig{Name: "ITLB", Sets: 16, Ways: 8},
+		DTLB:   TLBConfig{Name: "DTLB", Sets: 16, Ways: 4},
+		Walker: DefaultWalkerConfig(),
+	}
+}
+
+// MMU performs instruction- and data-side address translation for one core
+// executing one address space at a time.
+type MMU struct {
+	ITLB, DTLB *TLB
+	Walker     *Walker
+	as         *AddressSpace
+}
+
+// NewMMU builds an MMU; dram services cold page walks.
+func NewMMU(cfg MMUConfig, dram *mem.DRAM) *MMU {
+	return &MMU{
+		ITLB:   NewTLB(cfg.ITLB),
+		DTLB:   NewTLB(cfg.DTLB),
+		Walker: NewWalker(cfg.Walker, dram),
+	}
+}
+
+// SetAddressSpace switches the MMU to translate as (process switch). The
+// caller decides whether to flush the TLBs; tagged TLBs survive switches,
+// untagged ones do not.
+func (m *MMU) SetAddressSpace(as *AddressSpace) { m.as = as }
+
+// AddressSpace returns the active address space.
+func (m *MMU) AddressSpace() *AddressSpace { return m.as }
+
+// TranslateInstr translates an instruction-side virtual address, charging
+// TLB-miss page walks. It panics if no address space is active — running
+// code without a process is a harness bug, not a runtime condition.
+func (m *MMU) TranslateInstr(now mem.Cycle, vaddr uint64) (paddr uint64, lat mem.Cycle) {
+	return m.translate(now, vaddr, m.ITLB)
+}
+
+// TranslateData translates a data-side virtual address.
+func (m *MMU) TranslateData(now mem.Cycle, vaddr uint64) (paddr uint64, lat mem.Cycle) {
+	return m.translate(now, vaddr, m.DTLB)
+}
+
+func (m *MMU) translate(now mem.Cycle, vaddr uint64, tlb *TLB) (uint64, mem.Cycle) {
+	if m.as == nil {
+		panic("vm: MMU has no active address space")
+	}
+	vp := PageOf(vaddr)
+	var lat mem.Cycle
+	if !tlb.Access(vp) {
+		lat = m.Walker.Walk(now, vp)
+	}
+	return m.as.Translate(vaddr), lat
+}
+
+// Flush invalidates both TLBs and the walker cache.
+func (m *MMU) Flush() {
+	m.ITLB.Flush()
+	m.DTLB.Flush()
+	m.Walker.Flush()
+}
+
+// ResetStats zeroes TLB counters and walker counts, keeping contents.
+func (m *MMU) ResetStats() {
+	m.ITLB.ResetStats()
+	m.DTLB.ResetStats()
+	m.Walker.Walks = 0
+	m.Walker.ColdWalks = 0
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestPerFunctionCalibrationDetail pins each function's construction-level
+// properties: configured footprint realized by the layout, dynamic length
+// within the configured band, and language profile knobs actually applied.
+func TestPerFunctionCalibrationDetail(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cfg := w.Program.Config()
+			if got := w.Program.StaticFootprintBytes(); got != cfg.CodeKB<<10 {
+				t.Errorf("static footprint %d != configured %d", got, cfg.CodeKB<<10)
+			}
+			n := w.Program.DynamicLength(0)
+			// Padding targets the configured length with small per-draw
+			// slack (optional-segment estimates are approximate).
+			if n < uint64(float64(cfg.DynamicInstrs)*0.95) {
+				t.Errorf("dynamic length %d below configured %d", n, cfg.DynamicInstrs)
+			}
+			if n > uint64(cfg.DynamicInstrs)*2 {
+				t.Errorf("dynamic length %d more than 2x configured %d", n, cfg.DynamicInstrs)
+			}
+			// Language profiles: the paper's qualitative ordering.
+			switch w.Lang {
+			case Python:
+				if cfg.IndirectFrac < 0.3 {
+					t.Errorf("Python needs heavy indirect dispatch, got %v", cfg.IndirectFrac)
+				}
+				if cfg.DepLoadFrac < 0.25 {
+					t.Errorf("Python needs heavy pointer chasing, got %v", cfg.DepLoadFrac)
+				}
+			case Go:
+				if cfg.IndirectFrac > 0.2 {
+					t.Errorf("Go should have light indirect dispatch, got %v", cfg.IndirectFrac)
+				}
+			}
+			if cfg.CodeKB < 280 || cfg.CodeKB > 800 {
+				t.Errorf("footprint %dKB outside the paper's range", cfg.CodeKB)
+			}
+		})
+	}
+}
+
+// TestDynamicLengthVariance: invocation lengths vary (optional segments)
+// but stay within a narrow band — the paper's functions have stable
+// durations once JIT-warm.
+func TestDynamicLengthVariance(t *testing.T) {
+	for _, name := range []string{"Auth-G", "Email-P", "Pay-N"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lo, hi uint64
+		for id := uint64(0); id < 6; id++ {
+			n := w.Program.DynamicLength(id)
+			if lo == 0 || n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		if float64(hi)/float64(lo) > 1.25 {
+			t.Errorf("%s: invocation lengths vary %d..%d (>25%%)", name, lo, hi)
+		}
+	}
+}
+
+// TestSeedsDistinct: every function gets a distinct layout even when
+// configured similarly.
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, w := range Suite() {
+		seed := w.Program.Config().Seed
+		if prev, dup := seen[seed]; dup {
+			t.Errorf("%s and %s share seed %d", w.Name, prev, seed)
+		}
+		seen[seed] = w.Name
+	}
+}
+
+// TestStressorDistinctFromSuite: the stressor must not alias any suite
+// function's behavior (it is a pure thrasher).
+func TestStressorDistinctFromSuite(t *testing.T) {
+	s := Stressor()
+	if s.Config().DataKB < 4096 {
+		t.Errorf("stressor data set %dKB too small to thrash an LLC", s.Config().DataKB)
+	}
+	var suiteMax int
+	for _, w := range Suite() {
+		if kb := w.Program.Config().CodeKB; kb > suiteMax {
+			suiteMax = kb
+		}
+	}
+	if s.Config().CodeKB <= suiteMax {
+		t.Errorf("stressor code %dKB not above the largest function %dKB", s.Config().CodeKB, suiteMax)
+	}
+}

@@ -1,0 +1,275 @@
+// Package lukewarm is a full reproduction of "Lukewarm Serverless Functions:
+// Characterization and Optimization" (Schall et al., ISCA 2022) as a
+// self-contained Go library.
+//
+// The paper observes that warm serverless function instances, invoked
+// seconds or minutes apart on highly consolidated hosts, find their
+// microarchitectural state obliterated by interleaved executions — a
+// "lukewarm" invocation that runs 31-114% slower than a truly warm one, with
+// instruction-fetch latency the dominant cost. It proposes Jukebox, a
+// record-and-replay instruction prefetcher that stores ~32 KB of
+// spatio-temporal metadata per instance in main memory and bulk-prefetches
+// the recorded working set into the L2 when the instance is rescheduled,
+// recovering an average 18.7% of performance.
+//
+// This package is the facade over the simulation stack:
+//
+//   - NewServer builds a simulated host (core, cache hierarchy, MMU) and
+//     deploys warm function instances with or without Jukebox.
+//   - Suite and FunctionByName provide the paper's 20-workload evaluation
+//     suite (Table 2), realized as calibrated synthetic programs.
+//   - The Fig*/Table* functions regenerate every figure and table of the
+//     paper's evaluation; see DESIGN.md for the per-experiment index and
+//     EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Quick start
+//
+//	srv := lukewarm.NewServer(lukewarm.ServerConfig{})
+//	fn, _ := lukewarm.FunctionByName("Auth-G")
+//	inst := srv.Deploy(fn)
+//	warm := srv.RunReference(inst, 3)   // back-to-back: fully warm
+//	luke := srv.RunLukewarm(inst, 3)    // state flushed between invocations
+//	fmt.Printf("lukewarm penalty: %.0f%%\n", (luke.CPI()/warm.CPI()-1)*100)
+//
+// Attach Jukebox by setting ServerConfig.Jukebox to a configuration from
+// DefaultJukeboxConfig. Everything is deterministic: the same program run
+// twice produces identical cycle counts.
+package lukewarm
+
+import (
+	"io"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/experiments"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/pif"
+	"lukewarm/internal/program"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/stats"
+	"lukewarm/internal/topdown"
+	"lukewarm/internal/trace"
+	"lukewarm/internal/workload"
+)
+
+// Core simulation types, re-exported from the implementation packages.
+type (
+	// Server is a simulated serverless host: one core plus its co-resident
+	// warm function instances.
+	Server = serverless.Server
+	// ServerConfig configures a Server (platform, Jukebox, thrash model).
+	ServerConfig = serverless.Config
+	// Instance is one warm, memory-resident function instance.
+	Instance = serverless.Instance
+	// RunResult is one invocation's timing outcome, including its Top-Down
+	// cycle stack.
+	RunResult = cpu.RunResult
+	// CPUConfig describes a simulated platform (core + caches + MMU).
+	CPUConfig = cpu.Config
+	// Workload is one function of the evaluation suite.
+	Workload = workload.Workload
+	// JukeboxConfig parameterizes the Jukebox prefetcher.
+	JukeboxConfig = core.Config
+	// Jukebox is the record-and-replay instruction prefetcher — the
+	// paper's contribution.
+	Jukebox = core.Jukebox
+	// PIFConfig parameterizes the PIF comparator prefetcher.
+	PIFConfig = pif.Config
+	// PIF is the Proactive Instruction Fetch baseline (Ferdman et al.).
+	PIF = pif.PIF
+	// ProgramConfig describes a custom synthetic function program.
+	ProgramConfig = program.Config
+	// Program is a synthetic function program.
+	Program = program.Program
+	// TopDownStack is a Top-Down cycle decomposition.
+	TopDownStack = topdown.Stack
+	// ExperimentOptions scales experiment runs (warmup/measured invocations
+	// and the function subset).
+	ExperimentOptions = experiments.Options
+	// Table is an aligned text table, the output format of experiments.
+	Table = stats.Table
+	// TopDownCategory is one Top-Down cycle class.
+	TopDownCategory = topdown.Category
+	// CacheStats are the per-cache counters (demand hits/misses by kind,
+	// prefetch coverage accounting).
+	CacheStats = mem.CacheStats
+	// MemKind distinguishes instruction from data traffic.
+	MemKind = mem.Kind
+	// Cycle is a point in simulated time, in CPU clock cycles.
+	Cycle = mem.Cycle
+)
+
+// Top-Down categories (Yasin, ISPASS'14 level 1, with the level-2 front-end
+// split the paper uses).
+const (
+	Retiring       = topdown.Retiring
+	FetchLatency   = topdown.FetchLatency
+	FetchBandwidth = topdown.FetchBandwidth
+	BadSpeculation = topdown.BadSpeculation
+	BackendBound   = topdown.BackendBound
+)
+
+// Memory traffic kinds.
+const (
+	InstrKind = mem.Instr
+	DataKind  = mem.Data
+)
+
+// NewServer builds a simulated host. The zero ServerConfig selects the
+// paper's Skylake-like platform with no prefetcher.
+func NewServer(cfg ServerConfig) *Server { return serverless.New(cfg) }
+
+// Suite returns the paper's 20-function evaluation suite (Table 2) in
+// figure order.
+func Suite() []Workload { return workload.Suite() }
+
+// FunctionNames lists the suite's function names in figure order.
+func FunctionNames() []string { return workload.Names() }
+
+// FunctionByName builds the named workload (e.g. "Auth-G", "Email-P").
+func FunctionByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// NewProgram builds a custom synthetic function from cfg; deploy it by
+// wrapping it in a Workload.
+func NewProgram(cfg ProgramConfig) *Program { return program.New(cfg) }
+
+// SkylakeConfig returns the paper's Table 1 simulation platform.
+func SkylakeConfig() CPUConfig { return cpu.SkylakeConfig() }
+
+// BroadwellConfig returns the Sec. 5.6 platform with a 256 KB L2.
+func BroadwellConfig() CPUConfig { return cpu.BroadwellConfig() }
+
+// CharacterizationConfig returns the Sec. 4.1 characterization host.
+func CharacterizationConfig() CPUConfig { return cpu.CharacterizationConfig() }
+
+// DefaultJukeboxConfig returns the paper's preferred Jukebox configuration:
+// 1 KB regions, 16-entry CRRB, 16 KB metadata per direction.
+func DefaultJukeboxConfig() JukeboxConfig { return core.DefaultConfig() }
+
+// DefaultPIFConfig returns the published PIF configuration.
+func DefaultPIFConfig() PIFConfig { return pif.DefaultConfig() }
+
+// IdealPIFConfig returns PIF-ideal: unlimited, persistent metadata.
+func IdealPIFConfig() PIFConfig { return pif.IdealConfig() }
+
+// NewPIF builds a PIF attached to the server's hierarchy; install it with
+// srv.AttachCorePrefetcher.
+func NewPIF(cfg PIFConfig, srv *Server) *PIF { return pif.New(cfg, srv.Core.Hier) }
+
+// Experiment runners: each regenerates one figure or table of the paper.
+// They accept ExperimentOptions to scale warmup/measurement and restrict the
+// function set (the zero value runs the full suite at a quick default).
+
+// Fig1 regenerates Figure 1: CPI vs invocation inter-arrival time.
+func Fig1(opt ExperimentOptions) experiments.Fig1Result { return experiments.Fig1(opt) }
+
+// Characterize regenerates the data behind Figures 2-5: Top-Down stacks and
+// MPKI breakdowns for reference vs interleaved execution.
+func Characterize(opt ExperimentOptions) experiments.CharacterizationResult {
+	return experiments.Characterize(opt)
+}
+
+// Footprints regenerates Figures 6a/6b: instruction footprints and their
+// cross-invocation Jaccard commonality. invocations <= 0 selects the
+// paper's 25 traced invocations per function.
+func Footprints(opt ExperimentOptions, invocations int) experiments.FootprintResult {
+	return experiments.Footprints(opt, invocations)
+}
+
+// Fig8 regenerates Figure 8: metadata size vs code-region size.
+func Fig8(opt ExperimentOptions, crrbEntries int) experiments.Fig8Result {
+	return experiments.Fig8(opt, crrbEntries)
+}
+
+// Fig9 regenerates Figure 9: speedup vs metadata budget.
+func Fig9(opt ExperimentOptions) experiments.Fig9Result { return experiments.Fig9(opt) }
+
+// Performance regenerates Figures 10-12: baseline vs Jukebox vs perfect
+// I-cache, plus coverage and bandwidth overheads.
+func Performance(opt ExperimentOptions) experiments.PerfResult {
+	return experiments.Performance(opt, cpu.SkylakeConfig(), core.DefaultConfig())
+}
+
+// PerformanceOn runs the Figures 10-12 experiment on a specific platform and
+// Jukebox configuration.
+func PerformanceOn(opt ExperimentOptions, platform CPUConfig, jb JukeboxConfig) experiments.PerfResult {
+	return experiments.Performance(opt, platform, jb)
+}
+
+// Fig13 regenerates Figure 13: Jukebox vs PIF and PIF-ideal.
+func Fig13(opt ExperimentOptions) experiments.Fig13Result { return experiments.Fig13(opt) }
+
+// Table1 renders the simulated processor parameters.
+func Table1() *Table { return experiments.Table1() }
+
+// Table2 renders the workload suite.
+func Table2() *Table { return experiments.Table2() }
+
+// Table3 regenerates Table 3: MPKI reductions on Skylake vs Broadwell.
+func Table3(opt ExperimentOptions) experiments.Table3Result { return experiments.Table3(opt) }
+
+// CRRBAblation runs the Sec. 5.1 CRRB-size sensitivity study.
+func CRRBAblation(opt ExperimentOptions) experiments.CRRBAblationResult {
+	return experiments.CRRBAblation(opt)
+}
+
+// Compaction runs the virtual-vs-physical metadata ablation (Sec. 3.3).
+func Compaction(opt ExperimentOptions) experiments.CompactionResult {
+	return experiments.Compaction(opt)
+}
+
+// Snapshot runs the snapshot/cold-boot replay extension (Sec. 3.4.2).
+func Snapshot(opt ExperimentOptions) experiments.SnapshotResult {
+	return experiments.Snapshot(opt)
+}
+
+// DynamicMetadata runs the per-function metadata sizing extension (Sec. 5.1).
+func DynamicMetadata(opt ExperimentOptions) experiments.DynamicMetadataResult {
+	return experiments.DynamicMetadata(opt)
+}
+
+// Baselines runs the Sec. 6 related-work comparison: Jukebox vs a next-line
+// instruction prefetcher and a RECAP-style LLC context-restoration scheme.
+func Baselines(opt ExperimentOptions) experiments.BaselinesResult {
+	return experiments.Baselines(opt)
+}
+
+// ServerSim runs the system-level validation: the suite co-resident under
+// Poisson invocation traffic, with natural interleaving, baseline vs
+// Jukebox.
+func ServerSim(opt ExperimentOptions) experiments.ServerSimResult {
+	return experiments.ServerSim(opt)
+}
+
+// Scaling runs the multi-core extension: the suite under saturating traffic
+// on 1, 2 and 4 cores sharing an LLC, baseline vs Jukebox.
+func Scaling(opt ExperimentOptions) experiments.ScalingResult {
+	return experiments.Scaling(opt)
+}
+
+// TrafficConfig drives Server.ServeTraffic system-level simulations.
+type TrafficConfig = serverless.TrafficConfig
+
+// DefaultTrafficConfig returns a representative 1 s Poisson workload.
+func DefaultTrafficConfig() TrafficConfig { return serverless.DefaultTrafficConfig() }
+
+// Trace I/O: capture instruction streams to the compact binary format and
+// replay them through the core (see cmd/tracecap for the CLI).
+type (
+	// TraceWriter serializes an instruction stream.
+	TraceWriter = trace.Writer
+	// TraceReader replays a serialized stream; it implements the core's
+	// instruction-source interface.
+	TraceReader = trace.Reader
+)
+
+// CaptureTrace writes invocation id of fn's program to w.
+func CaptureTrace(fn Workload, id uint64, w io.Writer) (instructions uint64, err error) {
+	return trace.Capture(fn.Program, id, w)
+}
+
+// NewTraceWriter starts a trace stream on w.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) { return trace.NewWriter(w) }
+
+// NewTraceReader opens a trace stream for replay.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }

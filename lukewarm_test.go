@@ -1,0 +1,115 @@
+package lukewarm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	fn, err := FunctionByName("Auth-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := srv.Deploy(fn)
+	warm := srv.RunReference(inst, 2)
+	luke := srv.RunLukewarm(inst, 2)
+	if luke.CPI() <= warm.CPI() {
+		t.Errorf("lukewarm CPI %.3f not above warm %.3f", luke.CPI(), warm.CPI())
+	}
+
+	jb := DefaultJukeboxConfig()
+	srv2 := NewServer(ServerConfig{Jukebox: &jb})
+	inst2 := srv2.Deploy(fn)
+	fast := srv2.RunLukewarm(inst2, 3)
+	if fast.Cycles >= luke.Cycles {
+		t.Errorf("Jukebox did not speed up the lukewarm run")
+	}
+	if inst2.Jukebox.MetadataFootprintBytes() != 32<<10 {
+		t.Errorf("metadata footprint = %d", inst2.Jukebox.MetadataFootprintBytes())
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	if got := len(Suite()); got != 20 {
+		t.Errorf("Suite = %d functions", got)
+	}
+	if got := len(FunctionNames()); got != 20 {
+		t.Errorf("FunctionNames = %d", got)
+	}
+	if _, err := FunctionByName("definitely-not-a-function"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	if SkylakeConfig().Hier.L2.SizeBytes <= BroadwellConfig().Hier.L2.SizeBytes {
+		t.Error("platform configs inverted")
+	}
+	if CharacterizationConfig().Hier.LLC.SizeBytes <= BroadwellConfig().Hier.LLC.SizeBytes {
+		t.Error("characterization LLC not enlarged")
+	}
+	if DefaultJukeboxConfig().RegionSizeBytes != 1024 {
+		t.Error("default region size not 1KB")
+	}
+	if !IdealPIFConfig().Persist || DefaultPIFConfig().Persist {
+		t.Error("PIF persistence flags wrong")
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	p := NewProgram(ProgramConfig{
+		Name: "custom", Seed: 9, CodeKB: 64, DynamicInstrs: 40_000,
+		CoreFrac: 0.9, OptionalProb: 0.8, InstrPerLine: 16,
+		LoadFrac: 0.2, StoreFrac: 0.1, CondFrac: 0.3, CondBias: 0.9,
+		DataKB: 64, HotDataKB: 16, HotDataFrac: 0.7,
+	})
+	srv := NewServer(ServerConfig{})
+	inst := srv.Deploy(Workload{Name: "custom", Program: p})
+	res := srv.Invoke(inst)
+	if res.Instrs == 0 {
+		t.Fatal("custom program ran nothing")
+	}
+}
+
+func TestFacadePIFAttachment(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	pf := NewPIF(IdealPIFConfig(), srv)
+	srv.AttachCorePrefetcher(pf)
+	fn, _ := FunctionByName("ProdL-G")
+	inst := srv.Deploy(fn)
+	srv.RunLukewarm(inst, 1)
+	if pf.Stats.Appends == 0 {
+		t.Error("attached PIF saw no traffic")
+	}
+}
+
+func TestFacadeTopDownAccessors(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	fn, _ := FunctionByName("Fib-G")
+	res := srv.RunLukewarm(srv.Deploy(fn), 1)
+	total := 0.0
+	for _, c := range []TopDownCategory{Retiring, FetchLatency, FetchBandwidth, BadSpeculation, BackendBound} {
+		total += res.Stack.CPIOf(c)
+	}
+	if diff := total - res.CPI(); diff > 0.001 || diff < -0.001 {
+		t.Errorf("topdown categories (%.3f) do not sum to CPI (%.3f)", total, res.CPI())
+	}
+}
+
+func TestFacadeExperimentWrappers(t *testing.T) {
+	opt := ExperimentOptions{Functions: []string{"Auth-G"}, Warmup: 1, Measure: 1}
+	if Table1().NumRows() == 0 || Table2().NumRows() != 20 {
+		t.Error("static tables broken")
+	}
+	if out := Footprints(opt, 3).Fig6aTable().String(); !strings.Contains(out, "Auth-G") {
+		t.Error("Footprints wrapper broken")
+	}
+	if out := Fig8(opt, 16).Table().String(); !strings.Contains(out, "Auth-G") {
+		t.Error("Fig8 wrapper broken")
+	}
+	perf := PerformanceOn(opt, BroadwellConfig(), DefaultJukeboxConfig())
+	if perf.Platform != "Broadwell-like" {
+		t.Errorf("PerformanceOn platform = %q", perf.Platform)
+	}
+}
