@@ -38,7 +38,10 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkFig1(b *testing.B) {
 	var saturated float64
 	for i := 0; i < b.N; i++ {
-		r := Fig1(ExperimentOptions{Warmup: 1, Measure: 1})
+		r, err := Fig1(ExperimentOptions{Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		saturated = r.Rows[len(r.Rows)-1].NormCPI["Auth-P"]
 	}
 	b.ReportMetric(saturated, "saturatedCPI%")
@@ -47,7 +50,10 @@ func BenchmarkFig1(b *testing.B) {
 func BenchmarkFig2(b *testing.B) {
 	var uplift float64
 	for i := 0; i < b.N; i++ {
-		r := Characterize(benchOpt)
+		r, err := Characterize(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		uplift = r.MeanUplift() * 100
 		_ = r.Fig2Table()
 	}
@@ -56,14 +62,21 @@ func BenchmarkFig2(b *testing.B) {
 
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = Characterize(benchOpt).Fig3Table()
+		r, err := Characterize(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Fig3Table()
 	}
 }
 
 func BenchmarkFig4(b *testing.B) {
 	var share float64
 	for i := 0; i < b.N; i++ {
-		r := Characterize(benchOpt)
+		r, err := Characterize(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		share = r.Fig4FetchLatencyShare() * 100
 		_ = r.Fig4Table()
 	}
@@ -72,20 +85,31 @@ func BenchmarkFig4(b *testing.B) {
 
 func BenchmarkFig5a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = Characterize(benchOpt).Fig5aTable()
+		r, err := Characterize(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Fig5aTable()
 	}
 }
 
 func BenchmarkFig5b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = Characterize(benchOpt).Fig5bTable()
+		r, err := Characterize(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Fig5bTable()
 	}
 }
 
 func BenchmarkFig6a(b *testing.B) {
 	var meanKB float64
 	for i := 0; i < b.N; i++ {
-		r := Footprints(ExperimentOptions{Functions: benchOpt.Functions}, 8)
+		r, err := Footprints(ExperimentOptions{Functions: benchOpt.Functions}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
 		meanKB = r.MeanFootprintKB()
 		_ = r.Fig6aTable()
 	}
@@ -95,7 +119,10 @@ func BenchmarkFig6a(b *testing.B) {
 func BenchmarkFig6b(b *testing.B) {
 	var high float64
 	for i := 0; i < b.N; i++ {
-		r := Footprints(ExperimentOptions{Functions: benchOpt.Functions}, 8)
+		r, err := Footprints(ExperimentOptions{Functions: benchOpt.Functions}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
 		high = float64(r.HighCommonalityCount())
 		_ = r.Fig6bTable()
 	}
@@ -105,7 +132,10 @@ func BenchmarkFig6b(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		r := Fig8(ExperimentOptions{Functions: benchOpt.Functions, Measure: 1}, 16)
+		r, err := Fig8(ExperimentOptions{Functions: benchOpt.Functions, Measure: 1}, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
 		best = float64(r.BestRegionSize())
 		_ = r.Table()
 	}
@@ -115,7 +145,10 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	var g16 float64
 	for i := 0; i < b.N; i++ {
-		r := Fig9(ExperimentOptions{Functions: workload.Representatives(), Warmup: 1, Measure: 1})
+		r, err := Fig9(ExperimentOptions{Functions: workload.Representatives(), Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		g16 = r.Rows[2].SpeedupPct["GEOMEAN"]
 		_ = r.Table()
 	}
@@ -125,7 +158,10 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkFig10(b *testing.B) {
 	var jb, pf float64
 	for i := 0; i < b.N; i++ {
-		r := Performance(benchOpt)
+		r, err := Performance(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		jb, pf = r.GeomeanSpeedups()
 		_ = r.Fig10Table()
 	}
@@ -136,7 +172,10 @@ func BenchmarkFig10(b *testing.B) {
 func BenchmarkFig11(b *testing.B) {
 	var cov float64
 	for i := 0; i < b.N; i++ {
-		r := Performance(benchOpt)
+		r, err := Performance(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		covered, _, _ := r.Rows[0].Coverage()
 		cov = covered * 100
 		_ = r.Fig11Table()
@@ -146,14 +185,21 @@ func BenchmarkFig11(b *testing.B) {
 
 func BenchmarkFig12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = Performance(benchOpt).Fig12Table()
+		r, err := Performance(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Fig12Table()
 	}
 }
 
 func BenchmarkFig13(b *testing.B) {
 	var jb, ideal float64
 	for i := 0; i < b.N; i++ {
-		r := Fig13(ExperimentOptions{Functions: workload.Representatives(), Warmup: 1, Measure: 1})
+		r, err := Fig13(ExperimentOptions{Functions: workload.Representatives(), Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		jb = r.SpeedupPct["JB"]["GEOMEAN"]
 		ideal = r.SpeedupPct["PIF-ideal"]["GEOMEAN"]
 		_ = r.Table()
@@ -165,7 +211,10 @@ func BenchmarkFig13(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	var bdw float64
 	for i := 0; i < b.N; i++ {
-		r := Table3(ExperimentOptions{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 1})
+		r, err := Table3(ExperimentOptions{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		bdw = r.GeomeanSpeedupPct["Broadwell"]
 		_ = r.Table()
 	}
@@ -174,14 +223,21 @@ func BenchmarkTable3(b *testing.B) {
 
 func BenchmarkAblationCRRB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = CRRBAblation(ExperimentOptions{Functions: []string{"Auth-G", "Email-P"}, Measure: 1}).Table()
+		r, err := CRRBAblation(ExperimentOptions{Functions: []string{"Auth-G", "Email-P"}, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Table()
 	}
 }
 
 func BenchmarkAblationCompaction(b *testing.B) {
 	var virt float64
 	for i := 0; i < b.N; i++ {
-		r := Compaction(ExperimentOptions{Functions: []string{"Auth-G"}, Warmup: 1, Measure: 1})
+		r, err := Compaction(ExperimentOptions{Functions: []string{"Auth-G"}, Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		virt = r.Coverage["virtual"] * 100
 		_ = r.Table()
 	}
@@ -191,7 +247,10 @@ func BenchmarkAblationCompaction(b *testing.B) {
 func BenchmarkExtensionSnapshot(b *testing.B) {
 	var sp float64
 	for i := 0; i < b.N; i++ {
-		r := Snapshot(ExperimentOptions{Functions: []string{"Auth-G", "ProdL-G"}, Warmup: 1, Measure: 1})
+		r, err := Snapshot(ExperimentOptions{Functions: []string{"Auth-G", "ProdL-G"}, Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		sp = r.FirstInvocationSpeedupPct
 		_ = r.Table()
 	}
@@ -201,7 +260,10 @@ func BenchmarkExtensionSnapshot(b *testing.B) {
 func BenchmarkExtensionBaselines(b *testing.B) {
 	var recap float64
 	for i := 0; i < b.N; i++ {
-		r := Baselines(ExperimentOptions{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 1})
+		r, err := Baselines(ExperimentOptions{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		recap = r.BandwidthPct["RECAP"]
 		_ = r.Table()
 	}
@@ -211,8 +273,11 @@ func BenchmarkExtensionBaselines(b *testing.B) {
 func BenchmarkExtensionServerSim(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		r := ServerSim(ExperimentOptions{Warmup: 1, Measure: 1,
+		r, err := ServerSim(ExperimentOptions{Warmup: 1, Measure: 1,
 			Functions: []string{"Auth-G", "Email-P", "Pay-N", "Geo-G", "Prof-G", "Curr-N", "RecO-P", "ProdL-G"}})
+		if err != nil {
+			b.Fatal(err)
+		}
 		gain = r.ThroughputGainPct
 		_ = r.Table()
 	}
@@ -222,7 +287,10 @@ func BenchmarkExtensionServerSim(b *testing.B) {
 func BenchmarkExtensionScaling(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		r := Scaling(ExperimentOptions{Warmup: 1, Measure: 1})
+		r, err := Scaling(ExperimentOptions{Warmup: 1, Measure: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		gain = r.Rows[len(r.Rows)-1].JukeboxGainPct
 		_ = r.Table()
 	}

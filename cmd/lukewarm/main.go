@@ -8,8 +8,9 @@
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5a fig5b fig6a fig6b
 // fig8 fig9 fig10 fig11 fig12 fig13 table3 crrb compaction snapshot dynmeta
-// baselines server scaling all. The -csv flag mirrors every table into
-// machine-readable CSV files.
+// baselines server scaling chaos all. The -csv flag mirrors every table into
+// machine-readable CSV files; -audit cross-checks every measured invocation
+// against the simulator's conservation invariants.
 package main
 
 import (
@@ -28,6 +29,8 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warm-up invocations per configuration (0 = default)")
 	funcs := flag.String("funcs", "", "comma-separated function subset (default: all 20)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	audit := flag.Bool("audit", false, "check conservation invariants on every measured invocation")
+	seed := flag.Uint64("seed", 42, "fault-injection seed for the chaos experiment")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -35,7 +38,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opt := lukewarm.ExperimentOptions{Measure: *measure, Warmup: *warmup}
+	opt := lukewarm.ExperimentOptions{Measure: *measure, Warmup: *warmup, Audit: *audit}
 	if *funcs != "" {
 		opt.Functions = strings.Split(*funcs, ",")
 	}
@@ -43,7 +46,7 @@ func main() {
 
 	name := flag.Arg(0)
 	start := time.Now()
-	if err := run(name, opt, p); err != nil {
+	if err := run(name, opt, p, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "lukewarm:", err)
 		os.Exit(1)
 	}
@@ -74,6 +77,7 @@ experiments:
   baselines             Jukebox vs next-line and RECAP-style restoration (Sec. 6)
   server                system-level Poisson-traffic simulation
   scaling               multi-core scaling under saturating traffic
+  chaos                 fault-injection sweep with graceful-degradation checks
   all                   everything above, in paper order
 
 flags:
@@ -103,144 +107,145 @@ func (p printer) show(t *lukewarm.Table) error {
 	return t.WriteCSV(f)
 }
 
-// run dispatches one experiment by name.
-func run(name string, opt lukewarm.ExperimentOptions, p printer) error {
-	switch name {
-	case "table1":
-		if err := p.show(lukewarm.Table1()); err != nil {
-			return err
-		}
-	case "table2":
-		if err := p.show(lukewarm.Table2()); err != nil {
-			return err
-		}
-	case "fig1":
-		if err := p.show(lukewarm.Fig1(opt).Table()); err != nil {
-			return err
-		}
-	case "fig2":
-		if err := p.show(lukewarm.Characterize(opt).Fig2Table()); err != nil {
-			return err
-		}
-	case "fig3":
-		if err := p.show(lukewarm.Characterize(opt).Fig3Table()); err != nil {
-			return err
-		}
-	case "fig4":
-		if err := p.show(lukewarm.Characterize(opt).Fig4Table()); err != nil {
-			return err
-		}
-	case "fig5a":
-		if err := p.show(lukewarm.Characterize(opt).Fig5aTable()); err != nil {
-			return err
-		}
-	case "fig5b":
-		if err := p.show(lukewarm.Characterize(opt).Fig5bTable()); err != nil {
-			return err
-		}
-	case "fig6a":
-		if err := p.show(lukewarm.Footprints(opt, 25).Fig6aTable()); err != nil {
-			return err
-		}
-	case "fig6b":
-		if err := p.show(lukewarm.Footprints(opt, 25).Fig6bTable()); err != nil {
-			return err
-		}
-	case "fig8":
-		if err := p.show(lukewarm.Fig8(opt, 16).Table()); err != nil {
-			return err
-		}
-	case "fig9":
-		if err := p.show(lukewarm.Fig9(opt).Table()); err != nil {
-			return err
-		}
-	case "fig10":
-		if err := p.show(lukewarm.Performance(opt).Fig10Table()); err != nil {
-			return err
-		}
-	case "fig11":
-		if err := p.show(lukewarm.Performance(opt).Fig11Table()); err != nil {
-			return err
-		}
-	case "fig12":
-		if err := p.show(lukewarm.Performance(opt).Fig12Table()); err != nil {
-			return err
-		}
-	case "fig13":
-		if err := p.show(lukewarm.Fig13(opt).Table()); err != nil {
-			return err
-		}
-	case "table3":
-		if err := p.show(lukewarm.Table3(opt).Table()); err != nil {
-			return err
-		}
-	case "crrb":
-		if err := p.show(lukewarm.CRRBAblation(opt).Table()); err != nil {
-			return err
-		}
-	case "compaction":
-		if err := p.show(lukewarm.Compaction(opt).Table()); err != nil {
-			return err
-		}
-	case "snapshot":
-		if err := p.show(lukewarm.Snapshot(opt).Table()); err != nil {
-			return err
-		}
-	case "dynmeta":
-		if err := p.show(lukewarm.DynamicMetadata(opt).Table()); err != nil {
-			return err
-		}
-	case "baselines":
-		if err := p.show(lukewarm.Baselines(opt).Table()); err != nil {
-			return err
-		}
-	case "server":
-		if err := p.show(lukewarm.ServerSim(opt).Table()); err != nil {
-			return err
-		}
-	case "scaling":
-		if err := p.show(lukewarm.Scaling(opt).Table()); err != nil {
-			return err
-		}
-	case "all":
-		return runAll(opt, p)
-	default:
-		return fmt.Errorf("unknown experiment %q (run with no arguments for the list)", name)
+// tabler is any experiment result with a single canonical table.
+type tabler interface {
+	Table() *lukewarm.Table
+}
+
+// render accepts a runner's (result, error) pair directly —
+// p.render(lukewarm.Fig8(opt, 16)) — and shows the result's table.
+func (p printer) render(r tabler, err error) error {
+	if err != nil {
+		return err
+	}
+	return p.show(r.Table())
+}
+
+// runChaos executes the fault-injection sweep; any FAIL cell makes the
+// command exit non-zero after the full matrix has been rendered.
+func runChaos(opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
+	r, err := lukewarm.Chaos(opt, seed)
+	if err != nil {
+		return err
+	}
+	if err := p.show(r.Table()); err != nil {
+		return err
+	}
+	if n := r.Failures(); n > 0 {
+		return fmt.Errorf("chaos: %d of %d cells failed", n, len(r.Cells))
 	}
 	return nil
 }
 
+// run dispatches one experiment by name.
+func run(name string, opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
+	switch name {
+	case "table1":
+		return p.show(lukewarm.Table1())
+	case "table2":
+		return p.show(lukewarm.Table2())
+	case "fig1":
+		return p.render(lukewarm.Fig1(opt))
+	case "fig2", "fig3", "fig4", "fig5a", "fig5b":
+		char, err := lukewarm.Characterize(opt)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig2":
+			return p.show(char.Fig2Table())
+		case "fig3":
+			return p.show(char.Fig3Table())
+		case "fig4":
+			return p.show(char.Fig4Table())
+		case "fig5a":
+			return p.show(char.Fig5aTable())
+		default:
+			return p.show(char.Fig5bTable())
+		}
+	case "fig6a", "fig6b":
+		fp, err := lukewarm.Footprints(opt, 25)
+		if err != nil {
+			return err
+		}
+		if name == "fig6a" {
+			return p.show(fp.Fig6aTable())
+		}
+		return p.show(fp.Fig6bTable())
+	case "fig8":
+		return p.render(lukewarm.Fig8(opt, 16))
+	case "fig9":
+		return p.render(lukewarm.Fig9(opt))
+	case "fig10", "fig11", "fig12":
+		perf, err := lukewarm.Performance(opt)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig10":
+			return p.show(perf.Fig10Table())
+		case "fig11":
+			return p.show(perf.Fig11Table())
+		default:
+			return p.show(perf.Fig12Table())
+		}
+	case "fig13":
+		return p.render(lukewarm.Fig13(opt))
+	case "table3":
+		return p.render(lukewarm.Table3(opt))
+	case "crrb":
+		return p.render(lukewarm.CRRBAblation(opt))
+	case "compaction":
+		return p.render(lukewarm.Compaction(opt))
+	case "snapshot":
+		return p.render(lukewarm.Snapshot(opt))
+	case "dynmeta":
+		return p.render(lukewarm.DynamicMetadata(opt))
+	case "baselines":
+		return p.render(lukewarm.Baselines(opt))
+	case "server":
+		return p.render(lukewarm.ServerSim(opt))
+	case "scaling":
+		return p.render(lukewarm.Scaling(opt))
+	case "chaos":
+		return runChaos(opt, p, seed)
+	case "all":
+		return runAll(opt, p, seed)
+	default:
+		return fmt.Errorf("unknown experiment %q (run with no arguments for the list)", name)
+	}
+}
+
 // runAll regenerates everything, sharing runs between figures that come
 // from the same experiment.
-func runAll(opt lukewarm.ExperimentOptions, p printer) error {
+func runAll(opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
 	if err := p.show(lukewarm.Table1()); err != nil {
 		return err
 	}
 	if err := p.show(lukewarm.Table2()); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Fig1(opt).Table()); err != nil {
+	if err := p.render(lukewarm.Fig1(opt)); err != nil {
 		return err
 	}
 
-	char := lukewarm.Characterize(opt)
-	if err := p.show(char.Fig2Table()); err != nil {
+	char, err := lukewarm.Characterize(opt)
+	if err != nil {
 		return err
 	}
-	if err := p.show(char.Fig3Table()); err != nil {
-		return err
-	}
-	if err := p.show(char.Fig4Table()); err != nil {
-		return err
-	}
-	if err := p.show(char.Fig5aTable()); err != nil {
-		return err
-	}
-	if err := p.show(char.Fig5bTable()); err != nil {
-		return err
+	for _, t := range []*lukewarm.Table{
+		char.Fig2Table(), char.Fig3Table(), char.Fig4Table(),
+		char.Fig5aTable(), char.Fig5bTable(),
+	} {
+		if err := p.show(t); err != nil {
+			return err
+		}
 	}
 
-	fp := lukewarm.Footprints(opt, 25)
+	fp, err := lukewarm.Footprints(opt, 25)
+	if err != nil {
+		return err
+	}
 	if err := p.show(fp.Fig6aTable()); err != nil {
 		return err
 	}
@@ -248,50 +253,49 @@ func runAll(opt lukewarm.ExperimentOptions, p printer) error {
 		return err
 	}
 
-	if err := p.show(lukewarm.Fig8(opt, 16).Table()); err != nil {
+	if err := p.render(lukewarm.Fig8(opt, 16)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Fig9(opt).Table()); err != nil {
-		return err
-	}
-
-	perf := lukewarm.Performance(opt)
-	if err := p.show(perf.Fig10Table()); err != nil {
-		return err
-	}
-	if err := p.show(perf.Fig11Table()); err != nil {
-		return err
-	}
-	if err := p.show(perf.Fig12Table()); err != nil {
+	if err := p.render(lukewarm.Fig9(opt)); err != nil {
 		return err
 	}
 
-	if err := p.show(lukewarm.Fig13(opt).Table()); err != nil {
+	perf, err := lukewarm.Performance(opt)
+	if err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Table3(opt).Table()); err != nil {
+	for _, t := range []*lukewarm.Table{perf.Fig10Table(), perf.Fig11Table(), perf.Fig12Table()} {
+		if err := p.show(t); err != nil {
+			return err
+		}
+	}
+
+	if err := p.render(lukewarm.Fig13(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.CRRBAblation(opt).Table()); err != nil {
+	if err := p.render(lukewarm.Table3(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Compaction(opt).Table()); err != nil {
+	if err := p.render(lukewarm.CRRBAblation(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Snapshot(opt).Table()); err != nil {
+	if err := p.render(lukewarm.Compaction(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.DynamicMetadata(opt).Table()); err != nil {
+	if err := p.render(lukewarm.Snapshot(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Baselines(opt).Table()); err != nil {
+	if err := p.render(lukewarm.DynamicMetadata(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.ServerSim(opt).Table()); err != nil {
+	if err := p.render(lukewarm.Baselines(opt)); err != nil {
 		return err
 	}
-	if err := p.show(lukewarm.Scaling(opt).Table()); err != nil {
+	if err := p.render(lukewarm.ServerSim(opt)); err != nil {
 		return err
 	}
-	return nil
+	if err := p.render(lukewarm.Scaling(opt)); err != nil {
+		return err
+	}
+	return runChaos(opt, p, seed)
 }

@@ -56,7 +56,11 @@ func ExampleSuite() {
 // confirms the paper's 1 KB region-size optimum.
 func ExampleFig8() {
 	opt := lukewarm.ExperimentOptions{Functions: []string{"Email-P"}, Measure: 1}
-	r := lukewarm.Fig8(opt, 16)
+	r, err := lukewarm.Fig8(opt, 16)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	fmt.Println("best region size:", r.BestRegionSize(), "bytes")
 	// Output:
 	// best region size: 1024 bytes

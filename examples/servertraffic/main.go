@@ -47,7 +47,10 @@ func main() {
 		for _, w := range lukewarm.Suite() {
 			srv.Deploy(w)
 		}
-		res := srv.ServeTraffic(traffic)
+		res, err := srv.ServeTraffic(traffic)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
 		fmt.Printf("%-10s %s\n", label, res.String())
 		return res.ServiceCycles.Mean()
 	}

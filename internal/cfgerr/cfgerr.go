@@ -1,0 +1,20 @@
+// Package cfgerr holds the shared configuration-error sentinel.
+//
+// It is a leaf package (no lukewarm-internal imports) so that every layer —
+// cpu, mem, vm, core, serverless, stats — can wrap the same sentinel without
+// import cycles. The public facade re-exports it as lukewarm.ErrBadConfig.
+package cfgerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is the sentinel wrapped by every configuration validation
+// error in the library. Test with errors.Is(err, cfgerr.ErrBadConfig).
+var ErrBadConfig = errors.New("invalid configuration")
+
+// New builds an error wrapping ErrBadConfig with a formatted detail message.
+func New(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadConfig}, args...)...)
+}

@@ -27,8 +27,7 @@
 package core
 
 import (
-	"fmt"
-
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
 )
 
@@ -73,16 +72,17 @@ func DefaultConfig() Config {
 }
 
 // Validate reports a descriptive error for inconsistent configuration.
+// Errors wrap cfgerr.ErrBadConfig.
 func (c Config) Validate() error {
 	switch {
 	case c.RegionSizeBytes < mem.LineSize || c.RegionSizeBytes > 8<<10:
-		return fmt.Errorf("core: region size %d out of [64, 8192]", c.RegionSizeBytes)
+		return cfgerr.New("core: region size %d out of [64, 8192]", c.RegionSizeBytes)
 	case c.RegionSizeBytes&(c.RegionSizeBytes-1) != 0:
-		return fmt.Errorf("core: region size %d not a power of two", c.RegionSizeBytes)
+		return cfgerr.New("core: region size %d not a power of two", c.RegionSizeBytes)
 	case c.CRRBEntries <= 0:
-		return fmt.Errorf("core: CRRB needs at least one entry, got %d", c.CRRBEntries)
+		return cfgerr.New("core: CRRB needs at least one entry, got %d", c.CRRBEntries)
 	case c.VABits < 32 || c.VABits > 64:
-		return fmt.Errorf("core: VABits %d out of [32, 64]", c.VABits)
+		return cfgerr.New("core: VABits %d out of [32, 64]", c.VABits)
 	}
 	return nil
 }

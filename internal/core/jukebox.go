@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"lukewarm/internal/mem"
 	"lukewarm/internal/vm"
 )
@@ -27,6 +29,10 @@ type Stats struct {
 	// LastReplayDone is the cycle at which the most recent replay finished
 	// issuing.
 	LastReplayDone mem.Cycle
+	// DegradedReplays counts replays abandoned because the metadata failed
+	// its checksum or geometry check; the invocation proceeds record-only
+	// instead of prefetching garbage.
+	DegradedReplays uint64
 }
 
 // Jukebox is one function instance's prefetcher state: the per-instance
@@ -45,6 +51,15 @@ type Jukebox struct {
 	// pendingBits accumulates packed record bits until a 64 B line of
 	// metadata is filled and written to memory.
 	pendingBits int
+
+	// ReplayHook, if set, is called once per metadata entry consumed during
+	// replay with the entry's index. It is a fault-injection seam: the
+	// harness uses it to trigger page migration mid-replay.
+	ReplayHook func(entry int)
+	// RecordHook, if set, is called after each entry committed to the record
+	// buffer with the buffer's new length. The fault harness uses it to
+	// trigger mid-record eviction.
+	RecordHook func(entries int)
 
 	Stats Stats
 }
@@ -110,6 +125,16 @@ func (j *Jukebox) InvocationStart(now mem.Cycle) {
 	if !j.cfg.ReplayEnabled || j.replay.Len() == 0 {
 		return
 	}
+	// Guard the replay source: if the in-memory metadata fails its checksum
+	// or was sealed under a different entry geometry, prefetching from it
+	// would pollute the L2 with garbage lines. Abandon the replay and run
+	// this invocation record-only; the fresh recording re-seeds the metadata
+	// for the next invocation (graceful degradation, not a crash).
+	if !j.replay.Verify() || j.replay.SealedEntryBits() != j.cfg.EntryBits() {
+		j.Stats.DegradedReplays++
+		j.replay.Reset()
+		return
+	}
 	// The engine reads metadata sequentially; the first line's fetch is
 	// exposed, subsequent lines are fetched ahead of consumption and cost
 	// only bandwidth.
@@ -123,6 +148,9 @@ func (j *Jukebox) InvocationStart(now mem.Cycle) {
 
 	for i := range j.replay.Entries() {
 		e := &j.replay.Entries()[i]
+		if j.ReplayHook != nil {
+			j.ReplayHook(i)
+		}
 		j.Stats.ReplayEntries++
 		bitsConsumed += j.cfg.EntryBits()
 		if bitsConsumed >= 8*mem.LineSize {
@@ -204,6 +232,7 @@ func (j *Jukebox) InvocationEnd(now mem.Cycle) {
 	}
 	j.Stats.LastRecordBytes = j.record.SizeBytes()
 	j.Stats.DroppedEntries += j.record.Dropped
+	j.record.Seal()
 
 	j.record, j.replay = j.replay, j.record
 	j.record.Reset()
@@ -224,6 +253,27 @@ func (j *Jukebox) writeEntry(now mem.Cycle, e Entry) {
 		j.pendingBits -= 8 * mem.LineSize
 		j.hier.DRAM.Access(now, mem.TrafficMetadataRecord)
 	}
+	if j.RecordHook != nil {
+		j.RecordHook(j.record.Len())
+	}
+}
+
+// Abandon discards the in-flight recording state — CRRB contents, the
+// partially written record buffer, and unflushed metadata bits — as happens
+// when the OS evicts an instance mid-invocation. Sealed replay metadata from
+// earlier invocations is untouched.
+func (j *Jukebox) Abandon() {
+	j.crrb.Reset()
+	j.record.Reset()
+	j.pendingBits = 0
+}
+
+// DropMetadata discards both metadata directions and any in-flight recording
+// state, as happens when the OS reclaims an evicted instance's memory. The
+// next invocation records from scratch.
+func (j *Jukebox) DropMetadata() {
+	j.Abandon()
+	j.replay.Reset()
 }
 
 // ResetStats zeroes the counters (metadata contents persist).
@@ -233,14 +283,18 @@ func (j *Jukebox) ResetStats() { j.Stats = Stats{} }
 // snapshot-based cold boot (Sec. 3.4.2): the metadata recorded before the
 // snapshot ships with the image, so a freshly restored instance replays on
 // its very first invocation. Both instances must use the same region
-// geometry; the entries are virtual addresses, valid in any address space
+// geometry (otherwise the packed entries decode differently and the copy is
+// refused); the entries are virtual addresses, valid in any address space
 // cloned from the snapshot.
-func (j *Jukebox) AdoptMetadata(donor *Jukebox) {
+func (j *Jukebox) AdoptMetadata(donor *Jukebox) error {
 	if j.cfg.RegionSizeBytes != donor.cfg.RegionSizeBytes {
-		panic("core: AdoptMetadata requires identical region geometry")
+		return fmt.Errorf("core: AdoptMetadata requires identical region geometry (%d vs %d bytes)",
+			j.cfg.RegionSizeBytes, donor.cfg.RegionSizeBytes)
 	}
 	j.replay.Reset()
 	for _, e := range donor.replay.Entries() {
 		j.replay.Append(e)
 	}
+	j.replay.Seal()
+	return nil
 }

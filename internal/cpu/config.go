@@ -26,6 +26,7 @@
 package cpu
 
 import (
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/vm"
 )
@@ -114,9 +115,33 @@ func CharacterizationConfig() Config {
 	return c
 }
 
-// Validate reports whether the configuration is self-consistent.
-func (c Config) validate() {
+// Validate reports whether the configuration is self-consistent: positive
+// structural parameters and realizable cache/TLB geometry. Errors wrap
+// cfgerr.ErrBadConfig.
+func (c Config) Validate() error {
 	if c.DispatchWidth <= 0 || c.ROBSize <= 0 || c.FetchMLP <= 0 || c.DataMLP <= 0 {
-		panic("cpu: Config has non-positive structural parameters")
+		return cfgerr.New("cpu %q: non-positive structural parameters (width %d, ROB %d, fetchMLP %d, dataMLP %d)",
+			c.Name, c.DispatchWidth, c.ROBSize, c.FetchMLP, c.DataMLP)
+	}
+	if c.MispredictPenalty < 0 || c.ResteerPenalty < 0 || c.TakenBranchBubble < 0 || c.MissDecodeBubble < 0 {
+		return cfgerr.New("cpu %q: negative penalty cycles", c.Name)
+	}
+	if err := c.Hier.Validate(); err != nil {
+		return err
+	}
+	if err := c.MMU.ITLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.MMU.DTLB.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validate is the internal invariant check used by the core constructors,
+// which receive compiled-in platform configs; it panics on violation.
+func (c Config) validate() {
+	if err := c.Validate(); err != nil {
+		panic("cpu: " + err.Error())
 	}
 }

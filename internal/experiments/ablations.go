@@ -26,9 +26,13 @@ type CompactionResult struct {
 // Compaction records metadata, migrates every page of the instance
 // (vm.AddressSpace.Compact), and measures the next lukewarm invocation,
 // for both addressing modes.
-func Compaction(opt Options) CompactionResult {
+func Compaction(opt Options) (CompactionResult, error) {
 	opt = opt.withDefaults()
 	out := CompactionResult{Coverage: map[string]float64{}, Speedup: map[string]float64{}}
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	for _, physical := range []bool{false, true} {
 		label := "virtual"
 		if physical {
@@ -36,8 +40,11 @@ func Compaction(opt Options) CompactionResult {
 		}
 		var cov stats.Summary
 		var speed []float64
-		for _, w := range opt.suite() {
-			base := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+		for _, w := range suite {
+			base, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+			if err != nil {
+				return out, err
+			}
 
 			jb := core.DefaultConfig()
 			jb.UsePhysicalAddresses = physical
@@ -49,7 +56,10 @@ func Compaction(opt Options) CompactionResult {
 			srv.Core.Hier.ResetStats()
 			// Measure exactly the first post-compaction invocation: later
 			// ones re-record valid addresses and would mask the effect.
-			m := measure(srv, inst, lukewarm, Options{Warmup: -1, Measure: 1}.withDefaults())
+			m, err := measure(srv, inst, lukewarm, Options{Warmup: -1, Measure: 1, Audit: opt.Audit}.withDefaults())
+			if err != nil {
+				return out, err
+			}
 
 			l2 := m.L2
 			denom := float64(l2.PrefetchUsed[mem.Instr] + l2.DemandMisses[mem.Instr])
@@ -61,7 +71,7 @@ func Compaction(opt Options) CompactionResult {
 		out.Coverage[label] = cov.Mean()
 		out.Speedup[label] = (stats.GeoMean(speed) - 1) * 100
 	}
-	return out
+	return out, nil
 }
 
 // Table renders the ablation.
@@ -90,11 +100,15 @@ type SnapshotResult struct {
 // Snapshot measures cold-start replay: a donor instance records metadata;
 // a fresh instance with an identical (snapshot-cloned) layout adopts it and
 // replays on its first invocation.
-func Snapshot(opt Options) SnapshotResult {
+func Snapshot(opt Options) (SnapshotResult, error) {
 	opt = opt.withDefaults()
 	out := SnapshotResult{PerFunction: map[string]float64{}}
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	var speed []float64
-	for _, w := range opt.suite() {
+	for _, w := range suite {
 		// Cold first invocation without metadata.
 		srvA := newServer(cpu.SkylakeConfig(), nil, false)
 		instA := srvA.Deploy(w)
@@ -108,7 +122,9 @@ func Snapshot(opt Options) SnapshotResult {
 		srvB.RunLukewarm(donor, opt.Warmup)
 
 		restored := srvB.Deploy(w)
-		restored.Jukebox.AdoptMetadata(donor.Jukebox)
+		if err := restored.Jukebox.AdoptMetadata(donor.Jukebox); err != nil {
+			return out, fmt.Errorf("experiments: snapshot adopt %s: %w", w.Name, err)
+		}
 		srvB.FlushMicroarch()
 		first := srvB.Invoke(restored)
 
@@ -119,7 +135,7 @@ func Snapshot(opt Options) SnapshotResult {
 		speed = append(speed, 1+sp/100)
 	}
 	out.FirstInvocationSpeedupPct = (stats.GeoMean(speed) - 1) * 100
-	return out
+	return out, nil
 }
 
 // Table renders the snapshot study.
@@ -149,13 +165,21 @@ type DynamicMetadataResult struct {
 
 // DynamicMetadata compares the fixed 16 KB budget against per-function
 // sizing at each function's measured requirement (rounded up to a page).
-func DynamicMetadata(opt Options) DynamicMetadataResult {
+func DynamicMetadata(opt Options) (DynamicMetadataResult, error) {
 	opt = opt.withDefaults()
 	var out DynamicMetadataResult
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	var fixed, dyn []float64
 	var fixedBytes, dynBytes float64
-	for _, w := range opt.suite() {
-		base := normCycles(measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt))
+	for _, w := range suite {
+		baseM, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+		if err != nil {
+			return out, err
+		}
+		base := normCycles(baseM)
 
 		// Measure the requirement with an unlimited record-only pass.
 		sizing := core.DefaultConfig()
@@ -168,13 +192,25 @@ func DynamicMetadata(opt Options) DynamicMetadataResult {
 		pages := (need + 4095) / 4096
 		dynBudget := pages * 4096
 
-		run := func(budget int) float64 {
+		run := func(budget int) (float64, error) {
 			jb := core.DefaultConfig()
 			jb.MetadataBytes = budget
-			return normCycles(measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt))
+			m, err := measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt)
+			if err != nil {
+				return 0, err
+			}
+			return normCycles(m), nil
 		}
-		fixed = append(fixed, 1+stats.SpeedupPct(base, run(16<<10))/100)
-		dyn = append(dyn, 1+stats.SpeedupPct(base, run(dynBudget))/100)
+		fixedCycles, err := run(16 << 10)
+		if err != nil {
+			return out, err
+		}
+		dynCycles, err := run(dynBudget)
+		if err != nil {
+			return out, err
+		}
+		fixed = append(fixed, 1+stats.SpeedupPct(base, fixedCycles)/100)
+		dyn = append(dyn, 1+stats.SpeedupPct(base, dynCycles)/100)
 		fixedBytes += 2 * 16 << 10
 		dynBytes += 2 * float64(dynBudget)
 	}
@@ -184,7 +220,7 @@ func DynamicMetadata(opt Options) DynamicMetadataResult {
 	out.DynamicSpeedupPct = (stats.GeoMean(dyn) - 1) * 100
 	out.FixedTotalMB = fixedBytes * scale / (1 << 20)
 	out.DynamicTotalMB = dynBytes * scale / (1 << 20)
-	return out
+	return out, nil
 }
 
 // Table renders the comparison.

@@ -29,7 +29,7 @@ var baselineConfigs = []string{"NextLine", "RECAP", "Jukebox"}
 
 // Baselines measures the three schemes across the selected suite on the
 // Skylake-like platform.
-func Baselines(opt Options) BaselinesResult {
+func Baselines(opt Options) (BaselinesResult, error) {
 	opt = opt.withDefaults()
 	out := BaselinesResult{
 		SpeedupPct:   map[string]float64{},
@@ -46,39 +46,52 @@ func Baselines(opt Options) BaselinesResult {
 		accs[cfg] = &acc{}
 	}
 
-	for _, w := range opt.suite() {
-		base := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
+	for _, w := range suite {
+		base, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+		if err != nil {
+			return out, err
+		}
 		var baseBytes float64
 		for _, b := range base.DRAM {
 			baseBytes += float64(b)
 		}
 
-		run := func(cfg string) (m measured, metaBytes int) {
+		run := func(cfg string) (m measured, metaBytes int, err error) {
 			switch cfg {
 			case "Jukebox":
 				jb := core.DefaultConfig()
 				srv := newServer(cpu.SkylakeConfig(), &jb, false)
 				inst := srv.Deploy(w)
-				m = measure(srv, inst, lukewarm, opt)
-				return m, inst.Jukebox.MetadataFootprintBytes()
+				m, err = measure(srv, inst, lukewarm, opt)
+				return m, inst.Jukebox.MetadataFootprintBytes(), err
 			case "NextLine":
 				srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig()})
 				srv.AttachCorePrefetcher(baselines.NewNextLineI(srv.Core.Hier, 1))
 				inst := srv.Deploy(w)
-				return measure(srv, inst, lukewarm, opt), 0
+				m, err = measure(srv, inst, lukewarm, opt)
+				return m, 0, err
 			case "RECAP":
 				srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig()})
 				rc := baselines.NewRecap(baselines.DefaultRecapConfig(), srv.Core.Hier)
 				srv.AttachCorePrefetcher(rc)
 				inst := srv.Deploy(w)
-				m = measure(srv, inst, lukewarm, opt)
-				return m, rc.Stats.LastMetadataBytes
+				m, err = measure(srv, inst, lukewarm, opt)
+				return m, rc.Stats.LastMetadataBytes, err
 			}
+			// baselineConfigs is a private list; a miss here is a programmer
+			// error, not user input.
 			panic("unknown baseline config " + cfg)
 		}
 
 		for _, cfg := range baselineConfigs {
-			m, meta := run(cfg)
+			m, meta, err := run(cfg)
+			if err != nil {
+				return out, err
+			}
 			a := accs[cfg]
 			a.speed = append(a.speed, 1+stats.SpeedupPct(normCycles(base), normCycles(m))/100)
 			var bytes float64
@@ -96,7 +109,7 @@ func Baselines(opt Options) BaselinesResult {
 		out.BandwidthPct[cfg] = a.bw.Mean()
 		out.MetadataKB[cfg] = a.meta.Mean()
 	}
-	return out
+	return out, nil
 }
 
 // Table renders the comparison.

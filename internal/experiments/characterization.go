@@ -28,7 +28,7 @@ type Fig1Result struct {
 }
 
 // Fig1 runs the IAT sweep.
-func Fig1(opt Options) Fig1Result {
+func Fig1(opt Options) (Fig1Result, error) {
 	opt = opt.withDefaults()
 	fns := opt.Functions
 	if len(fns) == 0 {
@@ -43,7 +43,7 @@ func Fig1(opt Options) Fig1Result {
 	for _, name := range fns {
 		w, err := workload.ByName(name)
 		if err != nil {
-			panic(err)
+			return res, fmt.Errorf("experiments: %w", err)
 		}
 		var base float64
 		for i, iat := range iats {
@@ -63,7 +63,7 @@ func Fig1(opt Options) Fig1Result {
 		}
 	}
 	res.Rows = rows
-	return res
+	return res, nil
 }
 
 // Table renders the sweep.
@@ -121,17 +121,29 @@ type CharacterizationResult struct {
 // Characterize runs the Sec. 2.3-2.4 study: every function measured in the
 // reference (back-to-back) and interleaved (stressor/flush) configurations
 // on the Broadwell characterization host.
-func Characterize(opt Options) CharacterizationResult {
+func Characterize(opt Options) (CharacterizationResult, error) {
 	opt = opt.withDefaults()
 	cfg := cpu.CharacterizationConfig()
 	var out CharacterizationResult
-	for _, w := range opt.suite() {
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
+	for _, w := range suite {
 		row := CharRow{Name: w.Name, Lang: w.Lang}
-		row.Ref = view(measureWorkload(w, cfg, nil, false, reference, opt))
-		row.Interleaved = view(measureWorkload(w, cfg, nil, false, lukewarm, opt))
+		ref, err := measureWorkload(w, cfg, nil, false, reference, opt)
+		if err != nil {
+			return out, err
+		}
+		il, err := measureWorkload(w, cfg, nil, false, lukewarm, opt)
+		if err != nil {
+			return out, err
+		}
+		row.Ref = view(ref)
+		row.Interleaved = view(il)
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // MeanUplift reports the average interleaved/reference CPI ratio minus one

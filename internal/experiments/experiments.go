@@ -6,8 +6,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
+	"lukewarm/internal/faults"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/topdown"
@@ -27,6 +30,10 @@ type Options struct {
 	Measure int
 	// Functions restricts the suite to the named functions (nil = all 20).
 	Functions []string
+	// Audit runs the faults.Audit invariant checks on every measured
+	// invocation and on the per-window cache counters, failing the
+	// experiment with an error on any violation.
+	Audit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -42,22 +49,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// suite resolves the selected workloads.
-func (o Options) suite() []workload.Workload {
+// suite resolves the selected workloads, erroring on unknown names.
+func (o Options) suite() ([]workload.Workload, error) {
 	all := workload.Suite()
 	if len(o.Functions) == 0 {
-		return all
+		return all, nil
 	}
 	var out []workload.Workload
 	for _, name := range o.Functions {
-		for _, w := range all {
-			if w.Name == name {
-				out = append(out, w)
-				break
-			}
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
 		}
+		out = append(out, w)
 	}
-	return out
+	return out, nil
 }
 
 // mode selects the execution regime of a measurement.
@@ -100,8 +106,10 @@ func (m measured) MPKI(s mem.CacheStats, k mem.Kind) float64 {
 }
 
 // measure runs warmup then measure invocations of inst under md and returns
-// the aggregated measurement window.
-func measure(srv *serverless.Server, inst *serverless.Instance, md mode, opt Options) measured {
+// the aggregated measurement window. With opt.Audit set, every measured
+// invocation and the window's cache counters are checked against the
+// faults package's conservation invariants.
+func measure(srv *serverless.Server, inst *serverless.Instance, md mode, opt Options) (measured, error) {
 	invoke := func() cpu.RunResult {
 		if md == lukewarm {
 			srv.FlushMicroarch()
@@ -122,6 +130,11 @@ func measure(srv *serverless.Server, inst *serverless.Instance, md mode, opt Opt
 	var out measured
 	for i := 0; i < opt.Measure; i++ {
 		res := invoke()
+		if opt.Audit {
+			if err := faults.Audit(res); err != nil {
+				return out, fmt.Errorf("%s invocation %d: %w", inst.Workload.Name, i, err)
+			}
+		}
 		out.Stack.Merge(res.Stack)
 		out.Instrs += res.Instrs
 		out.Cycles += res.Cycles
@@ -138,8 +151,26 @@ func measure(srv *serverless.Server, inst *serverless.Instance, md mode, opt Opt
 	}
 	if inst.Jukebox != nil {
 		out.JB = inst.Jukebox.Stats
+		if opt.Audit {
+			if err := faults.AuditJukebox(out.JB); err != nil {
+				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
+			}
+		}
 	}
-	return out
+	// Cache-counter conservation holds within a window whenever the window
+	// starts from flushed caches (the lukewarm regime); reference windows
+	// legitimately carry pre-reset prefetched lines across the stats reset.
+	if opt.Audit && md == lukewarm {
+		for _, c := range []struct {
+			name  string
+			stats mem.CacheStats
+		}{{"L1I", out.L1I}, {"L2", out.L2}, {"LLC", out.LLC}} {
+			if err := faults.AuditCache(c.name, c.stats); err != nil {
+				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
+			}
+		}
+	}
+	return out, nil
 }
 
 // newServer builds a single-purpose server for one measurement.
@@ -148,7 +179,7 @@ func newServer(cfg cpu.Config, jb *core.Config, perfect bool) *serverless.Server
 }
 
 // measureWorkload deploys w on a fresh server and measures it.
-func measureWorkload(w workload.Workload, cfg cpu.Config, jb *core.Config, perfect bool, md mode, opt Options) measured {
+func measureWorkload(w workload.Workload, cfg cpu.Config, jb *core.Config, perfect bool, md mode, opt Options) (measured, error) {
 	srv := newServer(cfg, jb, perfect)
 	inst := srv.Deploy(w)
 	return measure(srv, inst, md, opt)

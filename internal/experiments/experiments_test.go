@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/workload"
@@ -14,6 +16,7 @@ var quickOpt = Options{
 	Functions: []string{"Auth-G", "ProdL-G", "Email-P", "Pay-N"},
 	Warmup:    1,
 	Measure:   2,
+	Audit:     true,
 }
 
 func TestOptionsDefaults(t *testing.T) {
@@ -25,16 +28,30 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Warmup != 0 {
 		t.Errorf("explicit no-warmup = %+v", o)
 	}
-	if n := len((Options{}).suite()); n != 20 {
-		t.Errorf("default suite = %d", n)
+	all, err := (Options{}).suite()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if n := len(quickOpt.suite()); n != 4 {
-		t.Errorf("subset suite = %d", n)
+	if len(all) != 20 {
+		t.Errorf("default suite = %d", len(all))
+	}
+	sub, err := quickOpt.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 4 {
+		t.Errorf("subset suite = %d", len(sub))
+	}
+	if _, err := (Options{Functions: []string{"Nope-X"}}).suite(); err == nil {
+		t.Error("unknown function not rejected")
 	}
 }
 
 func TestFig1ShapeMatchesPaper(t *testing.T) {
-	r := Fig1(Options{Warmup: 1, Measure: 2})
+	r, err := Fig1(Options{Warmup: 1, Measure: 2, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 6 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -70,7 +87,10 @@ func TestFig1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestCharacterizeMatchesPaperBands(t *testing.T) {
-	r := Characterize(quickOpt)
+	r, err := Characterize(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -123,7 +143,10 @@ func TestCharacterizeMatchesPaperBands(t *testing.T) {
 }
 
 func TestFootprintsMatchFig6(t *testing.T) {
-	r := Footprints(Options{Functions: []string{"Fib-G", "Auth-P", "Email-P"}}, 6)
+	r, err := Footprints(Options{Functions: []string{"Fib-G", "Auth-P", "Email-P"}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Invocations != 6 {
 		t.Fatalf("invocations = %d", r.Invocations)
 	}
@@ -158,7 +181,10 @@ func TestFootprintsMatchFig6(t *testing.T) {
 }
 
 func TestFig8MinimumAtOneKB(t *testing.T) {
-	r := Fig8(Options{Functions: []string{"Auth-G", "Email-P", "Pay-N"}, Measure: 1}, 16)
+	r, err := Fig8(Options{Functions: []string{"Auth-G", "Email-P", "Pay-N"}, Measure: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := r.BestRegionSize(); got != 1024 && got != 2048 {
 		t.Errorf("best region size = %d, paper: 1024", got)
 	}
@@ -180,7 +206,10 @@ func TestFig8MinimumAtOneKB(t *testing.T) {
 }
 
 func TestCRRBAblationModestSensitivity(t *testing.T) {
-	r := CRRBAblation(Options{Functions: []string{"Auth-G", "Email-P"}, Measure: 1})
+	r, err := CRRBAblation(Options{Functions: []string{"Auth-G", "Email-P"}, Measure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.MeanKB) != 3 {
 		t.Fatalf("sizes = %v", r.Sizes)
 	}
@@ -198,7 +227,10 @@ func TestCRRBAblationModestSensitivity(t *testing.T) {
 }
 
 func TestPerformanceMatchesFig10To12(t *testing.T) {
-	r := Performance(quickOpt, cpu.SkylakeConfig(), core.DefaultConfig())
+	r, err := Performance(quickOpt, cpu.SkylakeConfig(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	jb, pf := r.GeomeanSpeedups()
 	if jb < 10 || jb > 30 {
 		t.Errorf("Jukebox geomean = %.1f%%, paper: 18.7%%", jb)
@@ -239,7 +271,10 @@ func TestPerformanceMatchesFig10To12(t *testing.T) {
 }
 
 func TestFig9BudgetSweep(t *testing.T) {
-	r := Fig9(Options{Functions: []string{"Email-P", "Pay-N", "ProdL-G"}, Warmup: 1, Measure: 2})
+	r, err := Fig9(Options{Functions: []string{"Email-P", "Pay-N", "ProdL-G"}, Warmup: 1, Measure: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("budget rows = %d", len(r.Rows))
 	}
@@ -259,7 +294,10 @@ func TestFig9BudgetSweep(t *testing.T) {
 }
 
 func TestFig13Ordering(t *testing.T) {
-	r := Fig13(Options{Functions: []string{"Email-P", "ProdL-G"}, Warmup: 1, Measure: 2})
+	r, err := Fig13(Options{Functions: []string{"Email-P", "ProdL-G"}, Warmup: 1, Measure: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	g := func(c PIFConfig) float64 { return r.SpeedupPct[c]["GEOMEAN"] }
 	if !(g(CfgJukebox) > g(CfgPIFIdeal) && g(CfgPIFIdeal) > g(CfgPIF)) {
 		t.Errorf("ordering broken: JB=%.1f ideal=%.1f PIF=%.1f",
@@ -278,7 +316,10 @@ func TestFig13Ordering(t *testing.T) {
 }
 
 func TestTable3PlatformComparison(t *testing.T) {
-	r := Table3(Options{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 2})
+	r, err := Table3(Options{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sky := r.ReductionPct["Skylake"]
 	bdw := r.ReductionPct["Broadwell"]
 	// Jukebox eliminates the vast majority of LLC instruction misses on
@@ -307,7 +348,10 @@ func TestTable3PlatformComparison(t *testing.T) {
 }
 
 func TestCompactionAblation(t *testing.T) {
-	r := Compaction(Options{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 1})
+	r, err := Compaction(Options{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Coverage["virtual"] < 0.4 {
 		t.Errorf("virtual coverage after compaction = %.2f", r.Coverage["virtual"])
 	}
@@ -325,7 +369,10 @@ func TestCompactionAblation(t *testing.T) {
 }
 
 func TestSnapshotExtension(t *testing.T) {
-	r := Snapshot(Options{Functions: []string{"Auth-G", "ProdL-G"}, Warmup: 1, Measure: 1})
+	r, err := Snapshot(Options{Functions: []string{"Auth-G", "ProdL-G"}, Warmup: 1, Measure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.FirstInvocationSpeedupPct < 3 {
 		t.Errorf("snapshot replay speedup = %.1f%%, want clearly positive", r.FirstInvocationSpeedupPct)
 	}
@@ -338,7 +385,10 @@ func TestSnapshotExtension(t *testing.T) {
 }
 
 func TestDynamicMetadataExtension(t *testing.T) {
-	r := DynamicMetadata(Options{Functions: []string{"Auth-G", "ProdL-G", "Email-P"}, Warmup: 1, Measure: 2})
+	r, err := DynamicMetadata(Options{Functions: []string{"Auth-G", "ProdL-G", "Email-P"}, Warmup: 1, Measure: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.DynamicSpeedupPct < r.FixedSpeedupPct-3 {
 		t.Errorf("per-function sizing lost too much speedup: %.1f vs %.1f",
 			r.DynamicSpeedupPct, r.FixedSpeedupPct)
@@ -352,7 +402,10 @@ func TestDynamicMetadataExtension(t *testing.T) {
 }
 
 func TestBaselinesComparison(t *testing.T) {
-	r := Baselines(Options{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 2})
+	r, err := Baselines(Options{Functions: []string{"Auth-G", "Email-P"}, Warmup: 1, Measure: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	jb := r.SpeedupPct["Jukebox"]
 	nl := r.SpeedupPct["NextLine"]
 	rc := r.SpeedupPct["RECAP"]
@@ -384,7 +437,10 @@ func TestBaselinesComparison(t *testing.T) {
 func TestServerSim(t *testing.T) {
 	// System-level validation needs real co-residency pressure: the full
 	// suite, two invocations each.
-	r := ServerSim(Options{Warmup: 1, Measure: 1})
+	r, err := ServerSim(Options{Warmup: 1, Measure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Baseline.Served != 40 || r.Jukebox.Served != 40 {
 		t.Fatalf("served %d/%d, want 40/40", r.Baseline.Served, r.Jukebox.Served)
 	}
@@ -401,7 +457,10 @@ func TestServerSim(t *testing.T) {
 }
 
 func TestScaling(t *testing.T) {
-	r := Scaling(Options{Warmup: 1, Measure: 1})
+	r, err := Scaling(Options{Warmup: 1, Measure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -434,11 +493,11 @@ func TestStaticTables(t *testing.T) {
 	}
 }
 
-func TestSuiteByNamePanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	suiteByName("Nope-X")
+func TestSuiteByNameRejectsUnknown(t *testing.T) {
+	if _, err := suiteByName("Nope-X"); !errors.Is(err, cfgerr.ErrBadConfig) {
+		t.Errorf("unknown function: err = %v, want ErrBadConfig", err)
+	}
+	if w, err := suiteByName("Auth-G"); err != nil || w.Name != "Auth-G" {
+		t.Errorf("known function: %v, %v", w.Name, err)
+	}
 }

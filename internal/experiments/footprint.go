@@ -26,14 +26,18 @@ type FootprintResult struct {
 // Footprints traces invocations invocations per function — the paper uses
 // 25, which invocations <= 0 selects — collecting per-invocation unique
 // instruction blocks and all pairwise Jaccard indices (Sec. 2.5).
-func Footprints(opt Options, invocations int) FootprintResult {
+func Footprints(opt Options, invocations int) (FootprintResult, error) {
 	opt = opt.withDefaults()
 	n := invocations
 	if n <= 0 {
 		n = 25
 	}
 	out := FootprintResult{Invocations: n}
-	for _, w := range opt.suite() {
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
+	for _, w := range suite {
 		row := FootprintRow{Name: w.Name}
 		sets := make([]map[uint64]struct{}, n)
 		for i := 0; i < n; i++ {
@@ -47,7 +51,7 @@ func Footprints(opt Options, invocations int) FootprintResult {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // Fig6aTable renders the footprint sizes.

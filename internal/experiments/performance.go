@@ -85,17 +85,27 @@ type PerfResult struct {
 // in the interleaved (lukewarm) regime under three configurations —
 // baseline, Jukebox (16 KB metadata), and perfect I-cache — on the given
 // platform configuration.
-func Performance(opt Options, platform cpu.Config, jbCfg core.Config) PerfResult {
+func Performance(opt Options, platform cpu.Config, jbCfg core.Config) (PerfResult, error) {
 	opt = opt.withDefaults()
 	out := PerfResult{Platform: platform.Name}
-	for _, w := range opt.suite() {
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
+	for _, w := range suite {
 		row := PerfRow{Name: w.Name, Lang: w.Lang}
-		row.Baseline = measureWorkload(w, platform, nil, false, lukewarm, opt)
-		row.Jukebox = measureWorkload(w, platform, &jbCfg, false, lukewarm, opt)
-		row.Perfect = measureWorkload(w, platform, nil, true, lukewarm, opt)
+		if row.Baseline, err = measureWorkload(w, platform, nil, false, lukewarm, opt); err != nil {
+			return out, err
+		}
+		if row.Jukebox, err = measureWorkload(w, platform, &jbCfg, false, lukewarm, opt); err != nil {
+			return out, err
+		}
+		if row.Perfect, err = measureWorkload(w, platform, nil, true, lukewarm, opt); err != nil {
+			return out, err
+		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // GeomeanSpeedups reports the suite geomean speedups (Jukebox, Perfect).
@@ -196,7 +206,7 @@ type Fig9Result struct {
 // Fig9 sweeps Jukebox's per-direction metadata budget (the paper plots 8,
 // 12, 16 and 32 KB) for the three per-language representatives, with the
 // geomean computed over the whole selected suite.
-func Fig9(opt Options) Fig9Result {
+func Fig9(opt Options) (Fig9Result, error) {
 	opt = opt.withDefaults()
 	budgets := []int{8 << 10, 12 << 10, 16 << 10, 32 << 10}
 	reps := workload.Representatives()
@@ -205,10 +215,17 @@ func Fig9(opt Options) Fig9Result {
 		out.Budgets = append(out.Budgets, b/1024)
 	}
 
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	baseCycles := map[string]float64{}
 	for _, w := range suite {
-		baseCycles[w.Name] = normCycles(measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt))
+		m, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
+		if err != nil {
+			return out, err
+		}
+		baseCycles[w.Name] = normCycles(m)
 	}
 	for _, b := range budgets {
 		row := Fig9Row{BudgetKB: b / 1024, SpeedupPct: map[string]float64{}}
@@ -216,7 +233,10 @@ func Fig9(opt Options) Fig9Result {
 		for _, w := range suite {
 			jb := core.DefaultConfig()
 			jb.MetadataBytes = b
-			m := measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt)
+			m, err := measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt)
+			if err != nil {
+				return out, err
+			}
 			sp := stats.SpeedupPct(baseCycles[w.Name], normCycles(m))
 			all = append(all, 1+sp/100)
 			for _, rep := range reps {
@@ -228,7 +248,7 @@ func Fig9(opt Options) Fig9Result {
 		row.SpeedupPct["GEOMEAN"] = (stats.GeoMean(all) - 1) * 100
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // Table renders the budget sweep.

@@ -33,7 +33,7 @@ type Fig13Result struct {
 }
 
 // measurePIF measures one workload under one Fig. 13 configuration.
-func measurePIF(w workload.Workload, cfg PIFConfig, opt Options) measured {
+func measurePIF(w workload.Workload, cfg PIFConfig, opt Options) (measured, error) {
 	var jb *core.Config
 	if cfg == CfgJukebox || cfg == CfgJBPIFIdeal {
 		c := core.DefaultConfig()
@@ -52,23 +52,33 @@ func measurePIF(w workload.Workload, cfg PIFConfig, opt Options) measured {
 
 // Fig13 compares Jukebox against PIF and PIF-ideal, alone and combined, on
 // the interleaved Skylake setup.
-func Fig13(opt Options) Fig13Result {
+func Fig13(opt Options) (Fig13Result, error) {
 	opt = opt.withDefaults()
 	out := Fig13Result{
 		Configs:    []PIFConfig{CfgPIF, CfgPIFIdeal, CfgJukebox, CfgJBPIFIdeal},
 		Functions:  workload.Representatives(),
 		SpeedupPct: map[PIFConfig]map[string]float64{},
 	}
-	suite := opt.suite()
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	base := map[string]float64{}
 	for _, w := range suite {
-		base[w.Name] = normCycles(measurePIF(w, CfgBaseline, opt))
+		m, err := measurePIF(w, CfgBaseline, opt)
+		if err != nil {
+			return out, err
+		}
+		base[w.Name] = normCycles(m)
 	}
 	for _, cfg := range out.Configs {
 		out.SpeedupPct[cfg] = map[string]float64{}
 		var all []float64
 		for _, w := range suite {
-			m := measurePIF(w, cfg, opt)
+			m, err := measurePIF(w, cfg, opt)
+			if err != nil {
+				return out, err
+			}
 			sp := stats.SpeedupPct(base[w.Name], normCycles(m))
 			all = append(all, 1+sp/100)
 			for _, rep := range out.Functions {
@@ -79,7 +89,7 @@ func Fig13(opt Options) Fig13Result {
 		}
 		out.SpeedupPct[cfg]["GEOMEAN"] = (stats.GeoMean(all) - 1) * 100
 	}
-	return out
+	return out, nil
 }
 
 // Table renders the comparison.

@@ -22,11 +22,15 @@ type Table3Result struct {
 // Table3 measures Jukebox's instruction-MPKI reductions on the Skylake-like
 // (16 KB metadata, per Sec. 5.1) and Broadwell-like (32 KB metadata, per
 // Sec. 5.6's re-assessment for the smaller L2) platforms.
-func Table3(opt Options) Table3Result {
+func Table3(opt Options) (Table3Result, error) {
 	opt = opt.withDefaults()
 	out := Table3Result{
 		ReductionPct:      map[string]map[string]float64{},
 		GeomeanSpeedupPct: map[string]float64{},
+	}
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
 	}
 	platforms := []struct {
 		cfg   cpu.Config
@@ -41,9 +45,15 @@ func Table3(opt Options) Table3Result {
 		jb.MetadataBytes = p.jbKB << 10
 		var l2Base, l2JB, llcBase, llcJB stats.Summary
 		var speedups []float64
-		for _, w := range opt.suite() {
-			base := measureWorkload(w, p.cfg, nil, false, lukewarm, opt)
-			withJB := measureWorkload(w, p.cfg, &jb, false, lukewarm, opt)
+		for _, w := range suite {
+			base, err := measureWorkload(w, p.cfg, nil, false, lukewarm, opt)
+			if err != nil {
+				return out, err
+			}
+			withJB, err := measureWorkload(w, p.cfg, &jb, false, lukewarm, opt)
+			if err != nil {
+				return out, err
+			}
 			l2Base.Add(base.MPKI(base.L2, mem.Instr))
 			l2JB.Add(withJB.MPKI(withJB.L2, mem.Instr))
 			llcBase.Add(base.MPKI(base.LLC, mem.Instr))
@@ -56,7 +66,7 @@ func Table3(opt Options) Table3Result {
 		}
 		out.GeomeanSpeedupPct[p.label] = (stats.GeoMean(speedups) - 1) * 100
 	}
-	return out
+	return out, nil
 }
 
 // Table renders Table 3 plus the Sec. 5.6 speedups.

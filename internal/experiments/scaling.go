@@ -28,7 +28,7 @@ type ScalingResult struct {
 }
 
 // Scaling runs the study.
-func Scaling(opt Options) ScalingResult {
+func Scaling(opt Options) (ScalingResult, error) {
 	opt = opt.withDefaults()
 	traffic := serverless.TrafficConfig{
 		MeanIATms:              4, // saturating for one core, comfortable for four
@@ -38,21 +38,31 @@ func Scaling(opt Options) ScalingResult {
 		Seed:                   11,
 	}
 	var out ScalingResult
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	for _, cores := range []int{1, 2, 4} {
-		run := func(jb *core.Config) serverless.TrafficResult {
+		run := func(jb *core.Config) (serverless.TrafficResult, error) {
 			srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Cores: cores, Jukebox: jb})
-			for _, w := range opt.suite() {
+			for _, w := range suite {
 				srv.Deploy(w)
 			}
 			return srv.ServeTraffic(traffic)
 		}
 		jbCfg := core.DefaultConfig()
-		row := ScalingRow{Cores: cores, Baseline: run(nil), Jukebox: run(&jbCfg)}
+		row := ScalingRow{Cores: cores}
+		if row.Baseline, err = run(nil); err != nil {
+			return out, err
+		}
+		if row.Jukebox, err = run(&jbCfg); err != nil {
+			return out, err
+		}
 		row.JukeboxGainPct = stats.SpeedupPct(
 			row.Baseline.ServiceCycles.Mean(), row.Jukebox.ServiceCycles.Mean())
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // Table renders the study.

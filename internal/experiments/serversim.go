@@ -26,7 +26,7 @@ type ServerSimResult struct {
 // serves Poisson traffic (mean IAT scaled so the run stays tractable; the
 // ambient-thrash model stands in for the thousands of additional instances
 // a production host would hold).
-func ServerSim(opt Options) ServerSimResult {
+func ServerSim(opt Options) (ServerSimResult, error) {
 	opt = opt.withDefaults()
 	traffic := serverless.TrafficConfig{
 		MeanIATms:              30,
@@ -35,21 +35,28 @@ func ServerSim(opt Options) ServerSimResult {
 		AmbientThrash:          true,
 		Seed:                   7,
 	}
-	run := func(jb *core.Config) serverless.TrafficResult {
+	var out ServerSimResult
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
+	run := func(jb *core.Config) (serverless.TrafficResult, error) {
 		srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: jb})
-		for _, w := range opt.suite() {
+		for _, w := range suite {
 			srv.Deploy(w)
 		}
 		return srv.ServeTraffic(traffic)
 	}
 	jbCfg := core.DefaultConfig()
-	out := ServerSimResult{
-		Baseline: run(nil),
-		Jukebox:  run(&jbCfg),
+	if out.Baseline, err = run(nil); err != nil {
+		return out, err
+	}
+	if out.Jukebox, err = run(&jbCfg); err != nil {
+		return out, err
 	}
 	out.ThroughputGainPct = stats.SpeedupPct(
 		out.Baseline.ServiceCycles.Mean(), out.Jukebox.ServiceCycles.Mean())
-	return out
+	return out, nil
 }
 
 // Table renders the comparison.

@@ -28,14 +28,18 @@ type Fig8Result struct {
 // Fig8 measures the metadata required to record one full lukewarm
 // invocation of each function, across code-region sizes, with the given
 // CRRB size (16 in the paper's plot).
-func Fig8(opt Options, crrbEntries int) Fig8Result {
+func Fig8(opt Options, crrbEntries int) (Fig8Result, error) {
 	opt = opt.withDefaults()
 	if crrbEntries <= 0 {
 		crrbEntries = 16
 	}
 	regions := []int{128, 256, 512, 1024, 2048, 4096, 8192}
 	out := Fig8Result{RegionSizes: regions, CRRBEntries: crrbEntries}
-	for _, w := range opt.suite() {
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
+	for _, w := range suite {
 		row := Fig8Row{Name: w.Name, BytesByRegion: map[int]int{}}
 		for _, rs := range regions {
 			jb := core.Config{
@@ -54,7 +58,7 @@ func Fig8(opt Options, crrbEntries int) Fig8Result {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }
 
 // BestRegionSize reports the region size minimizing the suite-mean metadata
@@ -108,12 +112,16 @@ type CRRBAblationResult struct {
 }
 
 // CRRBAblation runs the CRRB-size sensitivity study.
-func CRRBAblation(opt Options) CRRBAblationResult {
+func CRRBAblation(opt Options) (CRRBAblationResult, error) {
 	opt = opt.withDefaults()
 	out := CRRBAblationResult{Sizes: []int{8, 16, 32}}
+	suite, err := opt.suite()
+	if err != nil {
+		return out, err
+	}
 	for _, n := range out.Sizes {
 		var s stats.Summary
-		for _, w := range opt.suite() {
+		for _, w := range suite {
 			jb := core.Config{
 				RegionSizeBytes: 1024, CRRBEntries: n, MetadataBytes: 0,
 				VABits: 48, RecordEnabled: true, ReplayEnabled: false,
@@ -125,7 +133,7 @@ func CRRBAblation(opt Options) CRRBAblationResult {
 		}
 		out.MeanKB = append(out.MeanKB, s.Mean())
 	}
-	return out
+	return out, nil
 }
 
 // Table renders the ablation.
@@ -138,10 +146,10 @@ func (r CRRBAblationResult) Table() *stats.Table {
 }
 
 // suiteByName is a convenience for single-function lookups in experiments.
-func suiteByName(name string) workload.Workload {
+func suiteByName(name string) (workload.Workload, error) {
 	w, err := workload.ByName(name)
 	if err != nil {
-		panic(err)
+		return workload.Workload{}, fmt.Errorf("experiments: %w", err)
 	}
-	return w
+	return w, nil
 }

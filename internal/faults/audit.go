@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/topdown"
+)
+
+// The invariants below are conservation properties: they must hold for any
+// run, faulted or not. A violation means the simulator itself miscounted —
+// the one failure mode graceful degradation cannot excuse.
+
+// Audit checks one invocation result's conservation invariants:
+//
+//   - the Top-Down stack's instruction count matches the run's,
+//   - the stack's cycle components sum to the run's total cycles
+//     (within float tolerance),
+//   - no category carries negative cycles.
+func Audit(r cpu.RunResult) error {
+	if r.Stack.Instrs != r.Instrs {
+		return fmt.Errorf("faults: audit: stack instrs %d != run instrs %d", r.Stack.Instrs, r.Instrs)
+	}
+	total := r.Stack.Total()
+	if total < 0 {
+		return fmt.Errorf("faults: audit: negative stack total %g", total)
+	}
+	// Tolerance: accumulated float error across per-instruction charges.
+	tol := 1e-6*float64(r.Cycles) + 1.0
+	if diff := math.Abs(total - float64(r.Cycles)); diff > tol {
+		return fmt.Errorf("faults: audit: stack sums to %.3f cycles, run reports %d (diff %.3f > tol %.3f)",
+			total, r.Cycles, diff, tol)
+	}
+	for c := topdown.Category(0); c < topdown.NumCategories; c++ {
+		if r.Stack.Cycles[c] < 0 {
+			return fmt.Errorf("faults: audit: category %v has negative cycles %g", c, r.Stack.Cycles[c])
+		}
+	}
+	return nil
+}
+
+// AuditCache checks one cache's counter conservation: per traffic kind,
+// hits + misses == accesses, and prefetch coverage accounting never exceeds
+// the fills that back it.
+func AuditCache(name string, s mem.CacheStats) error {
+	for k := range s.DemandAccesses {
+		if s.DemandHits[k]+s.DemandMisses[k] != s.DemandAccesses[k] {
+			return fmt.Errorf("faults: audit %s kind %d: hits %d + misses %d != accesses %d",
+				name, k, s.DemandHits[k], s.DemandMisses[k], s.DemandAccesses[k])
+		}
+	}
+	for k := range s.PrefetchFills {
+		if s.PrefetchUsed[k] > s.PrefetchFills[k] {
+			return fmt.Errorf("faults: audit %s kind %d: prefetch used %d > fills %d",
+				name, k, s.PrefetchUsed[k], s.PrefetchFills[k])
+		}
+	}
+	return nil
+}
+
+// AuditJukebox checks a Jukebox's counters for self-consistency.
+func AuditJukebox(s core.Stats) error {
+	if s.LastRecordBytes < 0 {
+		return fmt.Errorf("faults: audit jukebox: negative record bytes %d", s.LastRecordBytes)
+	}
+	if s.ReplayPrefetches > 0 && s.ReplayEntries == 0 {
+		return fmt.Errorf("faults: audit jukebox: %d prefetches from zero replay entries", s.ReplayPrefetches)
+	}
+	return nil
+}
+
+// AuditTraffic checks a traffic run's aggregate invariants.
+func AuditTraffic(r serverless.TrafficResult) error {
+	switch {
+	case r.Served < 0 || r.Shed < 0 || r.ColdStarts < 0:
+		return fmt.Errorf("faults: audit traffic: negative counters (served %d, shed %d, cold %d)",
+			r.Served, r.Shed, r.ColdStarts)
+	case r.ColdStarts > r.Served:
+		return fmt.Errorf("faults: audit traffic: cold starts %d exceed served %d", r.ColdStarts, r.Served)
+	case r.BusyFraction < 0 || r.BusyFraction > 1.000001:
+		return fmt.Errorf("faults: audit traffic: busy fraction %g outside [0, 1]", r.BusyFraction)
+	case r.SimulatedMs < 0:
+		return fmt.Errorf("faults: audit traffic: negative simulated span %g ms", r.SimulatedMs)
+	case r.CPI.N() != r.Served:
+		return fmt.Errorf("faults: audit traffic: %d CPI samples for %d served", r.CPI.N(), r.Served)
+	}
+	return nil
+}

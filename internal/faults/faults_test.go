@@ -1,0 +1,319 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/topdown"
+	"lukewarm/internal/trace"
+	"lukewarm/internal/workload"
+)
+
+func jbServer(t *testing.T, fn string) (*serverless.Server, *serverless.Instance) {
+	t.Helper()
+	jb := core.DefaultConfig()
+	s := serverless.New(serverless.Config{Jukebox: &jb})
+	w, err := workload.ByName(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, s.Deploy(w)
+}
+
+// warmJB runs enough invocations that the instance has sealed replay
+// metadata and a working replay loop.
+func warmJB(s *serverless.Server, inst *serverless.Instance) {
+	for i := 0; i < 3; i++ {
+		s.FlushMicroarch()
+		s.Invoke(inst)
+	}
+}
+
+func TestMetadataCorruptionDegradesToRecordOnly(t *testing.T) {
+	for _, k := range []Kind{MetadataCorrupt, MetadataTruncate, MetadataZero} {
+		s, inst := jbServer(t, "Email-P")
+		warmJB(s, inst)
+		plan := NewPlan(42, k)
+
+		before := inst.Jukebox.Stats.DegradedReplays
+		plan.CorruptMetadata(inst.Jukebox)
+		if plan.Injections[k] == 0 {
+			t.Fatalf("%v: nothing injected", k)
+		}
+		s.FlushMicroarch()
+		r := s.Invoke(inst)
+		if inst.Jukebox.Stats.DegradedReplays != before+1 {
+			t.Errorf("%v: corruption not detected (degraded %d -> %d)",
+				k, before, inst.Jukebox.Stats.DegradedReplays)
+		}
+		if err := Audit(r); err != nil {
+			t.Errorf("%v: audit after degraded replay: %v", k, err)
+		}
+		// The fallback recording must restore replay on the next invocation.
+		s.FlushMicroarch()
+		s.Invoke(inst)
+		if inst.Jukebox.Stats.ReplayPrefetches == 0 {
+			t.Errorf("%v: replay did not recover after record-only fallback", k)
+		}
+	}
+}
+
+func TestDegradedReplayNotWorseThanBaseline(t *testing.T) {
+	// The acceptance bound: with corrupting faults active, Jukebox must not
+	// run materially worse than no Jukebox at all (garbage is skipped, and
+	// the only residual costs are metadata DRAM traffic and the checksum).
+	w, err := workload.ByName("Email-P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := serverless.New(serverless.Config{})
+	bi := base.Deploy(w)
+	baseRes := base.RunLukewarm(bi, 4)
+
+	s, inst := jbServer(t, "Email-P")
+	plan := NewPlan(7, MetadataCorrupt)
+	var last cpu.RunResult
+	for i := 0; i < 4; i++ {
+		plan.CorruptMetadata(inst.Jukebox)
+		s.FlushMicroarch()
+		last = s.Invoke(inst)
+	}
+	if ratio := last.CPI() / baseRes.CPI(); ratio > 1.02 {
+		t.Errorf("corrupted Jukebox CPI %.4f is %.1f%% above baseline %.4f (bound 2%%)",
+			last.CPI(), (ratio-1)*100, baseRes.CPI())
+	}
+}
+
+func TestReplayCompactionSurvives(t *testing.T) {
+	s, inst := jbServer(t, "Email-P")
+	warmJB(s, inst)
+	plan := NewPlan(3, ReplayCompaction)
+	plan.ArmReplayCompaction(inst.Jukebox, inst.AS)
+
+	migBefore := inst.AS.Migrations
+	s.FlushMicroarch()
+	r := s.Invoke(inst)
+	if plan.Injections[ReplayCompaction] != 1 {
+		t.Fatal("compaction hook did not fire")
+	}
+	if inst.AS.Migrations == migBefore {
+		t.Fatal("no pages migrated")
+	}
+	// Virtual-address metadata: the replay continues across the migration
+	// and the invocation completes with a sane result.
+	if inst.Jukebox.Stats.DegradedReplays != 0 {
+		t.Error("compaction wrongly flagged as corruption")
+	}
+	if err := Audit(r); err != nil {
+		t.Errorf("audit after mid-replay compaction: %v", err)
+	}
+	inst.Jukebox.ReplayHook = nil
+}
+
+func TestMidRecordEviction(t *testing.T) {
+	s, inst := jbServer(t, "Email-P")
+	warmJB(s, inst)
+	plan := NewPlan(9, RecordEviction)
+	plan.ArmMidRecordEviction(inst)
+
+	s.FlushMicroarch()
+	r := s.Invoke(inst)
+	if plan.Injections[RecordEviction] != 1 {
+		t.Fatal("eviction hook did not fire")
+	}
+	if err := Audit(r); err != nil {
+		t.Errorf("audit after mid-record eviction: %v", err)
+	}
+	inst.Jukebox.RecordHook = nil
+	inst.Evict()
+	// Post-eviction: fresh address space, no metadata, next invocation runs
+	// record-only and re-seeds.
+	if inst.Jukebox.ReplayBuffer().Len() != 0 {
+		t.Error("eviction left replay metadata behind")
+	}
+	s.FlushMicroarch()
+	s.Invoke(inst)
+	s.FlushMicroarch()
+	s.Invoke(inst)
+	if inst.Jukebox.Stats.ReplayPrefetches == 0 {
+		t.Error("replay did not re-seed after eviction")
+	}
+}
+
+func TestDRAMSpikeSlowsRuns(t *testing.T) {
+	w, err := workload.ByName("Email-P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := serverless.New(serverless.Config{})
+	ci := clean.Deploy(w)
+	cleanRes := clean.RunLukewarm(ci, 3)
+
+	spiked := serverless.New(serverless.Config{})
+	si := spiked.Deploy(w)
+	spiked.RunLukewarm(si, 2)
+	plan := NewPlan(5, DRAMSpike)
+	plan.DisturbDRAM(spiked.Core.Hier.DRAM)
+	spiked.FlushMicroarch()
+	r := spiked.Invoke(si)
+	if plan.Injections[DRAMSpike] != 1 {
+		t.Fatal("no disturbance injected")
+	}
+	if r.CPI() <= cleanRes.CPI() {
+		t.Errorf("DRAM spike did not slow the run: %.4f vs clean %.4f", r.CPI(), cleanRes.CPI())
+	}
+	if err := Audit(r); err != nil {
+		t.Errorf("audit under DRAM spike: %v", err)
+	}
+}
+
+func TestDRAMSpikeDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := serverless.New(serverless.Config{})
+		w, _ := workload.ByName("Auth-G")
+		inst := s.Deploy(w)
+		s.RunLukewarm(inst, 1)
+		plan := NewPlan(11, DRAMSpike)
+		plan.DisturbDRAM(s.Core.Hier.DRAM)
+		s.FlushMicroarch()
+		return s.Invoke(inst).CPI()
+	}
+	if run() != run() {
+		t.Error("faulted run not deterministic")
+	}
+}
+
+func TestTraceCorruptionNeverPanics(t *testing.T) {
+	w, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Capture(w.Program, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 32; seed++ {
+		plan := NewPlan(seed, TraceCorrupt)
+		data := plan.CorruptTrace(buf.Bytes())
+		// Either a typed error or a clean decode of canonical addresses —
+		// never a panic (the test binary would die).
+		instrs, err := trace.Read(bytes.NewReader(data), 0)
+		if err != nil {
+			continue
+		}
+		for _, in := range instrs {
+			if in.VAddr >= 1<<48 {
+				t.Fatalf("seed %d: corrupt stream decoded non-canonical vaddr %#x", seed, in.VAddr)
+			}
+		}
+	}
+}
+
+func TestBurstTrafficShedsGracefully(t *testing.T) {
+	s := serverless.New(serverless.Config{})
+	for _, n := range []string{"Auth-G", "Email-P", "Pay-N"} {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Deploy(w)
+	}
+	plan := NewPlan(13, TrafficBurst)
+	cfg := serverless.DefaultTrafficConfig()
+	cfg.MeanIATms = 30
+	cfg.InvocationsPerInstance = 5
+	cfg = plan.BurstTraffic(cfg)
+	res, err := s.ServeTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Error("burst did not shed any load")
+	}
+	if res.Served+res.Shed != 3*5 {
+		t.Errorf("served %d + shed %d != offered %d", res.Served, res.Shed, 15)
+	}
+	if err := AuditTraffic(res); err != nil {
+		t.Errorf("traffic audit: %v", err)
+	}
+}
+
+func TestIdenticalSeededRunsAreByteIdentical(t *testing.T) {
+	// Determinism regression across the fault plan: two identical seeded
+	// runs must render identical results, with and without faults.
+	run := func(faulted bool) string {
+		s, inst := jbServer(t, "Email-P")
+		warmJB(s, inst)
+		var plan *Plan
+		if faulted {
+			plan = NewPlan(21, MetadataCorrupt, DRAMSpike)
+		}
+		var out bytes.Buffer
+		for i := 0; i < 3; i++ {
+			if plan != nil {
+				plan.CorruptMetadata(inst.Jukebox)
+				plan.DisturbDRAM(s.Core.Hier.DRAM)
+			}
+			s.FlushMicroarch()
+			r := s.Invoke(inst)
+			out.WriteString(r.Stack.String())
+		}
+		return out.String()
+	}
+	if run(false) != run(false) {
+		t.Error("clean runs differ")
+	}
+	if run(true) != run(true) {
+		t.Error("faulted runs differ")
+	}
+	if run(true) == run(false) {
+		t.Error("fault plan had no observable effect")
+	}
+}
+
+func TestAuditCatchesViolations(t *testing.T) {
+	good := cpu.RunResult{Instrs: 100, Cycles: 200}
+	good.Stack.AddInstrs(100)
+	good.Stack.Add(topdown.Retiring, 150)
+	good.Stack.Add(topdown.FetchLatency, 50)
+	if err := Audit(good); err != nil {
+		t.Errorf("consistent result flagged: %v", err)
+	}
+
+	bad := good
+	bad.Cycles = 500 // stack no longer sums to total
+	if Audit(bad) == nil {
+		t.Error("cycle mismatch not caught")
+	}
+	neg := good
+	neg.Stack.Cycles[topdown.Retiring] = -150
+	if Audit(neg) == nil {
+		t.Error("negative category not caught")
+	}
+	mism := good
+	mism.Instrs = 99
+	if Audit(mism) == nil {
+		t.Error("instruction mismatch not caught")
+	}
+
+	var cs mem.CacheStats
+	cs.DemandAccesses[mem.Instr] = 10
+	cs.DemandHits[mem.Instr] = 6
+	cs.DemandMisses[mem.Instr] = 4
+	if err := AuditCache("L1I", cs); err != nil {
+		t.Errorf("consistent cache flagged: %v", err)
+	}
+	cs.DemandHits[mem.Instr] = 7
+	if AuditCache("L1I", cs) == nil {
+		t.Error("demand mismatch not caught")
+	}
+
+	bt := serverless.TrafficResult{Served: 2, ColdStarts: 5}
+	if AuditTraffic(bt) == nil {
+		t.Error("cold starts > served not caught")
+	}
+}

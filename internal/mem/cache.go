@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"lukewarm/internal/cfgerr"
+)
 
 // line is one cache block's bookkeeping.
 type line struct {
@@ -59,6 +63,18 @@ type Config struct {
 // Sets reports the number of sets implied by the geometry.
 func (c Config) Sets() int { return c.SizeBytes / (LineSize * c.Ways) }
 
+// Validate reports whether the geometry is realizable: positive ways and a
+// positive power-of-two set count. Errors wrap cfgerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.Ways <= 0 {
+		return cfgerr.New("cache %s: ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if sets := c.Sets(); sets <= 0 || sets&(sets-1) != 0 {
+		return cfgerr.New("cache %s: %d sets is not a positive power of two", c.Name, sets)
+	}
+	return nil
+}
+
 // Cache is a set-associative, LRU, write-back cache. It is a passive array:
 // the Hierarchy drives lookups and fills and decides what happens on a miss.
 type Cache struct {
@@ -70,17 +86,14 @@ type Cache struct {
 	Stats   CacheStats
 }
 
-// NewCache builds a cache from cfg. It panics if the geometry is not a
-// power-of-two set count or ways is not positive — these are design-time
-// constants, not runtime inputs.
+// NewCache builds a cache from cfg. It panics if the geometry is invalid —
+// callers that take cache geometry from user input should call
+// Config.Validate first (the serverless facade does).
 func NewCache(cfg Config) *Cache {
-	if cfg.Ways <= 0 {
-		panic(fmt.Sprintf("mem: cache %s: ways must be positive", cfg.Name))
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("mem: %v", err))
 	}
 	sets := cfg.Sets()
-	if sets <= 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("mem: cache %s: %d sets is not a positive power of two", cfg.Name, sets))
-	}
 	return &Cache{
 		cfg:     cfg,
 		sets:    sets,

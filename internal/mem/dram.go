@@ -42,6 +42,14 @@ type DRAM struct {
 	prefetchBacklog Cycle // pending transfers as seen by prefetch traffic
 	bytes           [numTrafficClasses]uint64
 	accesses        [numTrafficClasses]uint64
+
+	// Disturbance state (fault injection): while distLeft > 0, every access
+	// pays distExtra additional latency and occupies the channel for
+	// LinePeriod*distMult cycles, modeling a latency spike plus bandwidth
+	// throttling from co-located interference.
+	distExtra Cycle
+	distMult  int
+	distLeft  uint64
 }
 
 // NewDRAM builds a DRAM model. Zero-valued config fields fall back to the
@@ -85,21 +93,27 @@ func (d *DRAM) decay(now Cycle) {
 // transfers still occupying the channel (subject to demand priority).
 func (d *DRAM) Access(now Cycle, cls TrafficClass) Cycle {
 	d.decay(now)
+	period, extra := d.cfg.LinePeriod, Cycle(0)
+	if d.distLeft > 0 {
+		period *= Cycle(d.distMult)
+		extra = d.distExtra
+		d.distLeft--
+	}
 	var wait Cycle
 	if cls == TrafficDemand || cls == TrafficWriteback {
 		wait = d.demandBacklog
-		d.demandBacklog += d.cfg.LinePeriod
+		d.demandBacklog += period
 		// Prefetch traffic yields to demand occupancy.
 		if d.prefetchBacklog < d.demandBacklog {
 			d.prefetchBacklog = d.demandBacklog
 		}
 	} else {
 		wait = d.prefetchBacklog
-		d.prefetchBacklog += d.cfg.LinePeriod
+		d.prefetchBacklog += period
 	}
 	d.bytes[cls] += LineSize
 	d.accesses[cls]++
-	return wait + d.cfg.AccessLatency
+	return wait + d.cfg.AccessLatency + extra
 }
 
 // AccessBytes performs a transfer of n bytes (rounded up to whole lines) of
@@ -140,3 +154,20 @@ func (d *DRAM) ResetStats() {
 
 // Config returns the DRAM configuration in effect.
 func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// InjectDisturbance arms a deterministic interference episode: the next n
+// accesses each pay extra additional cycles of latency and occupy the
+// channel for mult× the configured line period. mult < 1 is treated as 1.
+// Used by the fault-injection harness to model latency spikes and bandwidth
+// throttling from co-located tenants.
+func (d *DRAM) InjectDisturbance(extra Cycle, mult int, n uint64) {
+	if mult < 1 {
+		mult = 1
+	}
+	d.distExtra = extra
+	d.distMult = mult
+	d.distLeft = n
+}
+
+// DisturbanceRemaining reports how many disturbed accesses are still armed.
+func (d *DRAM) DisturbanceRemaining() uint64 { return d.distLeft }

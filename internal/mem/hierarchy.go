@@ -1,5 +1,7 @@
 package mem
 
+import "lukewarm/internal/cfgerr"
+
 // HierarchyConfig assembles the per-level cache configurations of one
 // simulated platform. Table 1 of the paper defines the Skylake-like setup;
 // Sec. 5.6 the Broadwell-like one.
@@ -8,6 +10,20 @@ type HierarchyConfig struct {
 	DRAM              DRAMConfig
 	// L1DNextLine enables the next-line prefetcher on the L1-D (Table 1).
 	L1DNextLine bool
+}
+
+// Validate checks every level's geometry. Errors wrap cfgerr.ErrBadConfig.
+func (c HierarchyConfig) Validate() error {
+	for _, lvl := range []Config{c.L1I, c.L1D, c.L2, c.LLC} {
+		if err := lvl.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.DRAM.AccessLatency < 0 || c.DRAM.LinePeriod < 0 {
+		return cfgerr.New("dram: negative timing (latency %d, period %d)",
+			c.DRAM.AccessLatency, c.DRAM.LinePeriod)
+	}
+	return nil
 }
 
 // SkylakeHierarchy returns the Table 1 configuration: 32 KB L1-I/L1-D,

@@ -21,7 +21,7 @@
 // bit-identically no matter how many times it is generated.
 package program
 
-import "fmt"
+import "lukewarm/internal/cfgerr"
 
 // Op classifies a dynamic instruction.
 type Op uint8
@@ -151,21 +151,21 @@ type Config struct {
 func (c Config) Validate() error {
 	switch {
 	case c.CodeKB < 4:
-		return fmt.Errorf("program %q: CodeKB %d too small", c.Name, c.CodeKB)
+		return cfgerr.New("program %q: CodeKB %d too small", c.Name, c.CodeKB)
 	case c.InstrPerLine < 1 || c.InstrPerLine > 64:
-		return fmt.Errorf("program %q: InstrPerLine %d out of range", c.Name, c.InstrPerLine)
+		return cfgerr.New("program %q: InstrPerLine %d out of range", c.Name, c.InstrPerLine)
 	case c.DynamicInstrs < c.CodeKB*16: // one instruction per line minimum
-		return fmt.Errorf("program %q: DynamicInstrs %d cannot cover %d KB of code", c.Name, c.DynamicInstrs, c.CodeKB)
+		return cfgerr.New("program %q: DynamicInstrs %d cannot cover %d KB of code", c.Name, c.DynamicInstrs, c.CodeKB)
 	case c.CoreFrac < 0 || c.CoreFrac > 1 || c.OptionalProb < 0 || c.OptionalProb > 1:
-		return fmt.Errorf("program %q: fractions out of [0,1]", c.Name)
+		return cfgerr.New("program %q: fractions out of [0,1]", c.Name)
 	case c.CallFrac < 0 || c.CallFrac > 0.8:
-		return fmt.Errorf("program %q: CallFrac %v out of [0, 0.8]", c.Name, c.CallFrac)
+		return cfgerr.New("program %q: CallFrac %v out of [0, 0.8]", c.Name, c.CallFrac)
 	case c.SkipFrac < 0 || c.SkipFrac > 0.3:
-		return fmt.Errorf("program %q: SkipFrac %v out of [0, 0.3]", c.Name, c.SkipFrac)
+		return cfgerr.New("program %q: SkipFrac %v out of [0, 0.3]", c.Name, c.SkipFrac)
 	case c.LoadFrac+c.StoreFrac > 0.9:
-		return fmt.Errorf("program %q: memory-op fraction %v too high", c.Name, c.LoadFrac+c.StoreFrac)
+		return cfgerr.New("program %q: memory-op fraction %v too high", c.Name, c.LoadFrac+c.StoreFrac)
 	case c.DataKB <= 0 || c.HotDataKB <= 0 || c.HotDataKB > c.DataKB:
-		return fmt.Errorf("program %q: data sizes invalid (%d/%d KB)", c.Name, c.HotDataKB, c.DataKB)
+		return cfgerr.New("program %q: data sizes invalid (%d/%d KB)", c.Name, c.HotDataKB, c.DataKB)
 	}
 	return nil
 }
@@ -203,15 +203,26 @@ type Program struct {
 
 // New builds a program from cfg. It panics on invalid configuration —
 // configurations are compiled into the workload suite, so an invalid one is
-// a programming error.
+// a programming error. Callers building programs from user input should use
+// NewErr instead.
 func New(cfg Config) *Program {
-	if err := cfg.Validate(); err != nil {
+	p, err := NewErr(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return p
+}
+
+// NewErr builds a program from cfg, returning a validation error (wrapping
+// cfgerr.ErrBadConfig) instead of panicking on bad configuration.
+func NewErr(cfg Config) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &Program{cfg: cfg}
 	p.layout()
 	p.singlePassInstrs = p.expectedPassInstrs()
-	return p
+	return p, nil
 }
 
 // layout partitions the code footprint into segments and assigns virtual

@@ -107,7 +107,7 @@ func TestMultiCoreTrafficScales(t *testing.T) {
 		for _, n := range []string{"Auth-G", "Email-P", "Pay-N", "Geo-G", "Prof-G", "Curr-N"} {
 			s.Deploy(mustWorkload(t, n))
 		}
-		return s.ServeTraffic(tc)
+		return mustServe(t, s, tc)
 	}
 	one := run(1)
 	four := run(4)

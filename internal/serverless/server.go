@@ -21,6 +21,7 @@ package serverless
 import (
 	"math"
 
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
@@ -89,8 +90,8 @@ func (s *Server) AttachCorePrefetcher(pf cpu.InstrPrefetcher) { s.corePFs[0] = p
 // one instance per core (built against s.Cores[idx].Hier).
 func (s *Server) AttachCorePrefetcherOn(idx int, pf cpu.InstrPrefetcher) { s.corePFs[idx] = pf }
 
-// New builds a server. Zero-valued config fields get defaults.
-func New(cfg Config) *Server {
+// withDefaults fills zero-valued config fields.
+func (cfg Config) withDefaults() Config {
 	if cfg.CPU.DispatchWidth == 0 {
 		cfg.CPU = cpu.SkylakeConfig()
 	}
@@ -100,6 +101,41 @@ func New(cfg Config) *Server {
 	if cfg.ThrashBytesPerMs == 0 {
 		cfg.ThrashBytesPerMs = DefaultThrashBytesPerMs
 	}
+	return cfg
+}
+
+// Validate checks the (defaulted) configuration: the platform, its cache and
+// TLB geometry, and the Jukebox parameters if one is attached. Errors wrap
+// cfgerr.ErrBadConfig.
+func (cfg Config) Validate() error {
+	cfg = cfg.withDefaults()
+	if err := cfg.CPU.Validate(); err != nil {
+		return err
+	}
+	if cfg.Jukebox != nil {
+		if err := cfg.Jukebox.Validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.ThrashBytesPerMs < 0 {
+		return cfgerr.New("server: negative ThrashBytesPerMs %d", cfg.ThrashBytesPerMs)
+	}
+	return nil
+}
+
+// NewErr builds a server like New but returns a validation error (wrapping
+// cfgerr.ErrBadConfig) instead of panicking on bad configuration.
+func NewErr(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return New(cfg), nil
+}
+
+// New builds a server. Zero-valued config fields get defaults. It panics on
+// invalid configuration; use NewErr when the config comes from user input.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	llc := mem.NewCache(cfg.CPU.Hier.LLC)
 	dram := mem.NewDRAM(cfg.CPU.Hier.DRAM)
 	s := &Server{
@@ -133,6 +169,18 @@ func (s *Server) Deploy(w workload.Workload) *Instance {
 
 // Instances lists the deployed instances in deployment order.
 func (s *Server) Instances() []*Instance { return s.instances }
+
+// Evict models the OS reclaiming the instance's memory mid-lifetime: the
+// address space is replaced by a fresh one (all pages gone) and any Jukebox
+// metadata — in-flight recording and sealed replay state — is discarded.
+// The next invocation behaves like a cold start microarchitecturally: it
+// faults its pages back in and records metadata from scratch.
+func (inst *Instance) Evict() {
+	inst.AS = vm.NewAddressSpace(inst.srv.Alloc)
+	if inst.Jukebox != nil {
+		inst.Jukebox.DropMetadata()
+	}
+}
 
 // Invoke schedules one invocation of inst on core 0 and runs it to
 // completion.

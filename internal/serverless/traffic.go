@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/program"
 	"lukewarm/internal/stats"
@@ -43,8 +44,38 @@ type TrafficConfig struct {
 	// ThrashBytesPerMs partial-eviction model (as in the Fig. 1 sweep) in
 	// addition to the natural interleaving of the deployed instances.
 	AmbientThrash bool
+	// MaxQueue bounds the number of invocations waiting past their arrival
+	// time at dispatch; when the backlog reaches the bound the dispatcher
+	// sheds the invocation instead of serving it (0 = unbounded). This is
+	// the overload valve: under saturating bursts the arrival heap stays
+	// bounded and throughput degrades smoothly.
+	MaxQueue int
+	// ShedAfterMs sheds any invocation that has already waited longer than
+	// this when it reaches the dispatcher (0 = no deadline). Models a
+	// request timeout at the front end.
+	ShedAfterMs float64
 	// Seed determinizes arrivals.
 	Seed uint64
+}
+
+// Validate reports whether the traffic configuration is serveable. Errors
+// wrap cfgerr.ErrBadConfig.
+func (c TrafficConfig) Validate() error {
+	switch {
+	case c.MeanIATms <= 0:
+		return cfgerr.New("traffic: MeanIATms must be positive, got %g", c.MeanIATms)
+	case c.InvocationsPerInstance <= 0:
+		return cfgerr.New("traffic: InvocationsPerInstance must be positive, got %d", c.InvocationsPerInstance)
+	case c.KeepAliveMs < 0:
+		return cfgerr.New("traffic: negative KeepAliveMs %g", c.KeepAliveMs)
+	case c.ColdStartMs < 0:
+		return cfgerr.New("traffic: negative ColdStartMs %g", c.ColdStartMs)
+	case c.MaxQueue < 0:
+		return cfgerr.New("traffic: negative MaxQueue %d", c.MaxQueue)
+	case c.ShedAfterMs < 0:
+		return cfgerr.New("traffic: negative ShedAfterMs %g", c.ShedAfterMs)
+	}
+	return nil
 }
 
 // DefaultTrafficConfig returns a 1 s Poisson workload, the representative
@@ -63,6 +94,9 @@ func DefaultTrafficConfig() TrafficConfig {
 type TrafficResult struct {
 	// Served counts completed invocations.
 	Served int
+	// Shed counts invocations dropped by the overload valve (MaxQueue bound
+	// or ShedAfterMs deadline) instead of being served.
+	Shed int
 	// ColdStarts counts invocations that found their instance evicted.
 	ColdStarts int
 	// CPI summarizes per-invocation CPI across all instances.
@@ -109,14 +143,19 @@ func (q arrivalQueue) Peek() arrival { return q[0] }
 
 // ServeTraffic runs the arrival process over every deployed instance until
 // each has received cfg.InvocationsPerInstance invocations, serving them
-// FIFO on the core. It returns the aggregate result.
+// FIFO on the core. It returns the aggregate result, or an error (wrapping
+// cfgerr.ErrBadConfig) for an unserveable configuration or a server with no
+// deployed instances.
 //
 // Idle gaps advance the clock but do not thrash state: with multiple
 // co-resident instances the interleaved executions themselves provide the
 // (realistic, partial) state destruction.
-func (s *Server) ServeTraffic(cfg TrafficConfig) TrafficResult {
-	if cfg.MeanIATms <= 0 || cfg.InvocationsPerInstance <= 0 || len(s.instances) == 0 {
-		panic("serverless: ServeTraffic needs instances, a positive IAT and a positive invocation budget")
+func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrafficResult{}, err
+	}
+	if len(s.instances) == 0 {
+		return TrafficResult{}, cfgerr.New("traffic: server has no deployed instances")
 	}
 	rng := program.NewRNG(program.Mix(0x7AF1C, cfg.Seed))
 	cyclesPerMs := s.cfg.CPU.FreqGHz * 1e6
@@ -175,6 +214,34 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) TrafficResult {
 			}
 		}
 		core := s.Cores[idx]
+		// Overload valve: shed before touching any simulated state, so a
+		// shed decision never perturbs the microarchitecture. An invocation
+		// is shed when it already blew its deadline waiting for a core, or
+		// when the due backlog (this arrival plus queued arrivals whose time
+		// has passed) exceeds the configured bound. The client's later
+		// requests still arrive, so the process drains deterministically.
+		if cfg.ShedAfterMs > 0 || cfg.MaxQueue > 0 {
+			waitedMs := 0.0
+			if core.Now() > a.at {
+				waitedMs = float64(core.Now()-a.at) / cyclesPerMs
+			}
+			due := 1
+			for _, p := range q {
+				if p.at <= core.Now() {
+					due++
+				}
+			}
+			if (cfg.ShedAfterMs > 0 && waitedMs > cfg.ShedAfterMs) ||
+				(cfg.MaxQueue > 0 && due > cfg.MaxQueue) {
+				res.Shed++
+				remaining[a.inst]--
+				if remaining[a.inst] > 0 {
+					heap.Push(&q, arrival{at: a.at + nextIAT(), inst: a.inst, seq: seq})
+					seq++
+				}
+				continue
+			}
+		}
 		if core.Now() < a.at {
 			gap := a.at - core.Now()
 			if cfg.AmbientThrash {
@@ -220,14 +287,18 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) TrafficResult {
 		res.BusyFraction = float64(busy) / (float64(span) * float64(len(s.Cores)))
 	}
 	res.SimulatedMs = float64(span) / cyclesPerMs
-	return res
+	return res, nil
 }
 
 // String renders a one-paragraph summary.
 func (r *TrafficResult) String() string {
+	shed := ""
+	if r.Shed > 0 {
+		shed = fmt.Sprintf(", %d shed", r.Shed)
+	}
 	return fmt.Sprintf(
-		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts); "+
+		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s); "+
 			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles",
-		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts,
+		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts, shed,
 		r.CPI.Mean(), r.ServiceCycles.Mean(), r.LatencyCycles.Mean(), r.P99LatencyCycles())
 }

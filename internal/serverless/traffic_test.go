@@ -1,9 +1,11 @@
 package serverless
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/core"
 	"lukewarm/internal/workload"
 )
@@ -27,10 +29,20 @@ func smallTraffic() TrafficConfig {
 	return cfg
 }
 
+// mustServe runs ServeTraffic and fails the test on error.
+func mustServe(t *testing.T, s *Server, cfg TrafficConfig) TrafficResult {
+	t.Helper()
+	res, err := s.ServeTraffic(cfg)
+	if err != nil {
+		t.Fatalf("ServeTraffic: %v", err)
+	}
+	return res
+}
+
 func TestServeTrafficBasics(t *testing.T) {
 	s := New(Config{})
 	deploySubset(t, s, "Auth-G", "ProdL-G", "Email-P")
-	res := s.ServeTraffic(smallTraffic())
+	res := mustServe(t, s, smallTraffic())
 	if res.Served != 9 {
 		t.Fatalf("served = %d, want 9", res.Served)
 	}
@@ -55,7 +67,7 @@ func TestServeTrafficDeterministic(t *testing.T) {
 	run := func() float64 {
 		s := New(Config{})
 		deploySubset(t, s, "Auth-G", "Email-P")
-		res := s.ServeTraffic(smallTraffic())
+		res := mustServe(t, s, smallTraffic())
 		return res.CPI.Mean()
 	}
 	if run() != run() {
@@ -76,12 +88,12 @@ func TestCoResidencyMakesInvocationsLukewarm(t *testing.T) {
 
 	alone := New(Config{})
 	alone.Deploy(w)
-	aloneRes := alone.ServeTraffic(cfg)
+	aloneRes := mustServe(t, alone, cfg)
 
 	crowded := New(Config{})
 	crowded.Deploy(w)
 	deploySubset(t, crowded, "Email-P", "Pay-N", "Auth-P", "Geo-G", "Prof-G", "Curr-N", "RecO-P")
-	crowdedRes := crowded.ServeTraffic(cfg)
+	crowdedRes := mustServe(t, crowded, cfg)
 
 	if crowdedRes.CPI.Mean() <= aloneRes.CPI.Mean()*1.15 {
 		t.Errorf("co-residency did not degrade CPI: %.3f vs alone %.3f",
@@ -107,7 +119,7 @@ func TestJukeboxHelpsUnderRealTraffic(t *testing.T) {
 		}
 		tc := smallTraffic()
 		tc.InvocationsPerInstance = 3
-		res := s.ServeTraffic(tc)
+		res := mustServe(t, s, tc)
 		return res.ServiceCycles.Sum()
 	}
 	base, withJB := run(false), run(true)
@@ -125,7 +137,7 @@ func TestKeepAliveColdStarts(t *testing.T) {
 	cfg.Poisson = false
 	cfg.KeepAliveMs = 10 // evict almost immediately
 	cfg.InvocationsPerInstance = 4
-	res := s.ServeTraffic(cfg)
+	res := mustServe(t, s, cfg)
 	if res.ColdStarts == 0 {
 		t.Error("tiny keep-alive produced no cold starts")
 	}
@@ -142,7 +154,7 @@ func TestHeavyTailTraffic(t *testing.T) {
 	cfg := smallTraffic()
 	cfg.HeavyTail = true
 	cfg.InvocationsPerInstance = 5
-	res := s.ServeTraffic(cfg)
+	res := mustServe(t, s, cfg)
 	if res.Served != 10 {
 		t.Fatalf("served %d", res.Served)
 	}
@@ -152,28 +164,105 @@ func TestHeavyTailTraffic(t *testing.T) {
 	cfgF := cfg
 	cfgF.HeavyTail = false
 	cfgF.Poisson = false
-	resF := sFixed.ServeTraffic(cfgF)
+	resF := mustServe(t, sFixed, cfgF)
 	if res.LatencyCycles.StdDev() <= resF.LatencyCycles.StdDev() {
 		t.Errorf("heavy-tail latency stddev %.0f not above fixed %.0f",
 			res.LatencyCycles.StdDev(), resF.LatencyCycles.StdDev())
 	}
 }
 
-func TestServeTrafficPanicsOnBadConfig(t *testing.T) {
+func TestServeTrafficRejectsBadConfig(t *testing.T) {
 	s := New(Config{})
 	deploySubset(t, s, "Auth-G")
-	for _, f := range []func(){
-		func() { s.ServeTraffic(TrafficConfig{MeanIATms: 0, InvocationsPerInstance: 1}) },
-		func() { s.ServeTraffic(TrafficConfig{MeanIATms: 10, InvocationsPerInstance: 0}) },
-		func() { New(Config{}).ServeTraffic(DefaultTrafficConfig()) },
+	for name, run := range map[string]func() (TrafficResult, error){
+		"zero IAT": func() (TrafficResult, error) {
+			return s.ServeTraffic(TrafficConfig{MeanIATms: 0, InvocationsPerInstance: 1})
+		},
+		"zero budget": func() (TrafficResult, error) {
+			return s.ServeTraffic(TrafficConfig{MeanIATms: 10, InvocationsPerInstance: 0})
+		},
+		"no instances": func() (TrafficResult, error) { return New(Config{}).ServeTraffic(DefaultTrafficConfig()) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+		if _, err := run(); err == nil {
+			t.Errorf("%s: expected error", name)
+		} else if !errors.Is(err, cfgerr.ErrBadConfig) {
+			t.Errorf("%s: error %v does not wrap ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestServeTrafficEdgeCases(t *testing.T) {
+	// IAT far above keep-alive: every re-invocation is a cold start.
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G")
+	cfg := DefaultTrafficConfig()
+	cfg.Poisson = false
+	cfg.MeanIATms = 500
+	cfg.KeepAliveMs = 5
+	cfg.InvocationsPerInstance = 4
+	res := mustServe(t, s, cfg)
+	if res.ColdStarts != 3 {
+		t.Errorf("IAT >> keep-alive: cold starts = %d, want 3 (every invocation after the first)", res.ColdStarts)
+	}
+
+	// Single-invocation budget: exactly one served, no cold starts.
+	s1 := New(Config{})
+	deploySubset(t, s1, "Auth-G")
+	c1 := DefaultTrafficConfig()
+	c1.InvocationsPerInstance = 1
+	c1.KeepAliveMs = 1
+	r1 := mustServe(t, s1, c1)
+	if r1.Served != 1 || r1.ColdStarts != 0 || r1.Shed != 0 {
+		t.Errorf("single budget: served %d, cold %d, shed %d", r1.Served, r1.ColdStarts, r1.Shed)
+	}
+}
+
+func TestServeTrafficShedsUnderOverload(t *testing.T) {
+	// Saturating arrivals (IAT far below service time) with a tight queue
+	// bound must shed load with accounting, not grow the heap unboundedly.
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G", "Email-P", "Pay-N", "ProdL-G")
+	cfg := DefaultTrafficConfig()
+	cfg.MeanIATms = 0.05
+	cfg.InvocationsPerInstance = 6
+	cfg.MaxQueue = 2
+	res := mustServe(t, s, cfg)
+	if res.Shed == 0 {
+		t.Fatal("saturating traffic with MaxQueue=2 shed nothing")
+	}
+	if res.Served+res.Shed != 4*6 {
+		t.Errorf("served %d + shed %d != offered %d", res.Served, res.Shed, 4*6)
+	}
+	if !strings.Contains(res.String(), "shed") {
+		t.Errorf("summary does not report shedding: %s", res.String())
+	}
+
+	// Deadline shedding: any invocation waiting longer than ShedAfterMs is
+	// dropped at dispatch.
+	s2 := New(Config{})
+	deploySubset(t, s2, "Auth-G", "Email-P", "Pay-N", "ProdL-G")
+	cfg2 := DefaultTrafficConfig()
+	cfg2.MeanIATms = 0.05
+	cfg2.InvocationsPerInstance = 6
+	cfg2.ShedAfterMs = 0.5
+	res2 := mustServe(t, s2, cfg2)
+	if res2.Shed == 0 {
+		t.Error("deadline shedding dropped nothing under saturation")
+	}
+}
+
+func TestServeTrafficShedDeterminism(t *testing.T) {
+	run := func() TrafficResult {
+		s := New(Config{})
+		deploySubset(t, s, "Auth-G", "Email-P")
+		cfg := DefaultTrafficConfig()
+		cfg.MeanIATms = 0.1
+		cfg.InvocationsPerInstance = 5
+		cfg.MaxQueue = 1
+		return mustServe(t, s, cfg)
+	}
+	a, b := run(), run()
+	if a.String() != b.String() || a.Shed != b.Shed {
+		t.Errorf("shedding run not deterministic:\n%s\n%s", a.String(), b.String())
 	}
 }

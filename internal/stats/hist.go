@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"lukewarm/internal/cfgerr"
 )
 
 // Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
@@ -14,17 +16,16 @@ type Histogram struct {
 	count  int
 }
 
-// NewHistogram creates a histogram with n bins over [lo, hi).
-// It panics if n <= 0 or hi <= lo: a histogram with no width is a
-// programming error, not a runtime condition.
-func NewHistogram(lo, hi float64, n int) *Histogram {
+// NewHistogram creates a histogram with n bins over [lo, hi). It returns an
+// error wrapping cfgerr.ErrBadConfig if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
 	if n <= 0 {
-		panic("stats: histogram needs at least one bin")
+		return nil, cfgerr.New("histogram needs at least one bin, got %d", n)
 	}
 	if hi <= lo {
-		panic("stats: histogram range must have hi > lo")
+		return nil, cfgerr.New("histogram range must have hi > lo, got [%g, %g)", lo, hi)
 	}
-	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}, nil
 }
 
 // Add records one observation.

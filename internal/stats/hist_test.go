@@ -1,13 +1,25 @@
 package stats
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"lukewarm/internal/cfgerr"
 )
 
+func mustHistogram(t *testing.T, lo, hi float64, n int) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(lo, hi, n)
+	if err != nil {
+		t.Fatalf("NewHistogram(%g, %g, %d): %v", lo, hi, n, err)
+	}
+	return h
+}
+
 func TestHistogramBasics(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h := mustHistogram(t, 0, 10, 10)
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
 	}
@@ -25,7 +37,7 @@ func TestHistogramBasics(t *testing.T) {
 }
 
 func TestHistogramClamping(t *testing.T) {
-	h := NewHistogram(0, 10, 5)
+	h := mustHistogram(t, 0, 10, 5)
 	h.Add(-100)
 	h.Add(1000)
 	h.Add(10) // exactly Hi lands in last bin
@@ -38,7 +50,7 @@ func TestHistogramClamping(t *testing.T) {
 }
 
 func TestHistogramQuantile(t *testing.T) {
-	h := NewHistogram(0, 100, 100)
+	h := mustHistogram(t, 0, 100, 100)
 	for i := 0; i < 100; i++ {
 		h.Add(float64(i))
 	}
@@ -46,31 +58,36 @@ func TestHistogramQuantile(t *testing.T) {
 	if med < 45 || med > 55 {
 		t.Errorf("median estimate = %v", med)
 	}
-	if got := NewHistogram(0, 1, 4).Quantile(0.5); got != 0 {
+	if got := mustHistogram(t, 0, 1, 4).Quantile(0.5); got != 0 {
 		t.Errorf("empty quantile = %v", got)
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewHistogram(0, 10, 0) },
-		func() { NewHistogram(10, 10, 4) },
-		func() { NewHistogram(10, 5, 4) },
+func TestHistogramBadConfig(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 10, 0},
+		{10, 10, 4},
+		{10, 5, 4},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("expected panic")
-				}
-			}()
-			f()
-		}()
+		h, err := NewHistogram(c.lo, c.hi, c.n)
+		if err == nil || h != nil {
+			t.Errorf("NewHistogram(%g, %g, %d): expected error, got %v", c.lo, c.hi, c.n, h)
+		}
+		if !errors.Is(err, cfgerr.ErrBadConfig) {
+			t.Errorf("NewHistogram(%g, %g, %d): error %v does not wrap ErrBadConfig", c.lo, c.hi, c.n, err)
+		}
 	}
 }
 
 func TestHistogramCountConservedProperty(t *testing.T) {
 	f := func(vs []float64) bool {
-		h := NewHistogram(-50, 50, 7)
+		h, err := NewHistogram(-50, 50, 7)
+		if err != nil {
+			return false
+		}
 		n := 0
 		for _, v := range vs {
 			if v != v { // NaN guard
@@ -91,7 +108,7 @@ func TestHistogramCountConservedProperty(t *testing.T) {
 }
 
 func TestHistogramRender(t *testing.T) {
-	h := NewHistogram(0, 4, 2)
+	h := mustHistogram(t, 0, 4, 2)
 	h.Add(1)
 	h.Add(3)
 	h.Add(3.5)

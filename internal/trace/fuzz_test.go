@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"lukewarm/internal/program"
+)
+
+// fuzzSeedStream builds a small valid trace covering every record shape:
+// plain instructions, loads, stores, dependent loads, conditional and
+// indirect branches, and large-but-canonical address deltas.
+func fuzzSeedStream(t testing.TB) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := []program.Instr{
+		{VAddr: 0x400000, Op: program.OpPlain},
+		{VAddr: 0x400004, Op: program.OpLoad, MemAddr: 0x2000_0000},
+		{VAddr: 0x400008, Op: program.OpStore, MemAddr: 0x2000_0040},
+		{VAddr: 0x40000c, Op: program.OpLoad, MemAddr: 0x4000_0000, DepLoad: true},
+		{VAddr: 0x400010, Op: program.OpBranch, Taken: true, Cond: true, Target: 0x400100},
+		{VAddr: 0x400100, Op: program.OpBranch, Indirect: true, Taken: true, Target: 0x7000_0000_0000},
+		{VAddr: 0x7000_0000_0004, Op: program.OpPlain},
+		{VAddr: 0x400104, Op: program.OpBranch, Cond: true, Target: 0x400200},
+	}
+	for _, in := range instrs {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceRead asserts the decoder is total: for any input bytes, Read
+// either returns instructions whose addresses are all canonical or a typed
+// error — never a panic, never unbounded allocation.
+func FuzzTraceRead(f *testing.F) {
+	valid := fuzzSeedStream(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("LWT1"))                     // header only, no end marker
+	f.Add([]byte("LWT0\x40"))                 // bad magic
+	f.Add(valid[:len(valid)/2])               // truncated mid-stream
+	f.Add(append([]byte("LWT1"), 0x80))       // reserved flag bit
+	f.Add(append([]byte("LWT1"), 0x41))       // end marker with extra bits
+	f.Add(append([]byte("LWT1"), 0x00, 0xff)) // varint cut short
+	f.Add(append([]byte("LWT1"),              // absurd vaddr delta (2^63)
+		0x00, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x40))
+	corrupted := append([]byte(nil), valid...)
+	corrupted[9] ^= 0x55
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		instrs, err := Read(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		for i, in := range instrs {
+			if in.VAddr >= maxCanonicalAddr || in.MemAddr >= maxCanonicalAddr || in.Target >= maxCanonicalAddr {
+				t.Fatalf("instr %d has non-canonical address: %+v", i, in)
+			}
+		}
+	})
+}
+
+// TestReadRoundTrip pins the happy path: the seed stream decodes exactly.
+func TestReadRoundTrip(t *testing.T) {
+	data := fuzzSeedStream(t)
+	instrs, err := Read(bytes.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instrs) != 8 {
+		t.Fatalf("decoded %d instructions, want 8", len(instrs))
+	}
+	if instrs[5].Target != 0x7000_0000_0000 || !instrs[5].Indirect {
+		t.Fatalf("instr 5 mismatch: %+v", instrs[5])
+	}
+}
+
+// TestReadRejectsMalformed pins typed-error behavior for the classic
+// corruptions.
+func TestReadRejectsMalformed(t *testing.T) {
+	valid := fuzzSeedStream(t)
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      []byte("XXXX\x40"),
+		"truncated":      valid[:len(valid)-3],
+		"reserved bit":   append([]byte("LWT1"), 0x80),
+		"dirty end":      append([]byte("LWT1"), 0x43),
+		"huge delta":     append([]byte("LWT1"), 0x00, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x40),
+		"varint overrun": append([]byte("LWT1"), 0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data), 0); err == nil {
+			t.Errorf("%s: expected error, got clean decode", name)
+		}
+	}
+}
+
+// TestReadLimit verifies the allocation bound.
+func TestReadLimit(t *testing.T) {
+	data := fuzzSeedStream(t)
+	if _, err := Read(bytes.NewReader(data), 3); err == nil {
+		t.Fatal("expected limit error for 8-instruction stream with limit 3")
+	}
+}

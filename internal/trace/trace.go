@@ -42,7 +42,14 @@ const (
 	flagIndirect = 1 << 4
 	flagDepLoad  = 1 << 5
 	flagEnd      = 1 << 6
+	flagReserved = 1 << 7 // never written; set means a corrupt stream
 )
+
+// maxCanonicalAddr bounds every decoded address. The simulator's programs
+// live in a 48-bit canonical address space (program's layout constants top
+// out at the kernel region ~2^47), so any decoded address at or above 2^48
+// is corruption, not a legitimate delta.
+const maxCanonicalAddr = uint64(1) << 48
 
 // zigzag encodes a signed delta as an unsigned varint payload.
 func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
@@ -167,8 +174,14 @@ func (t *Reader) Next() (program.Instr, bool) {
 		return fail(err)
 	}
 	if flags&flagEnd != 0 {
+		if flags&^byte(flagEnd) != 0 {
+			return fail(fmt.Errorf("trace: record %d: end marker with extra flag bits %#02x", t.count, flags))
+		}
 		t.done = true
 		return program.Instr{}, false
+	}
+	if flags&flagReserved != 0 {
+		return fail(fmt.Errorf("trace: record %d: reserved flag bit set (%#02x)", t.count, flags))
 	}
 	var in program.Instr
 	in.Op = program.Op(flags & flagOpMask)
@@ -182,6 +195,9 @@ func (t *Reader) Next() (program.Instr, bool) {
 		return fail(err)
 	}
 	in.VAddr = uint64(int64(t.lastVA) + unzigzag(d))
+	if in.VAddr >= maxCanonicalAddr {
+		return fail(fmt.Errorf("trace: record %d: non-canonical vaddr %#x", t.count, in.VAddr))
+	}
 	t.lastVA = in.VAddr
 	if in.Op == program.OpLoad || in.Op == program.OpStore {
 		d, err = binary.ReadUvarint(t.r)
@@ -189,6 +205,9 @@ func (t *Reader) Next() (program.Instr, bool) {
 			return fail(err)
 		}
 		in.MemAddr = uint64(int64(t.lastMem) + unzigzag(d))
+		if in.MemAddr >= maxCanonicalAddr {
+			return fail(fmt.Errorf("trace: record %d: non-canonical memory address %#x", t.count, in.MemAddr))
+		}
 		t.lastMem = in.MemAddr
 	}
 	if in.Op == program.OpBranch {
@@ -197,6 +216,9 @@ func (t *Reader) Next() (program.Instr, bool) {
 			return fail(err)
 		}
 		in.Target = uint64(int64(in.VAddr) + unzigzag(d))
+		if in.Target >= maxCanonicalAddr {
+			return fail(fmt.Errorf("trace: record %d: non-canonical branch target %#x", t.count, in.Target))
+		}
 	}
 	t.count++
 	return in, true
@@ -207,6 +229,42 @@ func (t *Reader) Count() uint64 { return t.count }
 
 // Err reports a decoding failure (nil on clean end-of-stream).
 func (t *Reader) Err() error { return t.err }
+
+// DefaultReadLimit bounds Read's allocation when the caller passes no limit:
+// 16M instructions, comfortably above the suite's longest invocation but far
+// below what a hostile length-bombing stream could request.
+const DefaultReadLimit = 16 << 20
+
+// Read decodes an entire stream into memory. It never panics and never
+// allocates more than maxInstrs entries (<= 0 selects DefaultReadLimit):
+// truncated streams, bad flag bytes and absurd varint deltas all surface as
+// errors, and a stream longer than the limit is rejected rather than
+// buffered. Callers that do not need random access should prefer streaming
+// with Reader.Next.
+func Read(r io.Reader, maxInstrs uint64) ([]program.Instr, error) {
+	if maxInstrs <= 0 {
+		maxInstrs = DefaultReadLimit
+	}
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []program.Instr
+	for {
+		in, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if uint64(len(out)) >= maxInstrs {
+			return nil, fmt.Errorf("trace: stream exceeds %d-instruction limit", maxInstrs)
+		}
+		out = append(out, in)
+	}
+	if err := tr.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // Capture walks invocation id of p and writes it to w, returning the
 // instruction count.

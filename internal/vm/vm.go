@@ -9,7 +9,11 @@
 // strawman.
 package vm
 
-import "fmt"
+import (
+	"fmt"
+
+	"lukewarm/internal/cfgerr"
+)
 
 // PageSize is the virtual-memory page size in bytes.
 const PageSize = 4096
@@ -113,6 +117,15 @@ type TLBConfig struct {
 	Ways int
 }
 
+// Validate reports whether the geometry is realizable: positive ways and a
+// positive power-of-two set count. Errors wrap cfgerr.ErrBadConfig.
+func (c TLBConfig) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 || c.Ways <= 0 {
+		return cfgerr.New("TLB %s: bad geometry %d sets x %d ways", c.Name, c.Sets, c.Ways)
+	}
+	return nil
+}
+
 // tlbEntry is one translation cache entry.
 type tlbEntry struct {
 	vpage uint64
@@ -138,11 +151,11 @@ type TLB struct {
 	Stats   TLBStats
 }
 
-// NewTLB builds a TLB; it panics on non-positive or non-power-of-two set
-// counts (design-time constants).
+// NewTLB builds a TLB; it panics on invalid geometry. Callers taking TLB
+// geometry from user input should call TLBConfig.Validate first.
 func NewTLB(cfg TLBConfig) *TLB {
-	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("vm: TLB %s: bad geometry %d sets x %d ways", cfg.Name, cfg.Sets, cfg.Ways))
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("vm: %v", err))
 	}
 	return &TLB{cfg: cfg, entries: make([]tlbEntry, cfg.Sets*cfg.Ways)}
 }

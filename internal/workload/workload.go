@@ -18,8 +18,7 @@
 package workload
 
 import (
-	"fmt"
-
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/program"
 )
 
@@ -199,7 +198,7 @@ func ByName(name string) (Workload, error) {
 			return Workload{Name: s.name, App: s.app, Lang: s.lang, Program: build(s)}, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("workload: unknown function %q (see workload.Names)", name)
+	return Workload{}, cfgerr.New("workload: unknown function %q (see workload.Names)", name)
 }
 
 // Representatives returns the per-language representatives the paper plots

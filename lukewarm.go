@@ -39,9 +39,11 @@ package lukewarm
 import (
 	"io"
 
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/experiments"
+	"lukewarm/internal/faults"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/pif"
 	"lukewarm/internal/program"
@@ -97,7 +99,17 @@ type (
 	MemKind = mem.Kind
 	// Cycle is a point in simulated time, in CPU clock cycles.
 	Cycle = mem.Cycle
+	// TrafficResult aggregates one ServeTraffic run.
+	TrafficResult = serverless.TrafficResult
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = faults.Kind
+	// FaultPlan is one seeded fault-injection campaign.
+	FaultPlan = faults.Plan
 )
+
+// ErrBadConfig is the sentinel wrapped by every configuration-validation
+// error in the library; test for it with errors.Is.
+var ErrBadConfig = cfgerr.ErrBadConfig
 
 // Top-Down categories (Yasin, ISPASS'14 level 1, with the level-2 front-end
 // split the paper uses).
@@ -116,8 +128,13 @@ const (
 )
 
 // NewServer builds a simulated host. The zero ServerConfig selects the
-// paper's Skylake-like platform with no prefetcher.
+// paper's Skylake-like platform with no prefetcher. Invalid configurations
+// panic; use NewServerErr to get the error instead.
 func NewServer(cfg ServerConfig) *Server { return serverless.New(cfg) }
+
+// NewServerErr builds a simulated host, returning an error (wrapping
+// ErrBadConfig) instead of panicking on an invalid configuration.
+func NewServerErr(cfg ServerConfig) (*Server, error) { return serverless.NewErr(cfg) }
 
 // Suite returns the paper's 20-function evaluation suite (Table 2) in
 // figure order.
@@ -130,8 +147,9 @@ func FunctionNames() []string { return workload.Names() }
 func FunctionByName(name string) (Workload, error) { return workload.ByName(name) }
 
 // NewProgram builds a custom synthetic function from cfg; deploy it by
-// wrapping it in a Workload.
-func NewProgram(cfg ProgramConfig) *Program { return program.New(cfg) }
+// wrapping it in a Workload. Invalid configurations return an error wrapping
+// ErrBadConfig.
+func NewProgram(cfg ProgramConfig) (*Program, error) { return program.NewErr(cfg) }
 
 // SkylakeConfig returns the paper's Table 1 simulation platform.
 func SkylakeConfig() CPUConfig { return cpu.SkylakeConfig() }
@@ -161,43 +179,43 @@ func NewPIF(cfg PIFConfig, srv *Server) *PIF { return pif.New(cfg, srv.Core.Hier
 // function set (the zero value runs the full suite at a quick default).
 
 // Fig1 regenerates Figure 1: CPI vs invocation inter-arrival time.
-func Fig1(opt ExperimentOptions) experiments.Fig1Result { return experiments.Fig1(opt) }
+func Fig1(opt ExperimentOptions) (experiments.Fig1Result, error) { return experiments.Fig1(opt) }
 
 // Characterize regenerates the data behind Figures 2-5: Top-Down stacks and
 // MPKI breakdowns for reference vs interleaved execution.
-func Characterize(opt ExperimentOptions) experiments.CharacterizationResult {
+func Characterize(opt ExperimentOptions) (experiments.CharacterizationResult, error) {
 	return experiments.Characterize(opt)
 }
 
 // Footprints regenerates Figures 6a/6b: instruction footprints and their
 // cross-invocation Jaccard commonality. invocations <= 0 selects the
 // paper's 25 traced invocations per function.
-func Footprints(opt ExperimentOptions, invocations int) experiments.FootprintResult {
+func Footprints(opt ExperimentOptions, invocations int) (experiments.FootprintResult, error) {
 	return experiments.Footprints(opt, invocations)
 }
 
 // Fig8 regenerates Figure 8: metadata size vs code-region size.
-func Fig8(opt ExperimentOptions, crrbEntries int) experiments.Fig8Result {
+func Fig8(opt ExperimentOptions, crrbEntries int) (experiments.Fig8Result, error) {
 	return experiments.Fig8(opt, crrbEntries)
 }
 
 // Fig9 regenerates Figure 9: speedup vs metadata budget.
-func Fig9(opt ExperimentOptions) experiments.Fig9Result { return experiments.Fig9(opt) }
+func Fig9(opt ExperimentOptions) (experiments.Fig9Result, error) { return experiments.Fig9(opt) }
 
 // Performance regenerates Figures 10-12: baseline vs Jukebox vs perfect
 // I-cache, plus coverage and bandwidth overheads.
-func Performance(opt ExperimentOptions) experiments.PerfResult {
+func Performance(opt ExperimentOptions) (experiments.PerfResult, error) {
 	return experiments.Performance(opt, cpu.SkylakeConfig(), core.DefaultConfig())
 }
 
 // PerformanceOn runs the Figures 10-12 experiment on a specific platform and
 // Jukebox configuration.
-func PerformanceOn(opt ExperimentOptions, platform CPUConfig, jb JukeboxConfig) experiments.PerfResult {
+func PerformanceOn(opt ExperimentOptions, platform CPUConfig, jb JukeboxConfig) (experiments.PerfResult, error) {
 	return experiments.Performance(opt, platform, jb)
 }
 
 // Fig13 regenerates Figure 13: Jukebox vs PIF and PIF-ideal.
-func Fig13(opt ExperimentOptions) experiments.Fig13Result { return experiments.Fig13(opt) }
+func Fig13(opt ExperimentOptions) (experiments.Fig13Result, error) { return experiments.Fig13(opt) }
 
 // Table1 renders the simulated processor parameters.
 func Table1() *Table { return experiments.Table1() }
@@ -206,46 +224,70 @@ func Table1() *Table { return experiments.Table1() }
 func Table2() *Table { return experiments.Table2() }
 
 // Table3 regenerates Table 3: MPKI reductions on Skylake vs Broadwell.
-func Table3(opt ExperimentOptions) experiments.Table3Result { return experiments.Table3(opt) }
+func Table3(opt ExperimentOptions) (experiments.Table3Result, error) { return experiments.Table3(opt) }
 
 // CRRBAblation runs the Sec. 5.1 CRRB-size sensitivity study.
-func CRRBAblation(opt ExperimentOptions) experiments.CRRBAblationResult {
+func CRRBAblation(opt ExperimentOptions) (experiments.CRRBAblationResult, error) {
 	return experiments.CRRBAblation(opt)
 }
 
 // Compaction runs the virtual-vs-physical metadata ablation (Sec. 3.3).
-func Compaction(opt ExperimentOptions) experiments.CompactionResult {
+func Compaction(opt ExperimentOptions) (experiments.CompactionResult, error) {
 	return experiments.Compaction(opt)
 }
 
 // Snapshot runs the snapshot/cold-boot replay extension (Sec. 3.4.2).
-func Snapshot(opt ExperimentOptions) experiments.SnapshotResult {
+func Snapshot(opt ExperimentOptions) (experiments.SnapshotResult, error) {
 	return experiments.Snapshot(opt)
 }
 
 // DynamicMetadata runs the per-function metadata sizing extension (Sec. 5.1).
-func DynamicMetadata(opt ExperimentOptions) experiments.DynamicMetadataResult {
+func DynamicMetadata(opt ExperimentOptions) (experiments.DynamicMetadataResult, error) {
 	return experiments.DynamicMetadata(opt)
 }
 
 // Baselines runs the Sec. 6 related-work comparison: Jukebox vs a next-line
 // instruction prefetcher and a RECAP-style LLC context-restoration scheme.
-func Baselines(opt ExperimentOptions) experiments.BaselinesResult {
+func Baselines(opt ExperimentOptions) (experiments.BaselinesResult, error) {
 	return experiments.Baselines(opt)
 }
 
 // ServerSim runs the system-level validation: the suite co-resident under
 // Poisson invocation traffic, with natural interleaving, baseline vs
 // Jukebox.
-func ServerSim(opt ExperimentOptions) experiments.ServerSimResult {
+func ServerSim(opt ExperimentOptions) (experiments.ServerSimResult, error) {
 	return experiments.ServerSim(opt)
 }
 
 // Scaling runs the multi-core extension: the suite under saturating traffic
 // on 1, 2 and 4 cores sharing an LLC, baseline vs Jukebox.
-func Scaling(opt ExperimentOptions) experiments.ScalingResult {
+func Scaling(opt ExperimentOptions) (experiments.ScalingResult, error) {
 	return experiments.Scaling(opt)
 }
+
+// Chaos sweeps the fault-injection matrix (see NewFaultPlan) across the
+// representative functions, classifying each (function, fault) cell as
+// PASS, DEGRADED or FAIL. Cells that panic are caught and reported as FAIL.
+func Chaos(opt ExperimentOptions, seed uint64) (experiments.ChaosResult, error) {
+	return experiments.Chaos(opt, seed)
+}
+
+// FaultKinds lists every injectable fault kind in matrix order.
+func FaultKinds() []FaultKind { return faults.Kinds() }
+
+// NewFaultPlan builds a deterministic seeded fault-injection campaign with
+// the given kinds armed. Apply it at the seams it targets (see the
+// internal/faults package documentation).
+func NewFaultPlan(seed uint64, kinds ...FaultKind) *FaultPlan {
+	return faults.NewPlan(seed, kinds...)
+}
+
+// AuditRun checks one invocation result's conservation invariants (Top-Down
+// stack sums to total cycles, no negative counters).
+func AuditRun(r RunResult) error { return faults.Audit(r) }
+
+// AuditTraffic checks a traffic run's aggregate invariants.
+func AuditTraffic(r TrafficResult) error { return faults.AuditTraffic(r) }
 
 // TrafficConfig drives Server.ServeTraffic system-level simulations.
 type TrafficConfig = serverless.TrafficConfig
@@ -273,3 +315,10 @@ func NewTraceWriter(w io.Writer) (*TraceWriter, error) { return trace.NewWriter(
 
 // NewTraceReader opens a trace stream for replay.
 func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// ReadTrace decodes a whole serialized trace stream, rejecting malformed
+// input with a typed error. maxInstrs bounds allocation; <= 0 selects a
+// 16M-instruction default.
+func ReadTrace(r io.Reader, maxInstrs uint64) ([]program.Instr, error) {
+	return trace.Read(r, maxInstrs)
+}

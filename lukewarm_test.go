@@ -1,6 +1,7 @@
 package lukewarm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -58,12 +59,15 @@ func TestFacadeConfigs(t *testing.T) {
 }
 
 func TestFacadeCustomProgram(t *testing.T) {
-	p := NewProgram(ProgramConfig{
+	p, err := NewProgram(ProgramConfig{
 		Name: "custom", Seed: 9, CodeKB: 64, DynamicInstrs: 40_000,
 		CoreFrac: 0.9, OptionalProb: 0.8, InstrPerLine: 16,
 		LoadFrac: 0.2, StoreFrac: 0.1, CondFrac: 0.3, CondBias: 0.9,
 		DataKB: 64, HotDataKB: 16, HotDataFrac: 0.7,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := NewServer(ServerConfig{})
 	inst := srv.Deploy(Workload{Name: "custom", Program: p})
 	res := srv.Invoke(inst)
@@ -98,18 +102,79 @@ func TestFacadeTopDownAccessors(t *testing.T) {
 }
 
 func TestFacadeExperimentWrappers(t *testing.T) {
-	opt := ExperimentOptions{Functions: []string{"Auth-G"}, Warmup: 1, Measure: 1}
+	opt := ExperimentOptions{Functions: []string{"Auth-G"}, Warmup: 1, Measure: 1, Audit: true}
 	if Table1().NumRows() == 0 || Table2().NumRows() != 20 {
 		t.Error("static tables broken")
 	}
-	if out := Footprints(opt, 3).Fig6aTable().String(); !strings.Contains(out, "Auth-G") {
+	fp, err := Footprints(opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fp.Fig6aTable().String(); !strings.Contains(out, "Auth-G") {
 		t.Error("Footprints wrapper broken")
 	}
-	if out := Fig8(opt, 16).Table().String(); !strings.Contains(out, "Auth-G") {
+	f8, err := Fig8(opt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f8.Table().String(); !strings.Contains(out, "Auth-G") {
 		t.Error("Fig8 wrapper broken")
 	}
-	perf := PerformanceOn(opt, BroadwellConfig(), DefaultJukeboxConfig())
+	perf, err := PerformanceOn(opt, BroadwellConfig(), DefaultJukeboxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if perf.Platform != "Broadwell-like" {
 		t.Errorf("PerformanceOn platform = %q", perf.Platform)
+	}
+}
+
+func TestFacadeErrorHygiene(t *testing.T) {
+	if _, err := NewServerErr(ServerConfig{ThrashBytesPerMs: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad server config: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewProgram(ProgramConfig{CodeKB: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad program config: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := FunctionByName("Nope-X"); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown function: err = %v, want ErrBadConfig", err)
+	}
+	srv := NewServer(ServerConfig{})
+	if _, err := srv.ServeTraffic(TrafficConfig{MeanIATms: -5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad traffic config: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestFacadeFaultSurface(t *testing.T) {
+	if n := len(FaultKinds()); n != 8 {
+		t.Errorf("fault matrix has %d kinds", n)
+	}
+	plan := NewFaultPlan(3, FaultKinds()...)
+	for _, k := range FaultKinds() {
+		if !plan.Armed(k) {
+			t.Errorf("kind %v not armed", k)
+		}
+	}
+	srv := NewServer(ServerConfig{})
+	fn, err := FunctionByName("Auth-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := srv.RunLukewarm(srv.Deploy(fn), 1)
+	if err := AuditRun(res); err != nil {
+		t.Errorf("clean run fails audit: %v", err)
+	}
+}
+
+func TestFacadeChaosQuick(t *testing.T) {
+	r, err := Chaos(ExperimentOptions{Functions: []string{"Auth-G"}}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Cells); got != len(FaultKinds()) {
+		t.Fatalf("cells = %d, want %d", got, len(FaultKinds()))
+	}
+	if n := r.Failures(); n != 0 {
+		t.Errorf("%d chaos cells failed:\n%s", n, r.Table())
 	}
 }
