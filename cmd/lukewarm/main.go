@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	lukewarm [-measure N] [-warmup N] [-funcs Auth-G,Email-P] <experiment>
+//	lukewarm [-measure N] [-warmup N] [-funcs Auth-G,Email-P] [-jobs N] <experiment>
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5a fig5b fig6a fig6b
 // fig8 fig9 fig10 fig11 fig12 fig13 table3 crrb compaction snapshot dynmeta
 // baselines server scaling chaos all. The -csv flag mirrors every table into
 // machine-readable CSV files; -audit cross-checks every measured invocation
 // against the simulator's conservation invariants.
+//
+// Every experiment's measurements run as independent simulation cells on a
+// worker pool (-jobs, default GOMAXPROCS) with a content-addressed result
+// cache; tables are byte-identical for any -jobs value. -cache DIR persists
+// the cache across runs, -progress streams per-cell progress to stderr, and
+// -report FILE writes a JSON run report with per-experiment wall time, cell
+// counts, cache hit rates and headline metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +35,15 @@ import (
 func main() {
 	measure := flag.Int("measure", 0, "measured invocations per configuration (0 = default)")
 	warmup := flag.Int("warmup", 0, "warm-up invocations per configuration (0 = default)")
+	noWarmup := flag.Bool("nowarmup", false, "run with zero warm-up invocations")
 	funcs := flag.String("funcs", "", "comma-separated function subset (default: all 20)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	audit := flag.Bool("audit", false, "check conservation invariants on every measured invocation")
 	seed := flag.Uint64("seed", 42, "fault-injection seed for the chaos experiment")
+	jobs := flag.Int("jobs", 0, "simulation cells run concurrently (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "persist the content-addressed result cache in this directory")
+	progress := flag.Bool("progress", false, "stream per-cell progress lines to stderr")
+	reportPath := flag.String("report", "", "write a JSON run report (wall time, cells, cache hits, headline metrics) to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -38,16 +51,42 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opt := lukewarm.ExperimentOptions{Measure: *measure, Warmup: *warmup, Audit: *audit}
+	engCfg := lukewarm.EngineConfig{Jobs: *jobs, CacheDir: *cacheDir}
+	if *progress {
+		engCfg.Progress = os.Stderr
+	}
+	eng, err := lukewarm.NewEngine(engCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lukewarm:", err)
+		os.Exit(1)
+	}
+	opt := lukewarm.ExperimentOptions{
+		Measure: *measure, Warmup: *warmup, NoWarmup: *noWarmup,
+		Audit: *audit, Engine: eng,
+	}
 	if *funcs != "" {
 		opt.Functions = strings.Split(*funcs, ",")
 	}
-	p := printer{csvDir: *csvDir}
+	s := &session{
+		p:    printer{csvDir: *csvDir},
+		opt:  opt,
+		eng:  eng,
+		seed: *seed,
+		rep:  &runReport{Jobs: eng.Jobs(), CacheDir: *cacheDir, Headline: map[string]float64{}},
+	}
 
 	name := flag.Arg(0)
 	start := time.Now()
-	if err := run(name, opt, p, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "lukewarm:", err)
+	runErr := s.run(name)
+	s.finish(time.Since(start))
+	if *reportPath != "" {
+		if err := s.writeReport(*reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lukewarm: report:", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "lukewarm:", runErr)
 		os.Exit(1)
 	}
 	fmt.Printf("(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
@@ -121,14 +160,110 @@ func (p printer) render(r tabler, err error) error {
 	return p.show(r.Table())
 }
 
-// runChaos executes the fault-injection sweep; any FAIL cell makes the
-// command exit non-zero after the full matrix has been rendered.
-func runChaos(opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
-	r, err := lukewarm.Chaos(opt, seed)
+// reportEntry is one experiment's telemetry in the run report.
+type reportEntry struct {
+	Experiment   string  `json:"experiment"`
+	WallMs       float64 `json:"wall_ms"`
+	Cells        uint64  `json:"cells"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// runReport is the -report JSON document.
+type runReport struct {
+	Jobs        int           `json:"jobs"`
+	CacheDir    string        `json:"cache_dir,omitempty"`
+	Experiments []reportEntry `json:"experiments"`
+	TotalWallMs float64       `json:"total_wall_ms"`
+	// CellWallMs sums per-cell wall time across workers; it exceeds
+	// TotalWallMs when cells ran concurrently.
+	CellWallMs     float64            `json:"cell_wall_ms"`
+	TotalCells     uint64             `json:"total_cells"`
+	TotalCacheHits uint64             `json:"total_cache_hits"`
+	CacheHitRate   float64            `json:"cache_hit_rate"`
+	Headline       map[string]float64 `json:"headline,omitempty"`
+}
+
+// session threads one CLI invocation's shared state: the printer, the
+// experiment options (carrying the shared engine), and the accumulating run
+// report.
+type session struct {
+	p    printer
+	opt  lukewarm.ExperimentOptions
+	eng  *lukewarm.Engine
+	seed uint64
+	rep  *runReport
+}
+
+// step runs one experiment under its name: it labels the engine's progress
+// lines, times the run, and records the engine-counter deltas in the report.
+func (s *session) step(name string, fn func() error) error {
+	s.eng.SetPhase(name)
+	before := s.eng.Stats()
+	start := time.Now()
+	err := fn()
+	after := s.eng.Stats()
+	e := reportEntry{
+		Experiment: name,
+		WallMs:     float64(time.Since(start).Microseconds()) / 1000,
+		Cells:      after.Cells - before.Cells,
+		CacheHits:  after.CacheHits - before.CacheHits,
+	}
+	if e.Cells > 0 {
+		e.CacheHitRate = float64(e.CacheHits) / float64(e.Cells)
+	}
+	s.rep.Experiments = append(s.rep.Experiments, e)
+	return err
+}
+
+// finish seals the report's totals.
+func (s *session) finish(wall time.Duration) {
+	st := s.eng.Stats()
+	s.rep.TotalWallMs = float64(wall.Microseconds()) / 1000
+	s.rep.CellWallMs = float64(st.CellWall.Microseconds()) / 1000
+	s.rep.TotalCells = st.Cells
+	s.rep.TotalCacheHits = st.CacheHits
+	if st.Cells > 0 {
+		s.rep.CacheHitRate = float64(st.CacheHits) / float64(st.Cells)
+	}
+}
+
+// writeReport marshals the run report to path.
+func (s *session) writeReport(path string) error {
+	data, err := json.MarshalIndent(s.rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := p.show(r.Table()); err != nil {
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// characterize runs the Fig. 2-5 experiment and records its headline metric.
+func (s *session) characterize() (lukewarm.CharacterizationResult, error) {
+	char, err := lukewarm.Characterize(s.opt)
+	if err == nil {
+		s.rep.Headline["fig2_mean_cpi_uplift_pct"] = char.MeanUplift() * 100
+	}
+	return char, err
+}
+
+// performance runs the Fig. 10-12 experiment and records its headline metric.
+func (s *session) performance() (lukewarm.PerfResult, error) {
+	perf, err := lukewarm.Performance(s.opt)
+	if err == nil {
+		jb, _ := perf.GeomeanSpeedups()
+		s.rep.Headline["fig10_geomean_speedup_pct"] = jb
+	}
+	return perf, err
+}
+
+// runChaos executes the fault-injection sweep; any FAIL cell makes the
+// command exit non-zero after the full matrix has been rendered.
+func (s *session) runChaos() error {
+	r, err := lukewarm.Chaos(s.opt, s.seed)
+	if err != nil {
+		return err
+	}
+	if err := s.p.show(r.Table()); err != nil {
 		return err
 	}
 	if n := r.Failures(); n > 0 {
@@ -138,164 +273,161 @@ func runChaos(opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
 }
 
 // run dispatches one experiment by name.
-func run(name string, opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
+func (s *session) run(name string) error {
+	p, opt := s.p, s.opt
 	switch name {
 	case "table1":
 		return p.show(lukewarm.Table1())
 	case "table2":
 		return p.show(lukewarm.Table2())
 	case "fig1":
-		return p.render(lukewarm.Fig1(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Fig1(opt)) })
 	case "fig2", "fig3", "fig4", "fig5a", "fig5b":
-		char, err := lukewarm.Characterize(opt)
-		if err != nil {
-			return err
-		}
-		switch name {
-		case "fig2":
-			return p.show(char.Fig2Table())
-		case "fig3":
-			return p.show(char.Fig3Table())
-		case "fig4":
-			return p.show(char.Fig4Table())
-		case "fig5a":
-			return p.show(char.Fig5aTable())
-		default:
-			return p.show(char.Fig5bTable())
-		}
+		return s.step(name, func() error {
+			char, err := s.characterize()
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "fig2":
+				return p.show(char.Fig2Table())
+			case "fig3":
+				return p.show(char.Fig3Table())
+			case "fig4":
+				return p.show(char.Fig4Table())
+			case "fig5a":
+				return p.show(char.Fig5aTable())
+			default:
+				return p.show(char.Fig5bTable())
+			}
+		})
 	case "fig6a", "fig6b":
-		fp, err := lukewarm.Footprints(opt, 25)
-		if err != nil {
-			return err
-		}
-		if name == "fig6a" {
-			return p.show(fp.Fig6aTable())
-		}
-		return p.show(fp.Fig6bTable())
+		return s.step(name, func() error {
+			fp, err := lukewarm.Footprints(opt, 25)
+			if err != nil {
+				return err
+			}
+			if name == "fig6a" {
+				return p.show(fp.Fig6aTable())
+			}
+			return p.show(fp.Fig6bTable())
+		})
 	case "fig8":
-		return p.render(lukewarm.Fig8(opt, 16))
+		return s.step(name, func() error { return p.render(lukewarm.Fig8(opt, 16)) })
 	case "fig9":
-		return p.render(lukewarm.Fig9(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Fig9(opt)) })
 	case "fig10", "fig11", "fig12":
-		perf, err := lukewarm.Performance(opt)
-		if err != nil {
-			return err
-		}
-		switch name {
-		case "fig10":
-			return p.show(perf.Fig10Table())
-		case "fig11":
-			return p.show(perf.Fig11Table())
-		default:
-			return p.show(perf.Fig12Table())
-		}
+		return s.step(name, func() error {
+			perf, err := s.performance()
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "fig10":
+				return p.show(perf.Fig10Table())
+			case "fig11":
+				return p.show(perf.Fig11Table())
+			default:
+				return p.show(perf.Fig12Table())
+			}
+		})
 	case "fig13":
-		return p.render(lukewarm.Fig13(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Fig13(opt)) })
 	case "table3":
-		return p.render(lukewarm.Table3(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Table3(opt)) })
 	case "crrb":
-		return p.render(lukewarm.CRRBAblation(opt))
+		return s.step(name, func() error { return p.render(lukewarm.CRRBAblation(opt)) })
 	case "compaction":
-		return p.render(lukewarm.Compaction(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Compaction(opt)) })
 	case "snapshot":
-		return p.render(lukewarm.Snapshot(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Snapshot(opt)) })
 	case "dynmeta":
-		return p.render(lukewarm.DynamicMetadata(opt))
+		return s.step(name, func() error { return p.render(lukewarm.DynamicMetadata(opt)) })
 	case "baselines":
-		return p.render(lukewarm.Baselines(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Baselines(opt)) })
 	case "server":
-		return p.render(lukewarm.ServerSim(opt))
+		return s.step(name, func() error { return p.render(lukewarm.ServerSim(opt)) })
 	case "scaling":
-		return p.render(lukewarm.Scaling(opt))
+		return s.step(name, func() error { return p.render(lukewarm.Scaling(opt)) })
 	case "chaos":
-		return runChaos(opt, p, seed)
+		return s.step(name, s.runChaos)
 	case "all":
-		return runAll(opt, p, seed)
+		return s.runAll()
 	default:
 		return fmt.Errorf("unknown experiment %q (run with no arguments for the list)", name)
 	}
 }
 
 // runAll regenerates everything, sharing runs between figures that come
-// from the same experiment.
-func runAll(opt lukewarm.ExperimentOptions, p printer, seed uint64) error {
+// from the same experiment (and, through the engine's result cache,
+// identical cells between experiments).
+func (s *session) runAll() error {
+	p, opt := s.p, s.opt
 	if err := p.show(lukewarm.Table1()); err != nil {
 		return err
 	}
 	if err := p.show(lukewarm.Table2()); err != nil {
 		return err
 	}
-	if err := p.render(lukewarm.Fig1(opt)); err != nil {
-		return err
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig1", func() error { return p.render(lukewarm.Fig1(opt)) }},
+		{"fig2-5", func() error {
+			char, err := s.characterize()
+			if err != nil {
+				return err
+			}
+			for _, t := range []*lukewarm.Table{
+				char.Fig2Table(), char.Fig3Table(), char.Fig4Table(),
+				char.Fig5aTable(), char.Fig5bTable(),
+			} {
+				if err := p.show(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig6", func() error {
+			fp, err := lukewarm.Footprints(opt, 25)
+			if err != nil {
+				return err
+			}
+			if err := p.show(fp.Fig6aTable()); err != nil {
+				return err
+			}
+			return p.show(fp.Fig6bTable())
+		}},
+		{"fig8", func() error { return p.render(lukewarm.Fig8(opt, 16)) }},
+		{"fig9", func() error { return p.render(lukewarm.Fig9(opt)) }},
+		{"fig10-12", func() error {
+			perf, err := s.performance()
+			if err != nil {
+				return err
+			}
+			for _, t := range []*lukewarm.Table{perf.Fig10Table(), perf.Fig11Table(), perf.Fig12Table()} {
+				if err := p.show(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig13", func() error { return p.render(lukewarm.Fig13(opt)) }},
+		{"table3", func() error { return p.render(lukewarm.Table3(opt)) }},
+		{"crrb", func() error { return p.render(lukewarm.CRRBAblation(opt)) }},
+		{"compaction", func() error { return p.render(lukewarm.Compaction(opt)) }},
+		{"snapshot", func() error { return p.render(lukewarm.Snapshot(opt)) }},
+		{"dynmeta", func() error { return p.render(lukewarm.DynamicMetadata(opt)) }},
+		{"baselines", func() error { return p.render(lukewarm.Baselines(opt)) }},
+		{"server", func() error { return p.render(lukewarm.ServerSim(opt)) }},
+		{"scaling", func() error { return p.render(lukewarm.Scaling(opt)) }},
+		{"chaos", s.runChaos},
 	}
-
-	char, err := lukewarm.Characterize(opt)
-	if err != nil {
-		return err
-	}
-	for _, t := range []*lukewarm.Table{
-		char.Fig2Table(), char.Fig3Table(), char.Fig4Table(),
-		char.Fig5aTable(), char.Fig5bTable(),
-	} {
-		if err := p.show(t); err != nil {
+	for _, st := range steps {
+		if err := s.step(st.name, st.fn); err != nil {
 			return err
 		}
 	}
-
-	fp, err := lukewarm.Footprints(opt, 25)
-	if err != nil {
-		return err
-	}
-	if err := p.show(fp.Fig6aTable()); err != nil {
-		return err
-	}
-	if err := p.show(fp.Fig6bTable()); err != nil {
-		return err
-	}
-
-	if err := p.render(lukewarm.Fig8(opt, 16)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.Fig9(opt)); err != nil {
-		return err
-	}
-
-	perf, err := lukewarm.Performance(opt)
-	if err != nil {
-		return err
-	}
-	for _, t := range []*lukewarm.Table{perf.Fig10Table(), perf.Fig11Table(), perf.Fig12Table()} {
-		if err := p.show(t); err != nil {
-			return err
-		}
-	}
-
-	if err := p.render(lukewarm.Fig13(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.Table3(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.CRRBAblation(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.Compaction(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.Snapshot(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.DynamicMetadata(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.Baselines(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.ServerSim(opt)); err != nil {
-		return err
-	}
-	if err := p.render(lukewarm.Scaling(opt)); err != nil {
-		return err
-	}
-	return runChaos(opt, p, seed)
+	return nil
 }

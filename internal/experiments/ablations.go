@@ -6,6 +6,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/workload"
@@ -33,34 +34,34 @@ func Compaction(opt Options) (CompactionResult, error) {
 	if err != nil {
 		return out, err
 	}
-	for _, physical := range []bool{false, true} {
-		label := "virtual"
-		if physical {
-			label = "physical"
-		}
-		var cov stats.Summary
-		var speed []float64
+	modes := []string{"virtual", "physical"}
+	// One batch: each workload's baseline once (the two addressing modes
+	// share it), then the post-compaction cells for both modes.
+	var cells []runner.Cell
+	for _, w := range suite {
+		cells = append(cells, opt.cell(w.Name, cpu.SkylakeConfig(), nil, false, lukewarm))
+	}
+	for _, label := range modes {
 		for _, w := range suite {
-			base, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
-			if err != nil {
-				return out, err
-			}
-
 			jb := core.DefaultConfig()
-			jb.UsePhysicalAddresses = physical
-			srv := newServer(cpu.SkylakeConfig(), &jb, false)
-			inst := srv.Deploy(w)
-			srv.RunLukewarm(inst, opt.Warmup) // record metadata
-			inst.AS.Compact()                 // the OS migrates every page
-			srv.FlushMicroarch()
-			srv.Core.Hier.ResetStats()
+			jb.UsePhysicalAddresses = label == "physical"
+			c := opt.variantCell("compact-"+label, w.Name, cpu.SkylakeConfig(), &jb, lukewarm)
 			// Measure exactly the first post-compaction invocation: later
 			// ones re-record valid addresses and would mask the effect.
-			m, err := measure(srv, inst, lukewarm, Options{Warmup: -1, Measure: 1, Audit: opt.Audit}.withDefaults())
-			if err != nil {
-				return out, err
-			}
-
+			c.Measure = 1
+			cells = append(cells, c)
+		}
+	}
+	ms, err := opt.engine().MeasureFunc(cells, execCompaction)
+	if err != nil {
+		return out, err
+	}
+	for mi, label := range modes {
+		var cov stats.Summary
+		var speed []float64
+		for wi := range suite {
+			base := ms[wi]
+			m := ms[len(suite)*(1+mi)+wi]
 			l2 := m.L2
 			denom := float64(l2.PrefetchUsed[mem.Instr] + l2.DemandMisses[mem.Instr])
 			if denom > 0 {
@@ -72,6 +73,24 @@ func Compaction(opt Options) (CompactionResult, error) {
 		out.Speedup[label] = (stats.GeoMean(speed) - 1) * 100
 	}
 	return out, nil
+}
+
+// execCompaction executes "compact-<mode>" cells: record metadata over the
+// cell's warm-up invocations, migrate every page, then measure the first
+// post-compaction invocation. Untagged baseline cells run standard.
+func execCompaction(c runner.Cell) (runner.Measurement, error) {
+	if c.Variant == "" {
+		return runner.Execute(c)
+	}
+	w, err := suiteByName(c.Workload)
+	if err != nil {
+		return runner.Measurement{}, err
+	}
+	srv := newServer(c.CPU, c.Jukebox, false)
+	inst := srv.Deploy(w)
+	srv.RunLukewarm(inst, c.Warmup) // record metadata
+	inst.AS.Compact()               // the OS migrates every page
+	return runner.MeasureInstance(srv, inst, runner.Lukewarm, 0, c.Measure, c.Audit)
 }
 
 // Table renders the ablation.
@@ -107,35 +126,57 @@ func Snapshot(opt Options) (SnapshotResult, error) {
 	if err != nil {
 		return out, err
 	}
-	var speed []float64
+	var cells []runner.Cell
 	for _, w := range suite {
-		// Cold first invocation without metadata.
-		srvA := newServer(cpu.SkylakeConfig(), nil, false)
-		instA := srvA.Deploy(w)
-		srvA.FlushMicroarch()
-		cold := srvA.Invoke(instA)
-
-		// Donor records; restored instance adopts and replays.
 		jb := core.DefaultConfig()
-		srvB := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: &jb})
-		donor := srvB.Deploy(w)
-		srvB.RunLukewarm(donor, opt.Warmup)
-
-		restored := srvB.Deploy(w)
-		if err := restored.Jukebox.AdoptMetadata(donor.Jukebox); err != nil {
-			return out, fmt.Errorf("experiments: snapshot adopt %s: %w", w.Name, err)
-		}
-		srvB.FlushMicroarch()
-		first := srvB.Invoke(restored)
-
-		sp := stats.SpeedupPct(
-			float64(cold.Cycles)/float64(cold.Instrs)*1e6,
-			float64(first.Cycles)/float64(first.Instrs)*1e6)
+		cells = append(cells,
+			opt.variantCell("snapshot-cold", w.Name, cpu.SkylakeConfig(), nil, lukewarm),
+			opt.variantCell("snapshot-replay", w.Name, cpu.SkylakeConfig(), &jb, lukewarm))
+	}
+	ms, err := opt.engine().MeasureFunc(cells, execSnapshot)
+	if err != nil {
+		return out, err
+	}
+	var speed []float64
+	for i, w := range suite {
+		cold, first := ms[2*i], ms[2*i+1]
+		sp := stats.SpeedupPct(normCycles(cold), normCycles(first))
 		out.PerFunction[w.Name] = sp
 		speed = append(speed, 1+sp/100)
 	}
 	out.FirstInvocationSpeedupPct = (stats.GeoMean(speed) - 1) * 100
 	return out, nil
+}
+
+// execSnapshot executes the snapshot study's cells. "snapshot-cold" measures
+// a fresh instance's fully cold first invocation; "snapshot-replay" has a
+// donor record metadata over the cell's warm-up invocations, then a restored
+// instance adopt it and replay on its own first invocation.
+func execSnapshot(c runner.Cell) (runner.Measurement, error) {
+	w, err := suiteByName(c.Workload)
+	if err != nil {
+		return runner.Measurement{}, err
+	}
+	switch c.Variant {
+	case "snapshot-cold":
+		srv := newServer(c.CPU, nil, false)
+		inst := srv.Deploy(w)
+		srv.FlushMicroarch()
+		res := srv.Invoke(inst)
+		return runner.Measurement{Instrs: res.Instrs, Cycles: res.Cycles}, nil
+	case "snapshot-replay":
+		srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox})
+		donor := srv.Deploy(w)
+		srv.RunLukewarm(donor, c.Warmup)
+		restored := srv.Deploy(w)
+		if err := restored.Jukebox.AdoptMetadata(donor.Jukebox); err != nil {
+			return runner.Measurement{}, fmt.Errorf("experiments: snapshot adopt %s: %w", w.Name, err)
+		}
+		srv.FlushMicroarch()
+		first := srv.Invoke(restored)
+		return runner.Measurement{Instrs: first.Instrs, Cycles: first.Cycles}, nil
+	}
+	return runner.Measurement{}, fmt.Errorf("experiments: unknown snapshot variant %q", c.Variant)
 }
 
 // Table renders the snapshot study.
@@ -172,47 +213,48 @@ func DynamicMetadata(opt Options) (DynamicMetadataResult, error) {
 	if err != nil {
 		return out, err
 	}
-	var fixed, dyn []float64
-	var fixedBytes, dynBytes float64
+	// Phase 1: each function's baseline plus an unlimited record-only pass
+	// that measures its metadata requirement.
+	var phase1 []runner.Cell
 	for _, w := range suite {
-		baseM, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
-		if err != nil {
-			return out, err
-		}
-		base := normCycles(baseM)
-
-		// Measure the requirement with an unlimited record-only pass.
 		sizing := core.DefaultConfig()
 		sizing.MetadataBytes = 0
 		sizing.ReplayEnabled = false
-		srv := newServer(cpu.SkylakeConfig(), &sizing, false)
-		inst := srv.Deploy(w)
-		srv.RunLukewarm(inst, 1)
-		need := inst.Jukebox.Stats.LastRecordBytes
-		pages := (need + 4095) / 4096
-		dynBudget := pages * 4096
-
-		run := func(budget int) (float64, error) {
-			jb := core.DefaultConfig()
-			jb.MetadataBytes = budget
-			m, err := measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt)
-			if err != nil {
-				return 0, err
-			}
-			return normCycles(m), nil
-		}
-		fixedCycles, err := run(16 << 10)
-		if err != nil {
-			return out, err
-		}
-		dynCycles, err := run(dynBudget)
-		if err != nil {
-			return out, err
-		}
-		fixed = append(fixed, 1+stats.SpeedupPct(base, fixedCycles)/100)
-		dyn = append(dyn, 1+stats.SpeedupPct(base, dynCycles)/100)
+		phase1 = append(phase1,
+			opt.cell(w.Name, cpu.SkylakeConfig(), nil, false, lukewarm),
+			opt.variantCell("fig8-record", w.Name, cpu.SkylakeConfig(), &sizing, lukewarm))
+	}
+	ms1, err := opt.engine().MeasureFunc(phase1, execRecordOnly)
+	if err != nil {
+		return out, err
+	}
+	// Phase 2: each function under the fixed budget and its own sized budget
+	// (the dynamic budgets only exist once phase 1 has run).
+	dynBudgets := make([]int, len(suite))
+	var phase2 []runner.Cell
+	for i, w := range suite {
+		pages := (ms1[2*i+1].MetaBytes + 4095) / 4096
+		dynBudgets[i] = pages * 4096
+		fixedJB := core.DefaultConfig()
+		fixedJB.MetadataBytes = 16 << 10
+		dynJB := core.DefaultConfig()
+		dynJB.MetadataBytes = dynBudgets[i]
+		phase2 = append(phase2,
+			opt.cell(w.Name, cpu.SkylakeConfig(), &fixedJB, false, lukewarm),
+			opt.cell(w.Name, cpu.SkylakeConfig(), &dynJB, false, lukewarm))
+	}
+	ms2, err := opt.engine().Measure(phase2)
+	if err != nil {
+		return out, err
+	}
+	var fixed, dyn []float64
+	var fixedBytes, dynBytes float64
+	for i := range suite {
+		base := normCycles(ms1[2*i])
+		fixed = append(fixed, 1+stats.SpeedupPct(base, normCycles(ms2[2*i]))/100)
+		dyn = append(dyn, 1+stats.SpeedupPct(base, normCycles(ms2[2*i+1]))/100)
 		fixedBytes += 2 * 16 << 10
-		dynBytes += 2 * float64(dynBudget)
+		dynBytes += 2 * float64(dynBudgets[i])
 	}
 	n := float64(len(fixed))
 	scale := 1000 / n // per-1000-instance cost, instances spread evenly

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"lukewarm/internal/baselines"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 )
@@ -26,6 +28,47 @@ type BaselinesResult struct {
 
 // baselineConfigs names the compared schemes, in presentation order.
 var baselineConfigs = []string{"NextLine", "RECAP", "Jukebox"}
+
+// execBaseline executes "baseline-<scheme>" cells, attaching the scheme's
+// prefetcher and reporting its per-instance metadata cost in MetaBytes;
+// untagged cells fall through to the standard executor.
+func execBaseline(c runner.Cell) (runner.Measurement, error) {
+	if c.Variant == "" {
+		return runner.Execute(c)
+	}
+	w, err := suiteByName(c.Workload)
+	if err != nil {
+		return runner.Measurement{}, err
+	}
+	switch strings.TrimPrefix(c.Variant, "baseline-") {
+	case "Jukebox":
+		srv := newServer(c.CPU, c.Jukebox, false)
+		inst := srv.Deploy(w)
+		m, err := runner.MeasureInstance(srv, inst, c.Mode, c.Warmup, c.Measure, c.Audit)
+		if err != nil {
+			return m, err
+		}
+		m.MetaBytes = inst.Jukebox.MetadataFootprintBytes()
+		return m, nil
+	case "NextLine":
+		srv := serverless.New(serverless.Config{CPU: c.CPU})
+		srv.AttachCorePrefetcher(baselines.NewNextLineI(srv.Core.Hier, 1))
+		inst := srv.Deploy(w)
+		return runner.MeasureInstance(srv, inst, c.Mode, c.Warmup, c.Measure, c.Audit)
+	case "RECAP":
+		srv := serverless.New(serverless.Config{CPU: c.CPU})
+		rc := baselines.NewRecap(baselines.DefaultRecapConfig(), srv.Core.Hier)
+		srv.AttachCorePrefetcher(rc)
+		inst := srv.Deploy(w)
+		m, err := runner.MeasureInstance(srv, inst, c.Mode, c.Warmup, c.Measure, c.Audit)
+		if err != nil {
+			return m, err
+		}
+		m.MetaBytes = rc.Stats.LastMetadataBytes
+		return m, nil
+	}
+	return runner.Measurement{}, fmt.Errorf("experiments: unknown baseline variant %q", c.Variant)
+}
 
 // Baselines measures the three schemes across the selected suite on the
 // Skylake-like platform.
@@ -50,48 +93,31 @@ func Baselines(opt Options) (BaselinesResult, error) {
 	if err != nil {
 		return out, err
 	}
+	stride := 1 + len(baselineConfigs)
+	var cells []runner.Cell
 	for _, w := range suite {
-		base, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
-		if err != nil {
-			return out, err
+		cells = append(cells, opt.cell(w.Name, cpu.SkylakeConfig(), nil, false, lukewarm))
+		for _, cfg := range baselineConfigs {
+			var jb *core.Config
+			if cfg == "Jukebox" {
+				c := core.DefaultConfig()
+				jb = &c
+			}
+			cells = append(cells, opt.variantCell("baseline-"+cfg, w.Name, cpu.SkylakeConfig(), jb, lukewarm))
 		}
+	}
+	ms, err := opt.engine().MeasureFunc(cells, execBaseline)
+	if err != nil {
+		return out, err
+	}
+	for wi := range suite {
+		base := ms[stride*wi]
 		var baseBytes float64
 		for _, b := range base.DRAM {
 			baseBytes += float64(b)
 		}
-
-		run := func(cfg string) (m measured, metaBytes int, err error) {
-			switch cfg {
-			case "Jukebox":
-				jb := core.DefaultConfig()
-				srv := newServer(cpu.SkylakeConfig(), &jb, false)
-				inst := srv.Deploy(w)
-				m, err = measure(srv, inst, lukewarm, opt)
-				return m, inst.Jukebox.MetadataFootprintBytes(), err
-			case "NextLine":
-				srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig()})
-				srv.AttachCorePrefetcher(baselines.NewNextLineI(srv.Core.Hier, 1))
-				inst := srv.Deploy(w)
-				m, err = measure(srv, inst, lukewarm, opt)
-				return m, 0, err
-			case "RECAP":
-				srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig()})
-				rc := baselines.NewRecap(baselines.DefaultRecapConfig(), srv.Core.Hier)
-				srv.AttachCorePrefetcher(rc)
-				inst := srv.Deploy(w)
-				m, err = measure(srv, inst, lukewarm, opt)
-				return m, rc.Stats.LastMetadataBytes, err
-			}
-			// baselineConfigs is a private list; a miss here is a programmer
-			// error, not user input.
-			panic("unknown baseline config " + cfg)
-		}
-
-		for _, cfg := range baselineConfigs {
-			m, meta, err := run(cfg)
-			if err != nil {
-				return out, err
-			}
+		for ci, cfg := range baselineConfigs {
+			m := ms[stride*wi+1+ci]
 			a := accs[cfg]
 			a.speed = append(a.speed, 1+stats.SpeedupPct(normCycles(base), normCycles(m))/100)
 			var bytes float64
@@ -100,7 +126,7 @@ func Baselines(opt Options) (BaselinesResult, error) {
 			}
 			scale := float64(base.Instrs) / float64(m.Instrs)
 			a.bw.Add(stats.Pct(bytes*scale-baseBytes, baseBytes))
-			a.meta.Add(float64(meta) / 1024)
+			a.meta.Add(float64(m.MetaBytes) / 1024)
 		}
 	}
 	for _, cfg := range baselineConfigs {

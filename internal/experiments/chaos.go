@@ -7,6 +7,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/faults"
 	"lukewarm/internal/program"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/trace"
@@ -56,18 +57,31 @@ func Chaos(opt Options, seed uint64) (ChaosResult, error) {
 	if len(fns) == 0 {
 		fns = workload.Representatives()
 	}
-	for _, name := range fns {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %w", err)
-		}
-		// The acceptance bound for corrupted metadata: a Jukebox fed garbage
-		// must not run materially worse than no Jukebox at all.
-		base := serverless.New(serverless.Config{})
-		baseCPI := base.RunLukewarm(base.Deploy(w), 4).CPI()
-		for _, k := range faults.Kinds() {
-			out.Cells = append(out.Cells, chaosCell(w, k, seed, baseCPI))
-		}
+	// One engine job per function: each runs the full fault matrix against
+	// its own servers, so functions sweep concurrently while the cell order
+	// within a function stays fixed.
+	rows, err := runner.MapOn(opt.engine(), len(fns),
+		func(i int) string { return fns[i] + "/chaos" },
+		func(i int) ([]ChaosCell, error) {
+			w, err := workload.ByName(fns[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			// The acceptance bound for corrupted metadata: a Jukebox fed
+			// garbage must not run materially worse than no Jukebox at all.
+			base := serverless.New(serverless.Config{})
+			baseCPI := base.RunLukewarm(base.Deploy(w), 4).CPI()
+			var cells []ChaosCell
+			for _, k := range faults.Kinds() {
+				cells = append(cells, chaosCell(w, k, seed, baseCPI))
+			}
+			return cells, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for _, cells := range rows {
+		out.Cells = append(out.Cells, cells...)
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/topdown"
@@ -27,7 +28,9 @@ type Fig1Result struct {
 	Rows      []Fig1Row
 }
 
-// Fig1 runs the IAT sweep.
+// Fig1 runs the IAT sweep. Every (function, IAT) point is one cell: the
+// point's server warms up, idles for the gap, and measures independently of
+// every other point, so the sweep parallelizes fully.
 func Fig1(opt Options) (Fig1Result, error) {
 	opt = opt.withDefaults()
 	fns := opt.Functions
@@ -40,26 +43,42 @@ func Fig1(opt Options) (Fig1Result, error) {
 	for i, iat := range iats {
 		rows[i] = Fig1Row{IATms: iat, NormCPI: map[string]float64{}}
 	}
+
+	var cells []runner.Cell
+	iatOf := map[string]float64{}
 	for _, name := range fns {
-		w, err := workload.ByName(name)
-		if err != nil {
+		if _, err := workload.ByName(name); err != nil {
 			return res, fmt.Errorf("experiments: %w", err)
 		}
-		var base float64
-		for i, iat := range iats {
-			srv := serverless.New(serverless.Config{CPU: cpu.CharacterizationConfig()})
-			inst := srv.Deploy(w)
-			srv.RunReference(inst, opt.Warmup+1)
-			var cpiSum float64
-			for k := 0; k < opt.Measure; k++ {
-				r := srv.RunWithIAT(inst, 1, iat)
-				cpiSum += r.CPI()
-			}
-			cpi := cpiSum / float64(opt.Measure)
-			if i == 0 {
-				base = cpi
-			}
-			rows[i].NormCPI[name] = stats.Pct(cpi, base)
+		for _, iat := range iats {
+			variant := fmt.Sprintf("fig1-iat=%g", iat)
+			iatOf[variant] = iat
+			cells = append(cells, opt.variantCell(variant, name, cpu.CharacterizationConfig(), nil, reference))
+		}
+	}
+	ms, err := opt.engine().MeasureFunc(cells, func(c runner.Cell) (measured, error) {
+		w, err := workload.ByName(c.Workload)
+		if err != nil {
+			return measured{}, err
+		}
+		srv := serverless.New(serverless.Config{CPU: c.CPU})
+		inst := srv.Deploy(w)
+		srv.RunReference(inst, c.Warmup+1)
+		var m measured
+		for k := 0; k < c.Measure; k++ {
+			r := srv.RunWithIAT(inst, 1, iatOf[c.Variant])
+			m.Instrs += r.Instrs
+			m.Cycles += r.Cycles
+		}
+		return m, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for fi, name := range fns {
+		base := ms[fi*len(iats)].CPI()
+		for i := range iats {
+			rows[i].NormCPI[name] = stats.Pct(ms[fi*len(iats)+i].CPI(), base)
 		}
 	}
 	res.Rows = rows
@@ -129,19 +148,22 @@ func Characterize(opt Options) (CharacterizationResult, error) {
 	if err != nil {
 		return out, err
 	}
+	var cells []runner.Cell
 	for _, w := range suite {
-		row := CharRow{Name: w.Name, Lang: w.Lang}
-		ref, err := measureWorkload(w, cfg, nil, false, reference, opt)
-		if err != nil {
-			return out, err
-		}
-		il, err := measureWorkload(w, cfg, nil, false, lukewarm, opt)
-		if err != nil {
-			return out, err
-		}
-		row.Ref = view(ref)
-		row.Interleaved = view(il)
-		out.Rows = append(out.Rows, row)
+		cells = append(cells,
+			opt.cell(w.Name, cfg, nil, false, reference),
+			opt.cell(w.Name, cfg, nil, false, lukewarm))
+	}
+	ms, err := opt.engine().Measure(cells)
+	if err != nil {
+		return out, err
+	}
+	for i, w := range suite {
+		out.Rows = append(out.Rows, CharRow{
+			Name: w.Name, Lang: w.Lang,
+			Ref:         view(ms[2*i]),
+			Interleaved: view(ms[2*i+1]),
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/runner"
+)
+
+// detOpt is a small subset so each table renders in a few seconds.
+var detOpt = Options{
+	Functions: []string{"Auth-G", "Pay-N"},
+	Warmup:    1,
+	Measure:   2,
+}
+
+// renderTables produces the determinism-gated tables with the given engine.
+func renderTables(t *testing.T, eng *runner.Engine) map[string]string {
+	t.Helper()
+	opt := detOpt
+	opt.Engine = eng
+
+	char, err := Characterize(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := Performance(opt, cpu.SkylakeConfig(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f13, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]string{
+		"fig2":  char.Fig2Table().String(),
+		"fig10": perf.Fig10Table().String(),
+		"fig13": f13.Table().String(),
+	}
+}
+
+func engineWith(t *testing.T, jobs int, dir string) *runner.Engine {
+	t.Helper()
+	e, err := runner.New(runner.Config{Jobs: jobs, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestTablesDeterministicAcrossJobsAndCache is the engine's end-to-end
+// regression gate: the Fig. 2, 10 and 13 tables must be byte-identical
+// whether cells run serially or eight-wide, and whether the run starts cold
+// or entirely from a warm on-disk cache.
+func TestTablesDeterministicAcrossJobsAndCache(t *testing.T) {
+	dir := t.TempDir()
+	ref := renderTables(t, engineWith(t, 1, ""))
+
+	parallel := renderTables(t, engineWith(t, 8, dir)) // also populates dir
+	for name, want := range ref {
+		if got := parallel[name]; got != want {
+			t.Errorf("%s: jobs=8 table differs from jobs=1:\n--- jobs=1 ---\n%s--- jobs=8 ---\n%s", name, want, got)
+		}
+	}
+
+	warmEng := engineWith(t, 8, dir)
+	warm := renderTables(t, warmEng)
+	for name, want := range ref {
+		if got := warm[name]; got != want {
+			t.Errorf("%s: warm-cache table differs from cold:\n--- cold ---\n%s--- warm ---\n%s", name, want, got)
+		}
+	}
+	st := warmEng.Stats()
+	if st.CacheHits == 0 {
+		t.Error("warm-cache run recorded no cache hits")
+	}
+}
+
+// TestCrossExperimentCacheSharing checks that content-identical cells
+// submitted by different experiments are simulated once: Fig. 13's baseline
+// and Jukebox configurations are the same cells Fig. 10 already measured.
+func TestCrossExperimentCacheSharing(t *testing.T) {
+	eng := engineWith(t, 4, "")
+	opt := detOpt
+	opt.Engine = eng
+
+	if _, err := Performance(opt, cpu.SkylakeConfig(), core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+	if before.CacheHits != 0 {
+		t.Fatalf("unexpected hits before Fig13: %+v", before)
+	}
+	if _, err := Fig13(opt); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	// Fig13 submits baseline and Jukebox cells for each of the two functions
+	// that Performance already measured: at least 4 hits.
+	if got := after.CacheHits - before.CacheHits; got < 4 {
+		t.Errorf("Fig13 reused %d cached cells, want >= 4", got)
+	}
+}

@@ -1,8 +1,9 @@
 // Package experiments contains one runner per figure and table of the
 // paper's evaluation (see DESIGN.md's per-experiment index). Each runner
-// builds the servers it needs, executes the workloads under the paper's
-// configurations, and returns typed rows plus rendered tables; the
-// cmd/lukewarm binary and the repository's benchmarks drive them.
+// describes its measurements as independent simulation cells and submits
+// them to the execution engine (internal/runner), which fans them out across
+// a worker pool and memoizes results by content; the cmd/lukewarm binary and
+// the repository's benchmarks drive them.
 package experiments
 
 import (
@@ -10,10 +11,8 @@ import (
 
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
-	"lukewarm/internal/faults"
-	"lukewarm/internal/mem"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
-	"lukewarm/internal/topdown"
 	"lukewarm/internal/workload"
 )
 
@@ -24,8 +23,13 @@ type Options struct {
 	// Warmup is the number of unmeasured invocations run first: they warm
 	// the reference configuration's caches and record the first Jukebox
 	// metadata generation (standing in for the paper's 20000-invocation
-	// functional warm-up and checkpoint).
+	// functional warm-up and checkpoint). Zero selects the default of 2;
+	// request an explicitly unwarmed run with NoWarmup (a negative Warmup is
+	// honored as "none" for backward compatibility).
 	Warmup int
+	// NoWarmup requests zero warm-up invocations. The flag exists because
+	// Warmup's zero value means "default", so 0 alone cannot express "none".
+	NoWarmup bool
 	// Measure is the number of measured invocations per configuration.
 	Measure int
 	// Functions restricts the suite to the named functions (nil = all 20).
@@ -34,19 +38,45 @@ type Options struct {
 	// invocation and on the per-window cache counters, failing the
 	// experiment with an error on any violation.
 	Audit bool
+	// Engine executes the experiment's simulation cells. Nil selects a
+	// fresh default engine (GOMAXPROCS workers, in-memory result cache);
+	// the CLI shares one configured engine across all experiments so the
+	// cache and telemetry span the whole run.
+	Engine *runner.Engine
 }
 
 func (o Options) withDefaults() Options {
-	if o.Warmup == 0 {
-		o.Warmup = 2
-	}
-	if o.Warmup < 0 { // explicit "no warmup"
+	switch {
+	case o.NoWarmup || o.Warmup < 0:
 		o.Warmup = 0
+	case o.Warmup == 0:
+		o.Warmup = 2
 	}
 	if o.Measure <= 0 {
 		o.Measure = 3
 	}
+	if o.Engine == nil {
+		o.Engine = runner.Default()
+	}
 	return o
+}
+
+// engine returns the run's execution engine (withDefaults guarantees one).
+func (o Options) engine() *runner.Engine { return o.Engine }
+
+// cell describes one standard measurement with the run's window settings.
+func (o Options) cell(w string, cfg cpu.Config, jb *core.Config, perfect bool, md mode) runner.Cell {
+	return runner.Cell{
+		Workload: w, CPU: cfg, Jukebox: jb, Perfect: perfect, Mode: md,
+		Warmup: o.Warmup, Measure: o.Measure, Audit: o.Audit,
+	}
+}
+
+// variantCell is cell with a custom-executor tag (see runner.Cell.Variant).
+func (o Options) variantCell(variant, w string, cfg cpu.Config, jb *core.Config, md mode) runner.Cell {
+	c := o.cell(w, cfg, jb, false, md)
+	c.Variant = variant
+	return c
 }
 
 // suite resolves the selected workloads, erroring on unknown names.
@@ -66,121 +96,21 @@ func (o Options) suite() ([]workload.Workload, error) {
 	return out, nil
 }
 
-// mode selects the execution regime of a measurement.
-type mode uint8
+// mode selects the execution regime of a measurement (see runner.Mode).
+type mode = runner.Mode
 
 const (
 	// reference: back-to-back invocations, fully warm (Sec. 2.3).
-	reference mode = iota
+	reference = runner.Reference
 	// lukewarm: full microarchitectural flush before every invocation —
 	// the paper's interleaved/baseline configuration.
-	lukewarm
+	lukewarm = runner.Lukewarm
 )
 
-// measured aggregates one measurement window.
-type measured struct {
-	Stack  topdown.Stack
-	Instrs uint64
-	Cycles mem.Cycle
-	L1I    mem.CacheStats
-	L2     mem.CacheStats
-	LLC    mem.CacheStats
-	DRAM   map[mem.TrafficClass]uint64 // bytes by class
-	JB     core.Stats
-}
-
-// CPI reports the window's cycles per instruction.
-func (m measured) CPI() float64 {
-	if m.Instrs == 0 {
-		return 0
-	}
-	return float64(m.Cycles) / float64(m.Instrs)
-}
-
-// MPKI reports misses per kilo-instruction from a cache's counters.
-func (m measured) MPKI(s mem.CacheStats, k mem.Kind) float64 {
-	if m.Instrs == 0 {
-		return 0
-	}
-	return float64(s.DemandMisses[k]) / float64(m.Instrs) * 1000
-}
-
-// measure runs warmup then measure invocations of inst under md and returns
-// the aggregated measurement window. With opt.Audit set, every measured
-// invocation and the window's cache counters are checked against the
-// faults package's conservation invariants.
-func measure(srv *serverless.Server, inst *serverless.Instance, md mode, opt Options) (measured, error) {
-	invoke := func() cpu.RunResult {
-		if md == lukewarm {
-			srv.FlushMicroarch()
-		}
-		return srv.Invoke(inst)
-	}
-	for i := 0; i < opt.Warmup; i++ {
-		invoke()
-	}
-	srv.Core.Hier.ResetStats()
-	srv.Core.MMU.ResetStats()
-	srv.Core.BP.ResetStats()
-	srv.Core.BTB.ResetStats()
-	if inst.Jukebox != nil {
-		inst.Jukebox.ResetStats()
-	}
-
-	var out measured
-	for i := 0; i < opt.Measure; i++ {
-		res := invoke()
-		if opt.Audit {
-			if err := faults.Audit(res); err != nil {
-				return out, fmt.Errorf("%s invocation %d: %w", inst.Workload.Name, i, err)
-			}
-		}
-		out.Stack.Merge(res.Stack)
-		out.Instrs += res.Instrs
-		out.Cycles += res.Cycles
-	}
-	hier := srv.Core.Hier
-	hier.DrainUnusedPrefetches()
-	out.L1I = hier.L1I.Stats
-	out.L2 = hier.L2.Stats
-	out.LLC = hier.LLC.Stats
-	out.DRAM = map[mem.TrafficClass]uint64{}
-	for _, cls := range []mem.TrafficClass{mem.TrafficDemand, mem.TrafficPrefetch,
-		mem.TrafficMetadataRecord, mem.TrafficMetadataReplay, mem.TrafficWriteback} {
-		out.DRAM[cls] = hier.DRAM.Bytes(cls)
-	}
-	if inst.Jukebox != nil {
-		out.JB = inst.Jukebox.Stats
-		if opt.Audit {
-			if err := faults.AuditJukebox(out.JB); err != nil {
-				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
-			}
-		}
-	}
-	// Cache-counter conservation holds within a window whenever the window
-	// starts from flushed caches (the lukewarm regime); reference windows
-	// legitimately carry pre-reset prefetched lines across the stats reset.
-	if opt.Audit && md == lukewarm {
-		for _, c := range []struct {
-			name  string
-			stats mem.CacheStats
-		}{{"L1I", out.L1I}, {"L2", out.L2}, {"LLC", out.LLC}} {
-			if err := faults.AuditCache(c.name, c.stats); err != nil {
-				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
-			}
-		}
-	}
-	return out, nil
-}
+// measured aggregates one measurement window (see runner.Measurement).
+type measured = runner.Measurement
 
 // newServer builds a single-purpose server for one measurement.
 func newServer(cfg cpu.Config, jb *core.Config, perfect bool) *serverless.Server {
 	return serverless.New(serverless.Config{CPU: cfg, Jukebox: jb, PerfectICache: perfect})
-}
-
-// measureWorkload deploys w on a fresh server and measures it.
-func measureWorkload(w workload.Workload, cfg cpu.Config, jb *core.Config, perfect bool, md mode, opt Options) (measured, error) {
-	srv := newServer(cfg, jb, perfect)
-	inst := srv.Deploy(w)
-	return measure(srv, inst, md, opt)
 }

@@ -24,9 +24,24 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Warmup != 2 || o.Measure != 3 {
 		t.Errorf("defaults = %+v", o)
 	}
+	if o.Engine == nil {
+		t.Error("withDefaults left Engine nil")
+	}
 	o = Options{Warmup: -1}.withDefaults()
 	if o.Warmup != 0 {
-		t.Errorf("explicit no-warmup = %+v", o)
+		t.Errorf("legacy negative no-warmup = %+v", o)
+	}
+	o = Options{NoWarmup: true}.withDefaults()
+	if o.Warmup != 0 {
+		t.Errorf("NoWarmup = %+v", o)
+	}
+	o = Options{NoWarmup: true, Warmup: 5}.withDefaults()
+	if o.Warmup != 0 {
+		t.Errorf("NoWarmup overrides explicit warmup: %+v", o)
+	}
+	o = Options{Warmup: 7}.withDefaults()
+	if o.Warmup != 7 {
+		t.Errorf("explicit warmup = %+v", o)
 	}
 	all, err := (Options{}).suite()
 	if err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"lukewarm/internal/runner"
 	"lukewarm/internal/stats"
 )
 
@@ -37,20 +38,27 @@ func Footprints(opt Options, invocations int) (FootprintResult, error) {
 	if err != nil {
 		return out, err
 	}
-	for _, w := range suite {
-		row := FootprintRow{Name: w.Name}
-		sets := make([]map[uint64]struct{}, n)
-		for i := 0; i < n; i++ {
-			sets[i] = w.Program.FootprintBlocks(uint64(i))
-			row.KB.Add(float64(len(sets[i])) * 64 / 1024)
-		}
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				row.Jaccard.Add(stats.Jaccard(sets[i], sets[j]))
+	rows, err := runner.MapOn(opt.engine(), len(suite),
+		func(i int) string { return suite[i].Name + "/footprint" },
+		func(i int) (FootprintRow, error) {
+			w := suite[i]
+			row := FootprintRow{Name: w.Name}
+			sets := make([]map[uint64]struct{}, n)
+			for i := 0; i < n; i++ {
+				sets[i] = w.Program.FootprintBlocks(uint64(i))
+				row.KB.Add(float64(len(sets[i])) * 64 / 1024)
 			}
-		}
-		out.Rows = append(out.Rows, row)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					row.Jaccard.Add(stats.Jaccard(sets[i], sets[j]))
+				}
+			}
+			return row, nil
+		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/workload"
 )
@@ -92,18 +93,22 @@ func Performance(opt Options, platform cpu.Config, jbCfg core.Config) (PerfResul
 	if err != nil {
 		return out, err
 	}
+	var cells []runner.Cell
 	for _, w := range suite {
-		row := PerfRow{Name: w.Name, Lang: w.Lang}
-		if row.Baseline, err = measureWorkload(w, platform, nil, false, lukewarm, opt); err != nil {
-			return out, err
-		}
-		if row.Jukebox, err = measureWorkload(w, platform, &jbCfg, false, lukewarm, opt); err != nil {
-			return out, err
-		}
-		if row.Perfect, err = measureWorkload(w, platform, nil, true, lukewarm, opt); err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, row)
+		cells = append(cells,
+			opt.cell(w.Name, platform, nil, false, lukewarm),
+			opt.cell(w.Name, platform, &jbCfg, false, lukewarm),
+			opt.cell(w.Name, platform, nil, true, lukewarm))
+	}
+	ms, err := opt.engine().Measure(cells)
+	if err != nil {
+		return out, err
+	}
+	for i, w := range suite {
+		out.Rows = append(out.Rows, PerfRow{
+			Name: w.Name, Lang: w.Lang,
+			Baseline: ms[3*i], Jukebox: ms[3*i+1], Perfect: ms[3*i+2],
+		})
 	}
 	return out, nil
 }
@@ -219,24 +224,32 @@ func Fig9(opt Options) (Fig9Result, error) {
 	if err != nil {
 		return out, err
 	}
-	baseCycles := map[string]float64{}
+	// One batch: the no-Jukebox baselines first, then every budget point.
+	var cells []runner.Cell
 	for _, w := range suite {
-		m, err := measureWorkload(w, cpu.SkylakeConfig(), nil, false, lukewarm, opt)
-		if err != nil {
-			return out, err
-		}
-		baseCycles[w.Name] = normCycles(m)
+		cells = append(cells, opt.cell(w.Name, cpu.SkylakeConfig(), nil, false, lukewarm))
 	}
 	for _, b := range budgets {
+		jb := core.DefaultConfig()
+		jb.MetadataBytes = b
+		for _, w := range suite {
+			cfg := jb
+			cells = append(cells, opt.cell(w.Name, cpu.SkylakeConfig(), &cfg, false, lukewarm))
+		}
+	}
+	ms, err := opt.engine().Measure(cells)
+	if err != nil {
+		return out, err
+	}
+	baseCycles := map[string]float64{}
+	for i, w := range suite {
+		baseCycles[w.Name] = normCycles(ms[i])
+	}
+	for bi, b := range budgets {
 		row := Fig9Row{BudgetKB: b / 1024, SpeedupPct: map[string]float64{}}
 		var all []float64
-		for _, w := range suite {
-			jb := core.DefaultConfig()
-			jb.MetadataBytes = b
-			m, err := measureWorkload(w, cpu.SkylakeConfig(), &jb, false, lukewarm, opt)
-			if err != nil {
-				return out, err
-			}
+		for wi, w := range suite {
+			m := ms[len(suite)*(1+bi)+wi]
 			sp := stats.SpeedupPct(baseCycles[w.Name], normCycles(m))
 			all = append(all, 1+sp/100)
 			for _, rep := range reps {

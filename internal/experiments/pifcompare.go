@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/pif"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/workload"
@@ -32,22 +34,47 @@ type Fig13Result struct {
 	SpeedupPct map[PIFConfig]map[string]float64
 }
 
-// measurePIF measures one workload under one Fig. 13 configuration.
-func measurePIF(w workload.Workload, cfg PIFConfig, opt Options) (measured, error) {
+// pifCell describes one workload under one Fig. 13 configuration. Baseline
+// and plain-Jukebox configurations are standard cells — they hit the same
+// cache entries as Fig. 10's baseline and Jukebox measurements — while the
+// PIF-attaching configurations carry a "fig13-" variant tag and run through
+// execPIF.
+func pifCell(opt Options, w string, cfg PIFConfig) runner.Cell {
 	var jb *core.Config
 	if cfg == CfgJukebox || cfg == CfgJBPIFIdeal {
 		c := core.DefaultConfig()
 		jb = &c
 	}
-	srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: jb})
+	switch cfg {
+	case CfgBaseline, CfgJukebox:
+		return opt.cell(w, cpu.SkylakeConfig(), jb, false, lukewarm)
+	default:
+		return opt.variantCell("fig13-"+string(cfg), w, cpu.SkylakeConfig(), jb, lukewarm)
+	}
+}
+
+// execPIF executes Fig. 13 cells, attaching the tagged PIF prefetcher before
+// measuring; untagged cells fall through to the standard executor.
+func execPIF(c runner.Cell) (runner.Measurement, error) {
+	if c.Variant == "" {
+		return runner.Execute(c)
+	}
+	cfg := PIFConfig(strings.TrimPrefix(c.Variant, "fig13-"))
+	w, err := suiteByName(c.Workload)
+	if err != nil {
+		return runner.Measurement{}, err
+	}
+	srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox})
 	switch cfg {
 	case CfgPIF:
 		srv.AttachCorePrefetcher(pif.New(pif.DefaultConfig(), srv.Core.Hier))
 	case CfgPIFIdeal, CfgJBPIFIdeal:
 		srv.AttachCorePrefetcher(pif.New(pif.IdealConfig(), srv.Core.Hier))
+	default:
+		return runner.Measurement{}, fmt.Errorf("experiments: unknown fig13 variant %q", c.Variant)
 	}
 	inst := srv.Deploy(w)
-	return measure(srv, inst, lukewarm, opt)
+	return runner.MeasureInstance(srv, inst, c.Mode, c.Warmup, c.Measure, c.Audit)
 }
 
 // Fig13 compares Jukebox against PIF and PIF-ideal, alone and combined, on
@@ -63,22 +90,28 @@ func Fig13(opt Options) (Fig13Result, error) {
 	if err != nil {
 		return out, err
 	}
-	base := map[string]float64{}
+	var cells []runner.Cell
 	for _, w := range suite {
-		m, err := measurePIF(w, CfgBaseline, opt)
-		if err != nil {
-			return out, err
-		}
-		base[w.Name] = normCycles(m)
+		cells = append(cells, pifCell(opt, w.Name, CfgBaseline))
 	}
 	for _, cfg := range out.Configs {
+		for _, w := range suite {
+			cells = append(cells, pifCell(opt, w.Name, cfg))
+		}
+	}
+	ms, err := opt.engine().MeasureFunc(cells, execPIF)
+	if err != nil {
+		return out, err
+	}
+	base := map[string]float64{}
+	for i, w := range suite {
+		base[w.Name] = normCycles(ms[i])
+	}
+	for ci, cfg := range out.Configs {
 		out.SpeedupPct[cfg] = map[string]float64{}
 		var all []float64
-		for _, w := range suite {
-			m, err := measurePIF(w, cfg, opt)
-			if err != nil {
-				return out, err
-			}
+		for wi, w := range suite {
+			m := ms[len(suite)*(1+ci)+wi]
 			sp := stats.SpeedupPct(base[w.Name], normCycles(m))
 			all = append(all, 1+sp/100)
 			for _, rep := range out.Functions {

@@ -6,6 +6,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/stats"
 )
 
@@ -40,20 +41,27 @@ func Table3(opt Options) (Table3Result, error) {
 		{cpu.SkylakeConfig(), 16, "Skylake"},
 		{cpu.BroadwellConfig(), 32, "Broadwell"},
 	}
+	var cells []runner.Cell
 	for _, p := range platforms {
 		jb := core.DefaultConfig()
 		jb.MetadataBytes = p.jbKB << 10
+		for _, w := range suite {
+			cfg := jb
+			cells = append(cells,
+				opt.cell(w.Name, p.cfg, nil, false, lukewarm),
+				opt.cell(w.Name, p.cfg, &cfg, false, lukewarm))
+		}
+	}
+	ms, err := opt.engine().Measure(cells)
+	if err != nil {
+		return out, err
+	}
+	for pi, p := range platforms {
 		var l2Base, l2JB, llcBase, llcJB stats.Summary
 		var speedups []float64
-		for _, w := range suite {
-			base, err := measureWorkload(w, p.cfg, nil, false, lukewarm, opt)
-			if err != nil {
-				return out, err
-			}
-			withJB, err := measureWorkload(w, p.cfg, &jb, false, lukewarm, opt)
-			if err != nil {
-				return out, err
-			}
+		for wi := range suite {
+			base := ms[2*(pi*len(suite)+wi)]
+			withJB := ms[2*(pi*len(suite)+wi)+1]
 			l2Base.Add(base.MPKI(base.L2, mem.Instr))
 			l2JB.Add(withJB.MPKI(withJB.L2, mem.Instr))
 			llcBase.Add(base.MPKI(base.LLC, mem.Instr))

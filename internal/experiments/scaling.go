@@ -5,6 +5,7 @@ import (
 
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 )
@@ -42,22 +43,35 @@ func Scaling(opt Options) (ScalingResult, error) {
 	if err != nil {
 		return out, err
 	}
-	for _, cores := range []int{1, 2, 4} {
-		run := func(jb *core.Config) (serverless.TrafficResult, error) {
-			srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Cores: cores, Jukebox: jb})
+	coreCounts := []int{1, 2, 4}
+	// Each (cores, config) traffic simulation is independent; fan all six out.
+	// Traffic results are distributions, not Measurements, so they bypass the
+	// result cache.
+	trs, err := runner.MapOn(opt.engine(), 2*len(coreCounts),
+		func(i int) string {
+			label := "base"
+			if i%2 == 1 {
+				label = "jukebox"
+			}
+			return fmt.Sprintf("scaling/%dcores/%s", coreCounts[i/2], label)
+		},
+		func(i int) (serverless.TrafficResult, error) {
+			var jb *core.Config
+			if i%2 == 1 {
+				cfg := core.DefaultConfig()
+				jb = &cfg
+			}
+			srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Cores: coreCounts[i/2], Jukebox: jb})
 			for _, w := range suite {
 				srv.Deploy(w)
 			}
 			return srv.ServeTraffic(traffic)
-		}
-		jbCfg := core.DefaultConfig()
-		row := ScalingRow{Cores: cores}
-		if row.Baseline, err = run(nil); err != nil {
-			return out, err
-		}
-		if row.Jukebox, err = run(&jbCfg); err != nil {
-			return out, err
-		}
+		})
+	if err != nil {
+		return out, err
+	}
+	for ci, cores := range coreCounts {
+		row := ScalingRow{Cores: cores, Baseline: trs[2*ci], Jukebox: trs[2*ci+1]}
 		row.JukeboxGainPct = stats.SpeedupPct(
 			row.Baseline.ServiceCycles.Mean(), row.Jukebox.ServiceCycles.Mean())
 		out.Rows = append(out.Rows, row)

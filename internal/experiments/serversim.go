@@ -5,6 +5,7 @@ import (
 
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 )
@@ -40,20 +41,31 @@ func ServerSim(opt Options) (ServerSimResult, error) {
 	if err != nil {
 		return out, err
 	}
-	run := func(jb *core.Config) (serverless.TrafficResult, error) {
-		srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: jb})
-		for _, w := range suite {
-			srv.Deploy(w)
-		}
-		return srv.ServeTraffic(traffic)
-	}
-	jbCfg := core.DefaultConfig()
-	if out.Baseline, err = run(nil); err != nil {
+	// The two configurations are independent full-server simulations; run
+	// them as two engine jobs (distributions bypass the result cache).
+	trs, err := runner.MapOn(opt.engine(), 2,
+		func(i int) string {
+			if i == 0 {
+				return "serversim/base"
+			}
+			return "serversim/jukebox"
+		},
+		func(i int) (serverless.TrafficResult, error) {
+			var jb *core.Config
+			if i == 1 {
+				cfg := core.DefaultConfig()
+				jb = &cfg
+			}
+			srv := serverless.New(serverless.Config{CPU: cpu.SkylakeConfig(), Jukebox: jb})
+			for _, w := range suite {
+				srv.Deploy(w)
+			}
+			return srv.ServeTraffic(traffic)
+		})
+	if err != nil {
 		return out, err
 	}
-	if out.Jukebox, err = run(&jbCfg); err != nil {
-		return out, err
-	}
+	out.Baseline, out.Jukebox = trs[0], trs[1]
 	out.ThroughputGainPct = stats.SpeedupPct(
 		out.Baseline.ServiceCycles.Mean(), out.Jukebox.ServiceCycles.Mean())
 	return out, nil

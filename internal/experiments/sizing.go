@@ -5,9 +5,44 @@ import (
 
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/workload"
 )
+
+// recordJB is the record-only Jukebox configuration Fig. 8 sweeps: an
+// unlimited metadata budget so the recorded size itself is the measurement.
+func recordJB(regionBytes, crrbEntries int) core.Config {
+	return core.Config{
+		RegionSizeBytes: regionBytes,
+		CRRBEntries:     crrbEntries,
+		MetadataBytes:   0, // unlimited: measure required size
+		VABits:          48,
+		RecordEnabled:   true,
+		ReplayEnabled:   false,
+	}
+}
+
+// execRecordOnly executes a "fig8-record" cell: one lukewarm invocation with
+// a record-only Jukebox, reporting the recorded metadata size in MetaBytes.
+// Fig8 and CRRBAblation share this executor, so overlapping sweep points
+// (e.g. CRRB=16 at 1 KB regions) are simulated once.
+func execRecordOnly(c runner.Cell) (runner.Measurement, error) {
+	if c.Variant == "" {
+		return runner.Execute(c)
+	}
+	w, err := suiteByName(c.Workload)
+	if err != nil {
+		return runner.Measurement{}, err
+	}
+	srv := newServer(c.CPU, c.Jukebox, false)
+	inst := srv.Deploy(w)
+	srv.RunLukewarm(inst, 1)
+	return runner.Measurement{
+		JB:        inst.Jukebox.Stats,
+		MetaBytes: inst.Jukebox.Stats.LastRecordBytes,
+	}, nil
+}
 
 // Fig8Row is one function's metadata-size curve across region sizes.
 type Fig8Row struct {
@@ -39,22 +74,21 @@ func Fig8(opt Options, crrbEntries int) (Fig8Result, error) {
 	if err != nil {
 		return out, err
 	}
+	var cells []runner.Cell
 	for _, w := range suite {
-		row := Fig8Row{Name: w.Name, BytesByRegion: map[int]int{}}
 		for _, rs := range regions {
-			jb := core.Config{
-				RegionSizeBytes: rs,
-				CRRBEntries:     crrbEntries,
-				MetadataBytes:   0, // unlimited: measure required size
-				VABits:          48,
-				RecordEnabled:   true,
-				ReplayEnabled:   false,
-			}
-			srv := newServer(cpu.SkylakeConfig(), &jb, false)
-			inst := srv.Deploy(w)
-			// One lukewarm invocation records the full working set.
-			srv.RunLukewarm(inst, 1)
-			row.BytesByRegion[rs] = inst.Jukebox.Stats.LastRecordBytes
+			jb := recordJB(rs, crrbEntries)
+			cells = append(cells, opt.variantCell("fig8-record", w.Name, cpu.SkylakeConfig(), &jb, lukewarm))
+		}
+	}
+	ms, err := opt.engine().MeasureFunc(cells, execRecordOnly)
+	if err != nil {
+		return out, err
+	}
+	for wi, w := range suite {
+		row := Fig8Row{Name: w.Name, BytesByRegion: map[int]int{}}
+		for ri, rs := range regions {
+			row.BytesByRegion[rs] = ms[wi*len(regions)+ri].MetaBytes
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -119,17 +153,21 @@ func CRRBAblation(opt Options) (CRRBAblationResult, error) {
 	if err != nil {
 		return out, err
 	}
+	var cells []runner.Cell
 	for _, n := range out.Sizes {
-		var s stats.Summary
 		for _, w := range suite {
-			jb := core.Config{
-				RegionSizeBytes: 1024, CRRBEntries: n, MetadataBytes: 0,
-				VABits: 48, RecordEnabled: true, ReplayEnabled: false,
-			}
-			srv := newServer(cpu.SkylakeConfig(), &jb, false)
-			inst := srv.Deploy(w)
-			srv.RunLukewarm(inst, 1)
-			s.Add(float64(inst.Jukebox.Stats.LastRecordBytes) / 1024)
+			jb := recordJB(1024, n)
+			cells = append(cells, opt.variantCell("fig8-record", w.Name, cpu.SkylakeConfig(), &jb, lukewarm))
+		}
+	}
+	ms, err := opt.engine().MeasureFunc(cells, execRecordOnly)
+	if err != nil {
+		return out, err
+	}
+	for ni := range out.Sizes {
+		var s stats.Summary
+		for wi := range suite {
+			s.Add(float64(ms[ni*len(suite)+wi].MetaBytes) / 1024)
 		}
 		out.MeanKB = append(out.MeanKB, s.Mean())
 	}

@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"lukewarm/internal/core"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/faults"
+	"lukewarm/internal/mem"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/topdown"
+	"lukewarm/internal/workload"
+)
+
+// SchemaVersion is folded into every cache key. Bump it whenever the
+// Measurement layout or the simulator's semantics change, so stale on-disk
+// cache entries can never be mistaken for current results — invalidation by
+// construction, no cleanup pass needed.
+const SchemaVersion = 1
+
+// Mode selects the execution regime of a measurement cell.
+type Mode uint8
+
+// The paper's two regimes (Sec. 2.3).
+const (
+	// Reference: back-to-back invocations, fully warm.
+	Reference Mode = iota
+	// Lukewarm: full microarchitectural flush before every invocation — the
+	// interleaved/baseline configuration.
+	Lukewarm
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Reference {
+		return "ref"
+	}
+	return "lukewarm"
+}
+
+// Cell describes one independent simulation: which workload runs on which
+// platform under which regime, and how much of it is measured. Cells are
+// pure values — the executor builds a fresh server from the content, so two
+// cells with equal content always produce equal measurements. That property
+// is what makes them content-addressable.
+type Cell struct {
+	// Workload names the function (workload.ByName).
+	Workload string
+	// CPU is the platform configuration.
+	CPU cpu.Config
+	// Jukebox, when non-nil, deploys the instance with a Jukebox.
+	Jukebox *core.Config
+	// Perfect services instruction fetches at L1 latency (Fig. 10's bound).
+	Perfect bool
+	// Mode is the execution regime.
+	Mode Mode
+	// Warmup and Measure are the unmeasured and measured invocation counts.
+	Warmup, Measure int
+	// Audit cross-checks every measured invocation against the faults
+	// package's conservation invariants.
+	Audit bool
+	// Variant tags cells that need a custom executor (Engine.MeasureFunc):
+	// comparator prefetchers, compaction, snapshot adoption. Standard cells
+	// leave it empty. The tag participates in the cache key, so custom
+	// setups can never collide with standard ones.
+	Variant string
+}
+
+// Label names the cell in progress lines and telemetry.
+func (c Cell) Label() string {
+	tag := c.Mode.String()
+	if c.Variant != "" {
+		tag = c.Variant
+	} else if c.Jukebox != nil {
+		tag = "jukebox"
+	} else if c.Perfect {
+		tag = "perfect"
+	}
+	return c.Workload + "/" + tag
+}
+
+// Key returns the cell's content address: an FNV-1a hash over a canonical
+// rendering of every field that influences the measurement, plus the schema
+// version. Configurations are flat value structs, so their fmt rendering is
+// canonical; any config change — a cache size, a Jukebox budget, a penalty
+// cycle — lands the cell at a different address.
+func (c Cell) Key() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "schema=%d|wl=%s|cpu=%+v|perfect=%t|mode=%d|warm=%d|meas=%d|audit=%t|variant=%s",
+		SchemaVersion, c.Workload, c.CPU, c.Perfect, c.Mode, c.Warmup, c.Measure, c.Audit, c.Variant)
+	if c.Jukebox != nil {
+		fmt.Fprintf(h, "|jb=%+v", *c.Jukebox)
+	} else {
+		fmt.Fprintf(h, "|jb=nil")
+	}
+	return h.Sum64()
+}
+
+// Measurement aggregates one cell's measurement window. It is the unit of
+// caching: every field is a plain exported value, so it round-trips through
+// gob unchanged.
+type Measurement struct {
+	Stack  topdown.Stack
+	Instrs uint64
+	Cycles mem.Cycle
+	L1I    mem.CacheStats
+	L2     mem.CacheStats
+	LLC    mem.CacheStats
+	DRAM   map[mem.TrafficClass]uint64 // bytes by class
+	JB     core.Stats
+	// MetaBytes is the per-instance metadata cost a custom executor chose to
+	// report (comparator prefetchers); zero for standard cells, whose
+	// Jukebox cost is in JB.
+	MetaBytes int
+}
+
+// CPI reports the window's cycles per instruction.
+func (m Measurement) CPI() float64 {
+	if m.Instrs == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Instrs)
+}
+
+// MPKI reports misses per kilo-instruction from a cache's counters.
+func (m Measurement) MPKI(s mem.CacheStats, k mem.Kind) float64 {
+	if m.Instrs == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses[k]) / float64(m.Instrs) * 1000
+}
+
+// Execute runs one standard cell from scratch: a fresh single-purpose server,
+// one deployed instance, warmup then measurement. It is the default executor
+// behind Engine.Measure.
+func Execute(c Cell) (Measurement, error) {
+	if c.Variant != "" {
+		return Measurement{}, fmt.Errorf("runner: cell %s has variant %q but no custom executor", c.Label(), c.Variant)
+	}
+	w, err := workload.ByName(c.Workload)
+	if err != nil {
+		return Measurement{}, err
+	}
+	srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox, PerfectICache: c.Perfect})
+	inst := srv.Deploy(w)
+	return MeasureInstance(srv, inst, c.Mode, c.Warmup, c.Measure, c.Audit)
+}
+
+// MeasureInstance runs warmup then measure invocations of inst under md on
+// srv and returns the aggregated measurement window. Custom executors use it
+// after their own server setup. With audit set, every measured invocation
+// and the window's cache counters are checked against the faults package's
+// conservation invariants.
+func MeasureInstance(srv *serverless.Server, inst *serverless.Instance, md Mode, warmup, measure int, audit bool) (Measurement, error) {
+	invoke := func() cpu.RunResult {
+		if md == Lukewarm {
+			srv.FlushMicroarch()
+		}
+		return srv.Invoke(inst)
+	}
+	for i := 0; i < warmup; i++ {
+		invoke()
+	}
+	srv.Core.Hier.ResetStats()
+	srv.Core.MMU.ResetStats()
+	srv.Core.BP.ResetStats()
+	srv.Core.BTB.ResetStats()
+	if inst.Jukebox != nil {
+		inst.Jukebox.ResetStats()
+	}
+
+	var out Measurement
+	for i := 0; i < measure; i++ {
+		res := invoke()
+		if audit {
+			if err := faults.Audit(res); err != nil {
+				return out, fmt.Errorf("%s invocation %d: %w", inst.Workload.Name, i, err)
+			}
+		}
+		out.Stack.Merge(res.Stack)
+		out.Instrs += res.Instrs
+		out.Cycles += res.Cycles
+	}
+	hier := srv.Core.Hier
+	hier.DrainUnusedPrefetches()
+	out.L1I = hier.L1I.Stats
+	out.L2 = hier.L2.Stats
+	out.LLC = hier.LLC.Stats
+	out.DRAM = map[mem.TrafficClass]uint64{}
+	for _, cls := range []mem.TrafficClass{mem.TrafficDemand, mem.TrafficPrefetch,
+		mem.TrafficMetadataRecord, mem.TrafficMetadataReplay, mem.TrafficWriteback} {
+		out.DRAM[cls] = hier.DRAM.Bytes(cls)
+	}
+	if inst.Jukebox != nil {
+		out.JB = inst.Jukebox.Stats
+		if audit {
+			if err := faults.AuditJukebox(out.JB); err != nil {
+				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
+			}
+		}
+	}
+	// Cache-counter conservation holds within a window whenever the window
+	// starts from flushed caches (the lukewarm regime); reference windows
+	// legitimately carry pre-reset prefetched lines across the stats reset.
+	if audit && md == Lukewarm {
+		for _, c := range []struct {
+			name  string
+			stats mem.CacheStats
+		}{{"L1I", out.L1I}, {"L2", out.L2}, {"LLC", out.LLC}} {
+			if err := faults.AuditCache(c.name, c.stats); err != nil {
+				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+// Package runner is the experiment execution engine: it takes sets of
+// independent simulation cells (workload × platform config × execution mode),
+// fans them out across a bounded worker pool, and merges the results in
+// deterministic submission order, so any experiment's rendered tables are
+// byte-identical regardless of the worker count.
+//
+// On top of the pool the engine layers a content-addressed memoization cache
+// (see cell.go for the key definition and cache.go for the tiers) and run
+// telemetry: per-cell wall time, cache hit/miss counters, and optional live
+// progress lines. The experiment runners in internal/experiments submit all
+// their measurements through one Engine, which the lukewarm CLI configures
+// from its -jobs, -cache and -progress flags.
+//
+// Determinism contract: a cell's result depends only on the cell's content,
+// never on scheduling. Every cell builds its own simulated server from its
+// own configuration, and all randomness in the stack flows through seeded
+// per-instance streams (package program), so concurrent execution cannot
+// perturb results. The engine's tests prove this under -race and across
+// worker counts.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Jobs is the maximum number of cells simulated concurrently. Zero or
+	// negative selects GOMAXPROCS. A batch of n cells uses min(Jobs, n)
+	// workers.
+	Jobs int
+	// CacheDir, when non-empty, adds an on-disk tier to the result cache:
+	// cells memoized there are skipped across process runs. The directory is
+	// created if missing.
+	CacheDir string
+	// Progress, when non-nil, receives one line per completed cell:
+	//
+	//	[12/60] fig10 Pay-N/jukebox 1.8s
+	//
+	// Writes are serialized; direct this at stderr so stdout tables stay
+	// byte-identical.
+	Progress io.Writer
+}
+
+// Engine executes cell batches. Create one with New and share it across an
+// entire run so the cache and telemetry span experiments; the zero value is
+// not usable.
+type Engine struct {
+	jobs     int
+	cache    *Cache
+	progress io.Writer
+
+	mu    sync.Mutex // guards progress writes and phase
+	phase string
+
+	cells    atomic.Uint64
+	hits     atomic.Uint64
+	cellWall atomic.Int64 // summed per-cell wall time, ns
+}
+
+// New builds an engine. An error is returned only when the on-disk cache
+// directory cannot be created.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{jobs: cfg.Jobs, cache: cache, progress: cfg.Progress}, nil
+}
+
+// Default builds the engine experiments fall back on when the caller did not
+// supply one: GOMAXPROCS workers, in-memory cache, no progress output.
+func Default() *Engine {
+	e, _ := New(Config{}) // no disk tier: New cannot fail
+	return e
+}
+
+// Jobs reports the configured worker cap.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// SetPhase labels subsequent progress lines (typically the experiment name).
+func (e *Engine) SetPhase(name string) {
+	e.mu.Lock()
+	e.phase = name
+	e.mu.Unlock()
+}
+
+// Stats is a snapshot of the engine's telemetry counters. Cells counts every
+// unit executed (including cache hits); CellWall sums per-cell wall time
+// across workers, so it exceeds elapsed time when cells run concurrently.
+type Stats struct {
+	Cells     uint64
+	CacheHits uint64
+	CellWall  time.Duration
+}
+
+// Stats returns the current counter snapshot. Take deltas of two snapshots
+// for per-experiment accounting.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Cells:     e.cells.Load(),
+		CacheHits: e.hits.Load(),
+		CellWall:  time.Duration(e.cellWall.Load()),
+	}
+}
+
+// note records one finished cell and emits its progress line.
+func (e *Engine) note(done, total int, label string, wall time.Duration, hit bool) {
+	e.cells.Add(1)
+	if hit {
+		e.hits.Add(1)
+	}
+	e.cellWall.Add(int64(wall))
+	if e.progress == nil {
+		return
+	}
+	suffix := ""
+	if hit {
+		suffix = " (cached)"
+	}
+	e.mu.Lock()
+	phase := e.phase
+	if phase != "" {
+		phase += " "
+	}
+	fmt.Fprintf(e.progress, "[%d/%d] %s%s %s%s\n",
+		done, total, phase, label, wall.Round(time.Millisecond), suffix)
+	e.mu.Unlock()
+}
+
+// MapOn runs fn(i) for every i in [0, n) on the engine's worker pool and
+// returns the results in index order — the deterministic-merge primitive the
+// cell API is built on. Use it directly for experiment units that are not
+// plain measurement cells (traffic simulations, footprint walks, chaos
+// cells). label(i) names unit i in progress lines. All units run even if one
+// fails; the returned error is the failing unit with the lowest index, so
+// error reporting is as deterministic as the results.
+//
+// fn must not call MapOn or the Measure methods on the same engine (workers
+// would deadlock waiting for themselves); Engine.Cached is the re-entrant
+// way to memoize sub-measurements inside a unit.
+func MapOn[T any](e *Engine, n int, label func(int) string, fn func(int) (T, error)) ([]T, error) {
+	return mapHit(e, n, label, func(i int) (T, bool, error) {
+		v, err := fn(i)
+		return v, false, err
+	})
+}
+
+// mapHit is MapOn with a per-unit cache-hit flag for telemetry.
+func mapHit[T any](e *Engine, n int, label func(int) string, fn func(int) (T, bool, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var done atomic.Int64
+
+	run := func(i int) {
+		start := time.Now()
+		var hit bool
+		results[i], hit, errs[i] = fn(i)
+		e.note(int(done.Add(1)), n, label(i), time.Since(start), hit)
+	}
+
+	if workers := min(e.jobs, n); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Measure executes a batch of standard cells (Variant == "") through the
+// pool and the cache, returning measurements in cell order.
+func (e *Engine) Measure(cells []Cell) ([]Measurement, error) {
+	return e.MeasureFunc(cells, Execute)
+}
+
+// MeasureFunc is Measure with a custom executor, for cells whose server
+// setup goes beyond Execute's (attached comparator prefetchers, mid-run
+// page compaction, snapshot adoption...). Such cells carry a non-empty
+// Variant naming the setup, which keys the cache alongside the standard
+// fields; exec is only invoked on cache misses.
+func (e *Engine) MeasureFunc(cells []Cell, exec func(Cell) (Measurement, error)) ([]Measurement, error) {
+	return mapHit(e, len(cells), func(i int) string { return cells[i].Label() },
+		func(i int) (Measurement, bool, error) {
+			return e.lookup(cells[i], exec)
+		})
+}
+
+// Cached memoizes one cell through the engine's cache, executing it on a
+// miss. Unlike the batch methods it runs on the caller's goroutine, so it is
+// safe (and intended) to call from inside a MapOn unit that needs cacheable
+// sub-measurements.
+func (e *Engine) Cached(c Cell, exec func(Cell) (Measurement, error)) (Measurement, error) {
+	m, _, err := e.lookup(c, exec)
+	return m, err
+}
+
+// lookup is the cache-or-execute core shared by MeasureFunc and Cached.
+func (e *Engine) lookup(c Cell, exec func(Cell) (Measurement, error)) (Measurement, bool, error) {
+	key := c.Key()
+	if m, ok := e.cache.Get(key); ok {
+		return m, true, nil
+	}
+	m, err := exec(c)
+	if err != nil {
+		return m, false, err
+	}
+	e.cache.Put(key, m)
+	return m, false, nil
+}

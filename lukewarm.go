@@ -47,6 +47,7 @@ import (
 	"lukewarm/internal/mem"
 	"lukewarm/internal/pif"
 	"lukewarm/internal/program"
+	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/topdown"
@@ -88,6 +89,10 @@ type (
 	// ExperimentOptions scales experiment runs (warmup/measured invocations
 	// and the function subset).
 	ExperimentOptions = experiments.Options
+	// CharacterizationResult backs Figures 2-5 (see Characterize).
+	CharacterizationResult = experiments.CharacterizationResult
+	// PerfResult backs Figures 10-12 (see Performance).
+	PerfResult = experiments.PerfResult
 	// Table is an aligned text table, the output format of experiments.
 	Table = stats.Table
 	// TopDownCategory is one Top-Down cycle class.
@@ -105,6 +110,15 @@ type (
 	FaultKind = faults.Kind
 	// FaultPlan is one seeded fault-injection campaign.
 	FaultPlan = faults.Plan
+	// Engine executes experiment simulation cells on a worker pool with a
+	// content-addressed result cache; share one via ExperimentOptions.Engine
+	// to pool cached results and telemetry across experiments.
+	Engine = runner.Engine
+	// EngineConfig configures an Engine (worker count, on-disk cache
+	// directory, progress stream).
+	EngineConfig = runner.Config
+	// EngineStats is a snapshot of an Engine's run telemetry.
+	EngineStats = runner.Stats
 )
 
 // ErrBadConfig is the sentinel wrapped by every configuration-validation
@@ -126,6 +140,11 @@ const (
 	InstrKind = mem.Instr
 	DataKind  = mem.Data
 )
+
+// NewEngine builds an experiment execution engine. The zero EngineConfig
+// selects GOMAXPROCS workers and an in-memory result cache; set CacheDir for
+// a persistent on-disk tier and Progress for live per-cell progress lines.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return runner.New(cfg) }
 
 // NewServer builds a simulated host. The zero ServerConfig selects the
 // paper's Skylake-like platform with no prefetcher. Invalid configurations
