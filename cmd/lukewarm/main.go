@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5a fig5b fig6a fig6b
 // fig8 fig9 fig10 fig11 fig12 fig13 table3 crrb compaction snapshot dynmeta
-// baselines server scaling chaos all. The -csv flag mirrors every table into
+// baselines server scaling sched chaos all. The -csv flag mirrors every table into
 // machine-readable CSV files; -audit cross-checks every measured invocation
 // against the simulator's conservation invariants.
 //
@@ -116,6 +116,7 @@ experiments:
   baselines             Jukebox vs next-line and RECAP-style restoration (Sec. 6)
   server                system-level Poisson-traffic simulation
   scaling               multi-core scaling under saturating traffic
+  sched                 placement and keep-alive policy sweep
   chaos                 fault-injection sweep with graceful-degradation checks
   all                   everything above, in paper order
 
@@ -256,6 +257,24 @@ func (s *session) performance() (lukewarm.PerfResult, error) {
 	return perf, err
 }
 
+// runSched executes the scheduling-policy sweep, renders its three tables,
+// and records the headline: the best placement policy's geomean-CPI
+// improvement over the earliest-available baseline.
+func (s *session) runSched() error {
+	r, err := lukewarm.Sched(s.opt)
+	if err != nil {
+		return err
+	}
+	_, delta := r.BestPolicyCPIDeltaPct()
+	s.rep.Headline["sched_best_policy_cpi_delta_pct"] = delta
+	for _, t := range []*lukewarm.Table{r.Table(), r.KeepAliveTable(), r.PerFuncTable()} {
+		if err := s.p.show(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runChaos executes the fault-injection sweep; any FAIL cell makes the
 // command exit non-zero after the full matrix has been rendered.
 func (s *session) runChaos() error {
@@ -349,6 +368,8 @@ func (s *session) run(name string) error {
 		return s.step(name, func() error { return p.render(lukewarm.ServerSim(opt)) })
 	case "scaling":
 		return s.step(name, func() error { return p.render(lukewarm.Scaling(opt)) })
+	case "sched":
+		return s.step(name, s.runSched)
 	case "chaos":
 		return s.step(name, s.runChaos)
 	case "all":
@@ -422,6 +443,7 @@ func (s *session) runAll() error {
 		{"baselines", func() error { return p.render(lukewarm.Baselines(opt)) }},
 		{"server", func() error { return p.render(lukewarm.ServerSim(opt)) }},
 		{"scaling", func() error { return p.render(lukewarm.Scaling(opt)) }},
+		{"sched", s.runSched},
 		{"chaos", s.runChaos},
 	}
 	for _, st := range steps {

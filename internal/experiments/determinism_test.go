@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 
 	"lukewarm/internal/core"
@@ -33,10 +34,23 @@ func renderTables(t *testing.T, eng *runner.Engine) map[string]string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sc, err := Sched(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]string{
 		"fig2":  char.Fig2Table().String(),
 		"fig10": perf.Fig10Table().String(),
 		"fig13": f13.Table().String(),
+		// The scheduling tables gate the arrival processes themselves: every
+		// sweep cell draws a full Poisson, heavy-tail or diurnal arrival
+		// sequence, so a single worker-dependent or cache-dependent draw
+		// shows up as a byte difference here.
+		"sched-place": sc.Table().String(),
+		"sched-keep":  sc.KeepAliveTable().String(),
+		// The raw rows are stricter than the rendered tables (no rounding):
+		// every counter and float must match bit-for-bit.
+		"sched-rows": fmt.Sprintf("%+v", sc),
 	}
 }
 

@@ -81,12 +81,35 @@ func AuditTraffic(r serverless.TrafficResult) error {
 			r.Served, r.Shed, r.ColdStarts)
 	case r.ColdStarts > r.Served:
 		return fmt.Errorf("faults: audit traffic: cold starts %d exceed served %d", r.ColdStarts, r.Served)
+	case r.PrewarmHits < 0 || r.PlacementMigrations < 0 || r.JukeboxRebinds < 0:
+		return fmt.Errorf("faults: audit traffic: negative scheduling counters (prewarm %d, migrations %d, rebinds %d)",
+			r.PrewarmHits, r.PlacementMigrations, r.JukeboxRebinds)
+	case r.PlacementMigrations > r.Served || r.JukeboxRebinds > r.Served:
+		return fmt.Errorf("faults: audit traffic: migrations %d / rebinds %d exceed served %d",
+			r.PlacementMigrations, r.JukeboxRebinds, r.Served)
+	case r.ResidentMs < 0:
+		return fmt.Errorf("faults: audit traffic: negative resident time %g ms", r.ResidentMs)
 	case r.BusyFraction < 0 || r.BusyFraction > 1.000001:
 		return fmt.Errorf("faults: audit traffic: busy fraction %g outside [0, 1]", r.BusyFraction)
 	case r.SimulatedMs < 0:
 		return fmt.Errorf("faults: audit traffic: negative simulated span %g ms", r.SimulatedMs)
 	case r.CPI.N() != r.Served:
 		return fmt.Errorf("faults: audit traffic: %d CPI samples for %d served", r.CPI.N(), r.Served)
+	}
+	// The per-function breakdown must conserve the fleet-wide counters.
+	var served, cold, shed int
+	for _, f := range r.PerFunction {
+		if f.Served < 0 || f.ColdStarts < 0 || f.Shed < 0 {
+			return fmt.Errorf("faults: audit traffic: %s has negative counters (%d/%d/%d)",
+				f.Name, f.Served, f.ColdStarts, f.Shed)
+		}
+		served += f.Served
+		cold += f.ColdStarts
+		shed += f.Shed
+	}
+	if len(r.PerFunction) > 0 && (served != r.Served || cold != r.ColdStarts || shed != r.Shed) {
+		return fmt.Errorf("faults: audit traffic: per-function sums %d/%d/%d != fleet %d/%d/%d",
+			served, cold, shed, r.Served, r.ColdStarts, r.Shed)
 	}
 	return nil
 }

@@ -17,7 +17,9 @@ import (
 // Measurement layout or the simulator's semantics change, so stale on-disk
 // cache entries can never be mistaken for current results — invalidation by
 // construction, no cleanup pass needed.
-const SchemaVersion = 1
+//
+// v2: Measurement gained the Traffic field (scheduling experiments).
+const SchemaVersion = 2
 
 // Mode selects the execution regime of a measurement cell.
 type Mode uint8
@@ -113,6 +115,11 @@ type Measurement struct {
 	// report (comparator prefetchers); zero for standard cells, whose
 	// Jukebox cost is in JB.
 	MetaBytes int
+	// Traffic holds a whole-server traffic simulation's summary for cells
+	// whose custom executor runs ServeTraffic instead of a per-instance
+	// measurement window (the scheduling experiment); nil for standard
+	// cells.
+	Traffic *serverless.TrafficSummary
 }
 
 // CPI reports the window's cycles per instruction.

@@ -1,0 +1,242 @@
+package sched
+
+import "math"
+
+// Decision is a KeepAlive policy's verdict on one idle gap, consulted when
+// the function's next invocation arrives. The gap runs from the previous
+// invocation's completion to this arrival.
+type Decision struct {
+	// Evicted reports that the instance was reclaimed during the gap.
+	Evicted bool
+	// Prewarmed reports that a pre-warm restored the instance to memory
+	// before the arrival; an evicted-then-prewarmed gap is not a cold start.
+	Prewarmed bool
+	// ResidentMs is how long the instance stayed memory-resident during the
+	// gap — the instance-memory budget the policy spent on it.
+	ResidentMs float64
+}
+
+// ColdStart reports whether the gap ends in a cold start: the instance was
+// evicted and no pre-warm brought it back in time.
+func (d Decision) ColdStart() bool { return d.Evicted && !d.Prewarmed }
+
+// KeepAlive decides how long idle instances stay memory-resident. The
+// traffic engine consults Decide lazily, at each arrival that follows an
+// idle gap; policies that learn (HybridHistogram) fold the observed gap into
+// their per-function model as part of the call. Calls arrive in
+// deterministic dispatch order.
+type KeepAlive interface {
+	// Name labels the policy in tables and variant tags.
+	Name() string
+	// Decide judges one idle gap of fn and returns what happened to the
+	// instance during it.
+	Decide(fn string, idleMs float64) Decision
+}
+
+// fixedTimeout evicts after a constant idle timeout.
+type fixedTimeout struct{ timeoutMs float64 }
+
+// FixedTimeout returns the classic provider policy (and the traffic
+// engine's historical behaviour): the instance is reclaimed once it has been
+// idle longer than timeoutMs, and its next invocation cold-starts.
+func FixedTimeout(timeoutMs float64) KeepAlive { return fixedTimeout{timeoutMs: timeoutMs} }
+
+func (fixedTimeout) Name() string { return "FixedTimeout" }
+
+func (p fixedTimeout) Decide(_ string, idleMs float64) Decision {
+	if idleMs > p.timeoutMs {
+		return Decision{Evicted: true, ResidentMs: p.timeoutMs}
+	}
+	return Decision{ResidentMs: idleMs}
+}
+
+// noEvict keeps every instance resident forever.
+type noEvict struct{}
+
+// NoEvict returns the keep-forever policy: no instance is ever reclaimed,
+// so no invocation ever cold-starts — at the price of paying memory for
+// every idle millisecond.
+func NoEvict() KeepAlive { return noEvict{} }
+
+func (noEvict) Name() string { return "NoEvict" }
+
+func (noEvict) Decide(_ string, idleMs float64) Decision {
+	return Decision{ResidentMs: idleMs}
+}
+
+// Histogram geometry: 8 bins per octave starting at histMinMs gives ~9%
+// value resolution over a 0.1 ms – ~50 min range, plenty for IATs that the
+// Azure traces put between a second and a few minutes.
+const (
+	histBins        = 256
+	histMinMs       = 0.1
+	histBinsPerOct  = 8
+	histBinRatioLog = 0.0866433975699932 // ln(2)/8
+)
+
+// histBin maps an IAT to its bin index.
+func histBin(ms float64) int {
+	if ms <= histMinMs {
+		return 0
+	}
+	b := int(math.Log(ms/histMinMs) / histBinRatioLog)
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+// histValue returns the upper-edge IAT of a bin.
+func histValue(bin int) float64 {
+	return histMinMs * math.Exp(float64(bin+1)*histBinRatioLog)
+}
+
+// funcHist is one function's IAT histogram.
+type funcHist struct {
+	counts [histBins]int
+	n      int
+}
+
+func (h *funcHist) add(ms float64) {
+	h.counts[histBin(ms)]++
+	h.n++
+}
+
+// percentile returns the upper edge of the bin holding the p-th percentile
+// observation (0 < p < 100).
+func (h *funcHist) percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int(math.Ceil(p / 100 * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for b := 0; b < histBins; b++ {
+		cum += h.counts[b]
+		if cum >= target {
+			return histValue(b)
+		}
+	}
+	return histValue(histBins - 1)
+}
+
+// HybridConfig parameterizes the HybridHistogram policy. The zero value
+// selects the defaults documented on each field.
+type HybridConfig struct {
+	// FallbackMs is the fixed timeout applied while a function has fewer
+	// than MinSamples observed gaps (and as the behaviour HybridHistogram
+	// degrades to when its histogram says the pattern is unpredictable and
+	// even the conservative window would be pointless). Zero selects 250 ms.
+	FallbackMs float64
+	// MinSamples is how many gaps a function must exhibit before the
+	// histogram is trusted. Zero selects 4.
+	MinSamples int
+	// SpreadMax is the p99/p5 IAT ratio up to which a function counts as
+	// predictable (low CV in Shahrad et al.'s terms) and earns a pre-warm
+	// window. Zero selects 4.
+	SpreadMax float64
+}
+
+func (c HybridConfig) withDefaults() HybridConfig {
+	if c.FallbackMs <= 0 {
+		c.FallbackMs = 250
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.SpreadMax <= 0 {
+		c.SpreadMax = 4
+	}
+	return c
+}
+
+// hybridHistogram is the per-function hybrid policy of Shahrad et al.
+type hybridHistogram struct {
+	cfg   HybridConfig
+	hists map[string]*funcHist
+}
+
+// HybridHistogram returns the per-function hybrid keep-alive/pre-warm policy
+// of Shahrad et al. (ATC'20): each function's observed inter-arrival gaps
+// feed a log-scale histogram, and the policy derives two windows from it.
+//
+// For a predictable function (p99/p5 spread within SpreadMax) the instance
+// is kept resident only for a short head window (p5/8, absorbing intra-burst
+// re-invocations), reclaimed, and pre-warmed at 80% of the 5th-percentile
+// gap — just before the earliest plausible next arrival — so nearly every
+// invocation finds it warm while memory is spent only on the tail of each
+// gap. For an unpredictable function the policy falls back to a conservative
+// fixed keep-alive at the 99th-percentile gap (no pre-warm can beat a
+// memoryless arrival process). Functions with fewer than MinSamples observed
+// gaps use the FallbackMs fixed timeout.
+func HybridHistogram(cfg HybridConfig) KeepAlive {
+	return &hybridHistogram{cfg: cfg.withDefaults(), hists: map[string]*funcHist{}}
+}
+
+func (*hybridHistogram) Name() string { return "HybridHistogram" }
+
+func (p *hybridHistogram) Decide(fn string, idleMs float64) Decision {
+	h := p.hists[fn]
+	if h == nil {
+		h = &funcHist{}
+		p.hists[fn] = h
+	}
+	d := p.decide(h, idleMs)
+	h.add(idleMs)
+	return d
+}
+
+// decide judges idleMs against the windows the current histogram implies.
+func (p *hybridHistogram) decide(h *funcHist, idleMs float64) Decision {
+	if h.n < p.cfg.MinSamples {
+		return fixedTimeout{timeoutMs: p.cfg.FallbackMs}.Decide("", idleMs)
+	}
+	p5, p99 := h.percentile(5), h.percentile(99)
+	if p99 > p5*p.cfg.SpreadMax {
+		// Unpredictable: conservative keep-alive at the p99 gap, no pre-warm.
+		return fixedTimeout{timeoutMs: p99}.Decide("", idleMs)
+	}
+	head := p5 / 8
+	prewarmAt := 0.8 * p5
+	switch {
+	case idleMs <= head:
+		// Intra-burst re-invocation: never left memory.
+		return Decision{ResidentMs: idleMs}
+	case idleMs >= prewarmAt:
+		// Evicted at the head window, restored by the pre-warm before the
+		// arrival: warm again, memory spent only on head + tail.
+		return Decision{Evicted: true, Prewarmed: true,
+			ResidentMs: head + (idleMs - prewarmAt)}
+	default:
+		// Arrived in the reclaimed window before the pre-warm fired.
+		return Decision{Evicted: true, ResidentMs: head}
+	}
+}
+
+// Windows reports the pre-warm and keep-alive windows the policy currently
+// derives for fn, for inspection and tests: headMs is the post-completion
+// keep-alive, prewarmMs the pre-warm point (0 when the function is
+// unpredictable or unlearned, in which case keepMs is the fixed window in
+// effect).
+func (p *hybridHistogram) Windows(fn string) (headMs, prewarmMs, keepMs float64) {
+	h := p.hists[fn]
+	if h == nil || h.n < p.cfg.MinSamples {
+		return 0, 0, p.cfg.FallbackMs
+	}
+	p5, p99 := h.percentile(5), h.percentile(99)
+	if p99 > p5*p.cfg.SpreadMax {
+		return 0, 0, p99
+	}
+	return p5 / 8, 0.8 * p5, 0
+}
+
+// HybridWindows exposes a HybridHistogram policy's learned windows for fn.
+// It returns zeros for any other KeepAlive implementation.
+func HybridWindows(ka KeepAlive, fn string) (headMs, prewarmMs, keepMs float64) {
+	if p, ok := ka.(*hybridHistogram); ok {
+		return p.Windows(fn)
+	}
+	return 0, 0, 0
+}

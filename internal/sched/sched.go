@@ -1,0 +1,188 @@
+// Package sched is the invocation-scheduling subsystem of the traffic
+// engine: pluggable placement policies (which core serves an arriving
+// invocation) and keep-alive policies (how long an idle instance stays
+// memory-resident, and whether it is pre-warmed before its predicted next
+// arrival).
+//
+// The paper's thesis is that scheduling determines microarchitectural fate:
+// inter-arrival time and what runs in between turn a warm function lukewarm
+// (Fig. 1), and Jukebox metadata follows the instance to whichever core the
+// OS picks (Sec. 3.4.1). The policies here let the traffic engine ask the
+// system-level question directly — how much of the lukewarm penalty a
+// smarter scheduler can claim back without any hardware, and how much
+// remains for Jukebox:
+//
+//   - EarliestAvailable: the classic load balancer (and the traffic
+//     engine's historical behaviour) — lowest-indexed core that drains its
+//     backlog first.
+//   - RoundRobin: static striping, the placement-oblivious strawman.
+//   - StickyAffinity: route an invocation back to the core whose L1-I, L2
+//     and BTB state is warmest for its function, turning lukewarm back into
+//     warm while the warmth lasts.
+//   - JukeboxAware: prefer the core where the instance's metadata base/limit
+//     registers are already programmed, minimizing Jukebox.Bind churn, but
+//     yield to load when the bound core is too far behind.
+//
+// Keep-alive policies (keepalive.go) mirror the provider-side literature:
+// a fixed idle timeout, an explicit keep-forever, and the hybrid
+// per-function IAT-histogram policy of Shahrad et al. (ATC'20) that picks a
+// pre-warm window and a keep-alive window per function. Arrival-process
+// shapes (arrivals.go) supply the deterministic gap generators the traffic
+// engine draws from, including the diurnal generator.
+//
+// Everything in this package is deterministic: policies are plain state
+// machines fed by the traffic engine's single-threaded dispatch loop, and
+// arrival shapes draw from seeded RNG streams.
+package sched
+
+// Request describes one arriving invocation to a Placer.
+type Request struct {
+	// Func names the function (instances are one-per-function in the
+	// traffic engine, so Func identifies the instance too).
+	Func string
+	// ArrivalMs is the arrival time in simulated milliseconds.
+	ArrivalMs float64
+	// HasJukebox reports whether the instance carries Jukebox metadata.
+	HasJukebox bool
+}
+
+// CoreView is the per-core state snapshot a Placer chooses from. Views are
+// indexed by core; all times are simulated milliseconds.
+type CoreView struct {
+	// FreeAtMs is when the core drains its current backlog (<= ArrivalMs
+	// means the core is idle when the invocation arrives).
+	FreeAtMs float64
+	// Last reports that this is the core where the request's function most
+	// recently ran — the only core with any residual warmth for it.
+	Last bool
+	// ForeignSince counts invocations of other functions served on this
+	// core since the request's function last completed here. It is the
+	// warmth meter: each foreign invocation streams a foreign working set
+	// through the private L1-I/L2/BTB. Meaningful only when Last is set.
+	ForeignSince int
+	// Bound reports that the instance's Jukebox base/limit registers are
+	// still programmed on this core (no Bind needed to run here).
+	Bound bool
+}
+
+// Placer picks the core that serves an arriving invocation. Implementations
+// may keep internal state; the traffic engine calls Place sequentially in
+// deterministic arrival order.
+type Placer interface {
+	// Name labels the policy in tables and variant tags.
+	Name() string
+	// Place returns the index of the chosen core. cores is never empty.
+	Place(r Request, cores []CoreView) int
+}
+
+// earliestIdx returns the lowest-indexed core with the smallest FreeAtMs —
+// the traffic engine's historical dispatch rule.
+func earliestIdx(cores []CoreView) int {
+	idx := 0
+	for i := range cores {
+		if cores[i].FreeAtMs < cores[idx].FreeAtMs {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// earliestAvailable is the baseline policy.
+type earliestAvailable struct{}
+
+// EarliestAvailable returns the baseline placement policy: the invocation
+// goes to the core that drains its backlog first (lowest index on ties).
+// This is exactly the traffic engine's behaviour before placement became
+// pluggable.
+func EarliestAvailable() Placer { return earliestAvailable{} }
+
+func (earliestAvailable) Name() string { return "EarliestAvailable" }
+
+func (earliestAvailable) Place(_ Request, cores []CoreView) int { return earliestIdx(cores) }
+
+// roundRobin stripes invocations across cores in arrival order.
+type roundRobin struct{ next int }
+
+// RoundRobin returns a policy that stripes invocations across cores in
+// arrival order, ignoring both load and warmth — the placement-oblivious
+// strawman.
+func RoundRobin() Placer { return &roundRobin{} }
+
+func (*roundRobin) Name() string { return "RoundRobin" }
+
+func (p *roundRobin) Place(_ Request, cores []CoreView) int {
+	idx := p.next % len(cores)
+	p.next++
+	return idx
+}
+
+// DefaultStickyPatience is how many foreign invocations may run on the warm
+// core before StickyAffinity gives the function up as lukewarm there. Tens
+// of co-resident invocations stream several times the L2's capacity through
+// the private levels (Sec. 2.2), at which point there is nothing left to
+// stick to.
+const DefaultStickyPatience = 16
+
+// stickyAffinity prefers the function's last core while warmth remains.
+type stickyAffinity struct{ patience int }
+
+// StickyAffinity returns a warmth-seeking policy: an invocation is routed
+// back to the core where its function last ran — the only core whose
+// L1-I/L2/BTB hold any of its state — unless more than patience foreign
+// invocations have run there since (warmth gone, fall back to
+// EarliestAvailable). patience <= 0 selects DefaultStickyPatience.
+func StickyAffinity(patience int) Placer {
+	if patience <= 0 {
+		patience = DefaultStickyPatience
+	}
+	return &stickyAffinity{patience: patience}
+}
+
+func (*stickyAffinity) Name() string { return "StickyAffinity" }
+
+func (p *stickyAffinity) Place(_ Request, cores []CoreView) int {
+	for i := range cores {
+		if cores[i].Last && cores[i].ForeignSince <= p.patience {
+			return i
+		}
+	}
+	return earliestIdx(cores)
+}
+
+// DefaultJukeboxSlackMs is how far behind the earliest-available core the
+// metadata-bound core may be before JukeboxAware migrates the instance
+// anyway. A couple of milliseconds is a few invocations' worth of service
+// time — roughly the cost of the replay churn a migration causes.
+const DefaultJukeboxSlackMs = 2.0
+
+// jukeboxAware prefers the metadata-bound core within a load slack.
+type jukeboxAware struct{ slackMs float64 }
+
+// JukeboxAware returns a metadata-locality policy: an instance with Jukebox
+// metadata is routed to the core whose base/limit registers already hold its
+// bookkeeping (no Bind churn, replay starts immediately) unless that core's
+// backlog trails the earliest-available core by more than slackMs
+// milliseconds, in which case load wins and the instance migrates (its
+// metadata follows, Sec. 3.4.1). Instances without Jukebox fall back to
+// EarliestAvailable. slackMs <= 0 selects DefaultJukeboxSlackMs.
+func JukeboxAware(slackMs float64) Placer {
+	if slackMs <= 0 {
+		slackMs = DefaultJukeboxSlackMs
+	}
+	return &jukeboxAware{slackMs: slackMs}
+}
+
+func (*jukeboxAware) Name() string { return "JukeboxAware" }
+
+func (p *jukeboxAware) Place(r Request, cores []CoreView) int {
+	idx := earliestIdx(cores)
+	if !r.HasJukebox {
+		return idx
+	}
+	for i := range cores {
+		if cores[i].Bound && cores[i].FreeAtMs <= cores[idx].FreeAtMs+p.slackMs {
+			return i
+		}
+	}
+	return idx
+}

@@ -3,20 +3,21 @@ package serverless
 import (
 	"container/heap"
 	"fmt"
-	"math"
+	"strings"
 
 	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/program"
+	"lukewarm/internal/sched"
 	"lukewarm/internal/stats"
 )
 
 // TrafficConfig drives a system-level simulation: invocations arrive for
 // each deployed instance as an independent arrival process and are served
-// in arrival order on the server's core. Interleaving here is *natural* —
-// running other instances thrashes the shared microarchitectural state, no
-// explicit flush — so lukewarm behavior emerges the way it does in
-// production (Sec. 2.2).
+// in arrival order on the core a placement policy picks. Interleaving here
+// is *natural* — running other instances thrashes the shared
+// microarchitectural state, no explicit flush — so lukewarm behavior emerges
+// the way it does in production (Sec. 2.2).
 type TrafficConfig struct {
 	// MeanIATms is each instance's mean inter-arrival time in milliseconds.
 	// The Azure study the paper builds on (Shahrad et al., ATC'20) puts the
@@ -30,12 +31,31 @@ type TrafficConfig struct {
 	// are short intra-burst arrivals, half are long lulls, preserving the
 	// configured mean. Implies Poisson.
 	HeavyTail bool
+	// Diurnal selects near-periodic arrivals modulated by a fleet-wide
+	// sinusoidal rate cycle (see sched.Diurnal) — individually predictable
+	// gaps whose rate drifts over the period, the common pattern in the
+	// Azure traces. Takes precedence over HeavyTail and Poisson.
+	Diurnal bool
+	// DiurnalPeriodMs is the diurnal cycle length; 0 selects the default
+	// (sched.DiurnalPeriodInMeans mean gaps).
+	DiurnalPeriodMs float64
 	// InvocationsPerInstance bounds the run.
 	InvocationsPerInstance int
-	// KeepAliveMs evicts instances idle longer than this (0 = keep forever,
-	// the paper's 5-60 min window is far above typical IATs). An evicted
-	// instance's next invocation is a cold start.
+	// KeepAliveMs evicts instances idle longer than this; an evicted
+	// instance's next invocation is a cold start (paper Sec. 2.1). 0 is the
+	// default — keep instances forever, the paper's 5-60 min provider
+	// window being far above typical IATs.
+	//
+	// Deprecated as a "keep forever" request: 0 doubles as the zero value,
+	// so it cannot express the intent explicitly. Set NoKeepAlive for that;
+	// 0 stays honored for compatibility. KeepAlive, when non-nil,
+	// supersedes both fields.
 	KeepAliveMs float64
+	// NoKeepAlive explicitly requests that instances are never evicted
+	// (equivalent to the KeepAliveMs = 0 default, but self-documenting).
+	// Setting it together with a positive KeepAliveMs is a configuration
+	// error.
+	NoKeepAlive bool
 	// ColdStartMs is the instance boot cost charged to a cold start
 	// (paper Sec. 2.1: "hundreds of milliseconds in today's clouds").
 	ColdStartMs float64
@@ -54,6 +74,16 @@ type TrafficConfig struct {
 	// this when it reaches the dispatcher (0 = no deadline). Models a
 	// request timeout at the front end.
 	ShedAfterMs float64
+	// Placer picks the core that serves each invocation. Nil selects
+	// sched.EarliestAvailable(), the historical dispatch rule. Stateful
+	// placers (RoundRobin, StickyAffinity) must not be shared between
+	// concurrent ServeTraffic runs.
+	Placer sched.Placer
+	// KeepAlive decides instance eviction and pre-warming. Nil derives the
+	// policy from KeepAliveMs/NoKeepAlive (FixedTimeout or NoEvict).
+	// Learning policies (HybridHistogram) must not be shared between
+	// concurrent ServeTraffic runs.
+	KeepAlive sched.KeepAlive
 	// Seed determinizes arrivals.
 	Seed uint64
 }
@@ -68,14 +98,51 @@ func (c TrafficConfig) Validate() error {
 		return cfgerr.New("traffic: InvocationsPerInstance must be positive, got %d", c.InvocationsPerInstance)
 	case c.KeepAliveMs < 0:
 		return cfgerr.New("traffic: negative KeepAliveMs %g", c.KeepAliveMs)
+	case c.NoKeepAlive && c.KeepAliveMs > 0:
+		return cfgerr.New("traffic: NoKeepAlive contradicts KeepAliveMs %g", c.KeepAliveMs)
 	case c.ColdStartMs < 0:
 		return cfgerr.New("traffic: negative ColdStartMs %g", c.ColdStartMs)
+	case c.DiurnalPeriodMs < 0:
+		return cfgerr.New("traffic: negative DiurnalPeriodMs %g", c.DiurnalPeriodMs)
 	case c.MaxQueue < 0:
 		return cfgerr.New("traffic: negative MaxQueue %d", c.MaxQueue)
 	case c.ShedAfterMs < 0:
 		return cfgerr.New("traffic: negative ShedAfterMs %g", c.ShedAfterMs)
 	}
 	return nil
+}
+
+// shape resolves the configured arrival-process shape.
+func (c TrafficConfig) shape() sched.Shape {
+	s := sched.Shape{Kind: sched.Fixed, MeanIATms: c.MeanIATms, PeriodMs: c.DiurnalPeriodMs}
+	switch {
+	case c.Diurnal:
+		s.Kind = sched.Diurnal
+	case c.HeavyTail:
+		s.Kind = sched.HeavyTail
+	case c.Poisson:
+		s.Kind = sched.Poisson
+	}
+	return s
+}
+
+// placer resolves the placement policy.
+func (c TrafficConfig) placer() sched.Placer {
+	if c.Placer != nil {
+		return c.Placer
+	}
+	return sched.EarliestAvailable()
+}
+
+// keepAlive resolves the eviction policy.
+func (c TrafficConfig) keepAlive() sched.KeepAlive {
+	switch {
+	case c.KeepAlive != nil:
+		return c.KeepAlive
+	case c.NoKeepAlive || c.KeepAliveMs == 0:
+		return sched.NoEvict()
+	}
+	return sched.FixedTimeout(c.KeepAliveMs)
 }
 
 // DefaultTrafficConfig returns a 1 s Poisson workload, the representative
@@ -90,6 +157,27 @@ func DefaultTrafficConfig() TrafficConfig {
 	}
 }
 
+// FuncTraffic is one function's slice of a traffic run, in deployment
+// order: the per-function breakdown of the fleet-wide counters.
+type FuncTraffic struct {
+	// Name is the function name.
+	Name string
+	// Served, ColdStarts and Shed are this function's share of the
+	// fleet-wide counters.
+	Served, ColdStarts, Shed int
+	// CPISum accumulates per-invocation CPI; CPISum/Served is the
+	// function's mean CPI over the run.
+	CPISum float64
+}
+
+// MeanCPI reports the function's mean per-invocation CPI.
+func (f FuncTraffic) MeanCPI() float64 {
+	if f.Served == 0 {
+		return 0
+	}
+	return f.CPISum / float64(f.Served)
+}
+
 // TrafficResult summarizes a traffic run.
 type TrafficResult struct {
 	// Served counts completed invocations.
@@ -99,6 +187,24 @@ type TrafficResult struct {
 	Shed int
 	// ColdStarts counts invocations that found their instance evicted.
 	ColdStarts int
+	// PrewarmHits counts invocations whose instance had been evicted but
+	// was restored by the keep-alive policy's pre-warm before they arrived
+	// (no cold start charged).
+	PrewarmHits int
+	// PlacementMigrations counts invocations served on a different core
+	// than their function's previous one.
+	PlacementMigrations int
+	// JukeboxRebinds counts invocations that had to program their Jukebox
+	// base/limit registers on a core that did not already hold them (first
+	// invocations and migrations). Zero when Jukebox is disabled.
+	JukeboxRebinds int
+	// ResidentMs sums, across all idle gaps, the time instances stayed
+	// memory-resident — the instance-memory budget the keep-alive policy
+	// spent. Busy (executing) time is not included.
+	ResidentMs float64
+	// PerFunction breaks Served/ColdStarts/Shed down by function, in
+	// deployment order.
+	PerFunction []FuncTraffic
 	// CPI summarizes per-invocation CPI across all instances.
 	CPI stats.Summary
 	// ServiceCycles summarizes per-invocation service time (execution
@@ -117,6 +223,95 @@ type TrafficResult struct {
 // P99LatencyCycles reports the 99th-percentile latency.
 func (r *TrafficResult) P99LatencyCycles() float64 {
 	return stats.Percentile(r.latencies, 99)
+}
+
+// ColdStartRate reports the fraction of served invocations that cold-started.
+func (r *TrafficResult) ColdStartRate() float64 {
+	if r.Served == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(r.Served)
+}
+
+// ShedRate reports the fraction of offered invocations that were shed.
+func (r *TrafficResult) ShedRate() float64 {
+	if offered := r.Served + r.Shed; offered > 0 {
+		return float64(r.Shed) / float64(offered)
+	}
+	return 0
+}
+
+// JukeboxCoverage reports the fraction of served invocations that found
+// their Jukebox metadata registers already programmed on the chosen core
+// (no Bind churn). It is 0 when Jukebox is disabled.
+func (r *TrafficResult) JukeboxCoverage() float64 {
+	if r.Served == 0 || r.JukeboxRebinds == 0 {
+		return 0
+	}
+	return 1 - float64(r.JukeboxRebinds)/float64(r.Served)
+}
+
+// TrafficSummary is the flat, gob-safe projection of a TrafficResult: every
+// field is a plain exported value, so it round-trips through the result
+// cache unchanged. Experiment runners store it inside runner.Measurement.
+type TrafficSummary struct {
+	Served, Shed, ColdStarts         int
+	PrewarmHits, Migrations, Rebinds int
+	MeanCPI, MeanServiceCycles       float64
+	MeanLatencyCycles, P99LatencyCyc float64
+	BusyFraction, SimulatedMs        float64
+	ResidentMs                       float64
+	PerFunction                      []FuncTraffic
+}
+
+// Summary projects the result into its cacheable form.
+func (r *TrafficResult) Summary() TrafficSummary {
+	return TrafficSummary{
+		Served: r.Served, Shed: r.Shed, ColdStarts: r.ColdStarts,
+		PrewarmHits: r.PrewarmHits, Migrations: r.PlacementMigrations,
+		Rebinds:           r.JukeboxRebinds,
+		MeanCPI:           r.CPI.Mean(),
+		MeanServiceCycles: r.ServiceCycles.Mean(),
+		MeanLatencyCycles: r.LatencyCycles.Mean(),
+		P99LatencyCyc:     r.P99LatencyCycles(),
+		BusyFraction:      r.BusyFraction,
+		SimulatedMs:       r.SimulatedMs,
+		ResidentMs:        r.ResidentMs,
+		PerFunction:       r.PerFunction,
+	}
+}
+
+// ColdStartRate mirrors TrafficResult.ColdStartRate.
+func (s TrafficSummary) ColdStartRate() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.ColdStarts) / float64(s.Served)
+}
+
+// ShedRate mirrors TrafficResult.ShedRate.
+func (s TrafficSummary) ShedRate() float64 {
+	if offered := s.Served + s.Shed; offered > 0 {
+		return float64(s.Shed) / float64(offered)
+	}
+	return 0
+}
+
+// JukeboxCoverage mirrors TrafficResult.JukeboxCoverage.
+func (s TrafficSummary) JukeboxCoverage() float64 {
+	if s.Served == 0 || s.Rebinds == 0 {
+		return 0
+	}
+	return 1 - float64(s.Rebinds)/float64(s.Served)
+}
+
+// ResidentMsPerServed reports the mean instance-memory spend per served
+// invocation — the budget axis keep-alive policies are compared on.
+func (s TrafficSummary) ResidentMsPerServed() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return s.ResidentMs / float64(s.Served)
 }
 
 // arrival is one pending invocation.
@@ -141,11 +336,21 @@ func (q *arrivalQueue) Push(x any)   { *q = append(*q, x.(arrival)) }
 func (q *arrivalQueue) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
 func (q arrivalQueue) Peek() arrival { return q[0] }
 
+// instSched is the per-instance bookkeeping the scheduling policies read.
+type instSched struct {
+	fn         *FuncTraffic
+	lastDone   mem.Cycle
+	hasDone    bool
+	lastCore   int // core of the last completion, -1 before the first
+	servedMark int // coreServed[lastCore] at that completion
+}
+
 // ServeTraffic runs the arrival process over every deployed instance until
 // each has received cfg.InvocationsPerInstance invocations, serving them
-// FIFO on the core. It returns the aggregate result, or an error (wrapping
-// cfgerr.ErrBadConfig) for an unserveable configuration or a server with no
-// deployed instances.
+// FIFO in arrival order on the core the placement policy picks and evicting
+// idle instances per the keep-alive policy. It returns the aggregate result,
+// or an error (wrapping cfgerr.ErrBadConfig) for an unserveable
+// configuration or a server with no deployed instances.
 //
 // Idle gaps advance the clock but do not thrash state: with multiple
 // co-resident instances the interleaved executions themselves provide the
@@ -159,60 +364,59 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
 	}
 	rng := program.NewRNG(program.Mix(0x7AF1C, cfg.Seed))
 	cyclesPerMs := s.cfg.CPU.FreqGHz * 1e6
+	shape := cfg.shape()
+	placer := cfg.placer()
+	keepAlive := cfg.keepAlive()
 
-	exp := func(mean float64) float64 {
-		u := rng.Float64()
-		if u < 1e-12 {
-			u = 1e-12
-		}
-		return -math.Log(u) * mean
-	}
-	nextIAT := func() mem.Cycle {
-		ms := cfg.MeanIATms
-		switch {
-		case cfg.HeavyTail:
-			// A 50/50 mixture of short intra-burst gaps (mean/4) and long
-			// lulls (7*mean/4) keeps the overall mean at MeanIATms.
-			if rng.Bool(0.5) {
-				ms = exp(cfg.MeanIATms / 4)
-			} else {
-				ms = exp(cfg.MeanIATms * 7 / 4)
-			}
-		case cfg.Poisson:
-			ms = exp(cfg.MeanIATms)
-		}
-		c := mem.Cycle(ms * cyclesPerMs)
+	nextGap := func(nowMs float64) mem.Cycle {
+		c := mem.Cycle(shape.GapMs(rng, nowMs) * cyclesPerMs)
 		if c == 0 {
 			c = 1
 		}
 		return c
 	}
 
+	var res TrafficResult
 	var q arrivalQueue
 	seq := 0
 	remaining := map[*Instance]int{}
-	lastDone := map[*Instance]mem.Cycle{}
-	for _, inst := range s.instances {
+	state := map[*Instance]*instSched{}
+	res.PerFunction = make([]FuncTraffic, len(s.instances))
+	for i, inst := range s.instances {
+		res.PerFunction[i].Name = inst.Workload.Name
 		remaining[inst] = cfg.InvocationsPerInstance
+		state[inst] = &instSched{fn: &res.PerFunction[i], lastCore: -1}
 		// Phase-shift first arrivals across instances.
 		first := s.Core.Now() + mem.Cycle(rng.Float64()*cfg.MeanIATms*cyclesPerMs)
 		heap.Push(&q, arrival{at: first, inst: inst, seq: seq})
 		seq++
 	}
+	coreServed := make([]int, len(s.Cores))
+	views := make([]sched.CoreView, len(s.Cores))
 
-	var res TrafficResult
 	start := s.Core.Now()
 	var busy mem.Cycle
 
 	for q.Len() > 0 {
 		a := heap.Pop(&q).(arrival)
-		// Dispatch to the earliest-available core.
-		idx := 0
+		st := state[a.inst]
+		arrivalMs := float64(a.at) / cyclesPerMs
+		// Snapshot per-core state and let the placement policy dispatch.
 		for i := range s.Cores {
-			if s.Cores[i].Now() < s.Cores[idx].Now() {
-				idx = i
+			views[i] = sched.CoreView{
+				FreeAtMs: float64(s.Cores[i].Now()) / cyclesPerMs,
+				Last:     st.lastCore == i,
+			}
+			if views[i].Last {
+				views[i].ForeignSince = coreServed[i] - st.servedMark
+				views[i].Bound = a.inst.Jukebox != nil
 			}
 		}
+		idx := placer.Place(sched.Request{
+			Func:       a.inst.Workload.Name,
+			ArrivalMs:  arrivalMs,
+			HasJukebox: a.inst.Jukebox != nil,
+		}, views)
 		core := s.Cores[idx]
 		// Overload valve: shed before touching any simulated state, so a
 		// shed decision never perturbs the microarchitecture. An invocation
@@ -234,9 +438,10 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
 			if (cfg.ShedAfterMs > 0 && waitedMs > cfg.ShedAfterMs) ||
 				(cfg.MaxQueue > 0 && due > cfg.MaxQueue) {
 				res.Shed++
+				st.fn.Shed++
 				remaining[a.inst]--
 				if remaining[a.inst] > 0 {
-					heap.Push(&q, arrival{at: a.at + nextIAT(), inst: a.inst, seq: seq})
+					heap.Push(&q, arrival{at: a.at + nextGap(arrivalMs), inst: a.inst, seq: seq})
 					seq++
 				}
 				continue
@@ -250,29 +455,51 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
 				core.AdvanceCycles(gap)
 			}
 		}
-		// Keep-alive: evicted instances cold-start.
-		if cfg.KeepAliveMs > 0 {
-			if last, ok := lastDone[a.inst]; ok {
-				idle := float64(a.at-last) / cyclesPerMs
-				if idle > cfg.KeepAliveMs {
-					res.ColdStarts++
-					core.AdvanceCycles(mem.Cycle(cfg.ColdStartMs * cyclesPerMs))
-				}
+		// Keep-alive: judge the idle gap since the instance's last
+		// completion. Evicted-and-not-prewarmed instances cold-start.
+		if st.hasDone {
+			idleMs := 0.0
+			if a.at > st.lastDone {
+				idleMs = float64(a.at-st.lastDone) / cyclesPerMs
 			}
+			d := keepAlive.Decide(a.inst.Workload.Name, idleMs)
+			res.ResidentMs += d.ResidentMs
+			if d.Prewarmed {
+				res.PrewarmHits++
+			}
+			if d.ColdStart() {
+				res.ColdStarts++
+				st.fn.ColdStarts++
+				core.AdvanceCycles(mem.Cycle(cfg.ColdStartMs * cyclesPerMs))
+			}
+		}
+		// Placement accounting: a core change is a migration, and (with
+		// Jukebox) a base/limit reprogramming on the new core.
+		if st.lastCore >= 0 && st.lastCore != idx {
+			res.PlacementMigrations++
+		}
+		if a.inst.Jukebox != nil && st.lastCore != idx {
+			res.JukeboxRebinds++
 		}
 		r := s.InvokeOn(idx, a.inst)
 		busy += r.Cycles
 		res.Served++
+		st.fn.Served++
+		st.fn.CPISum += r.CPI()
 		res.CPI.Add(r.CPI())
 		res.ServiceCycles.Add(float64(r.Cycles))
 		lat := float64(core.Now() - a.at)
 		res.LatencyCycles.Add(lat)
 		res.latencies = append(res.latencies, lat)
-		lastDone[a.inst] = core.Now()
+		coreServed[idx]++
+		st.lastDone = core.Now()
+		st.hasDone = true
+		st.lastCore = idx
+		st.servedMark = coreServed[idx]
 
 		remaining[a.inst]--
 		if remaining[a.inst] > 0 {
-			heap.Push(&q, arrival{at: a.at + nextIAT(), inst: a.inst, seq: seq})
+			heap.Push(&q, arrival{at: a.at + nextGap(arrivalMs), inst: a.inst, seq: seq})
 			seq++
 		}
 	}
@@ -290,15 +517,35 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
 	return res, nil
 }
 
-// String renders a one-paragraph summary.
+// String renders a one-paragraph summary, with a per-function breakdown of
+// cold starts and shedding when any occurred.
 func (r *TrafficResult) String() string {
 	shed := ""
 	if r.Shed > 0 {
 		shed = fmt.Sprintf(", %d shed", r.Shed)
 	}
-	return fmt.Sprintf(
-		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s); "+
+	extra := ""
+	if r.PrewarmHits > 0 {
+		extra += fmt.Sprintf(", %d pre-warm hits", r.PrewarmHits)
+	}
+	if r.PlacementMigrations > 0 {
+		extra += fmt.Sprintf(", %d migrations", r.PlacementMigrations)
+	}
+	out := fmt.Sprintf(
+		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s%s); "+
 			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles",
-		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts, shed,
+		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts, shed, extra,
 		r.CPI.Mean(), r.ServiceCycles.Mean(), r.LatencyCycles.Mean(), r.P99LatencyCycles())
+	if r.ColdStarts > 0 || r.Shed > 0 {
+		var parts []string
+		for _, f := range r.PerFunction {
+			if f.ColdStarts > 0 || f.Shed > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d cold/%d shed", f.Name, f.ColdStarts, f.Shed))
+			}
+		}
+		if len(parts) > 0 {
+			out += "; by function: " + strings.Join(parts, ", ")
+		}
+	}
+	return out
 }

@@ -266,3 +266,84 @@ func TestServeTrafficShedDeterminism(t *testing.T) {
 		t.Errorf("shedding run not deterministic:\n%s\n%s", a.String(), b.String())
 	}
 }
+
+func TestNoKeepAlive(t *testing.T) {
+	// NoKeepAlive must behave like the deprecated KeepAliveMs=0 sentinel:
+	// instances stay resident across gaps far beyond any provider window.
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G")
+	cfg := DefaultTrafficConfig()
+	cfg.Poisson = false
+	cfg.MeanIATms = 5000
+	cfg.NoKeepAlive = true
+	cfg.InvocationsPerInstance = 4
+	res := mustServe(t, s, cfg)
+	if res.ColdStarts != 0 {
+		t.Errorf("NoKeepAlive cold-started %d times", res.ColdStarts)
+	}
+	if res.ResidentMs <= 0 {
+		t.Error("NoKeepAlive run accounted no resident time")
+	}
+
+	// Contradicting it with a positive timeout is a configuration error.
+	bad := DefaultTrafficConfig()
+	bad.NoKeepAlive = true
+	bad.KeepAliveMs = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("NoKeepAlive + KeepAliveMs accepted")
+	} else if !errors.Is(err, cfgerr.ErrBadConfig) {
+		t.Errorf("error %v does not wrap ErrBadConfig", err)
+	}
+	if err := (TrafficConfig{MeanIATms: 10, InvocationsPerInstance: 1, DiurnalPeriodMs: -1}).Validate(); err == nil {
+		t.Error("negative DiurnalPeriodMs accepted")
+	}
+}
+
+func TestPerFunctionBreakdown(t *testing.T) {
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G", "Email-P")
+	cfg := smallTraffic()
+	cfg.Poisson = false
+	cfg.MeanIATms = 100
+	cfg.KeepAliveMs = 10
+	cfg.InvocationsPerInstance = 3
+	res := mustServe(t, s, cfg)
+	if len(res.PerFunction) != 2 {
+		t.Fatalf("per-function rows = %d, want 2", len(res.PerFunction))
+	}
+	var served, cold int
+	for _, f := range res.PerFunction {
+		served += f.Served
+		cold += f.ColdStarts
+		if f.Served > 0 && f.MeanCPI() <= 0 {
+			t.Errorf("%s: served %d with mean CPI %g", f.Name, f.Served, f.MeanCPI())
+		}
+	}
+	if served != res.Served || cold != res.ColdStarts {
+		t.Errorf("per-function sums %d/%d != fleet %d/%d", served, cold, res.Served, res.ColdStarts)
+	}
+	if res.ColdStarts == 0 {
+		t.Fatal("test setup produced no cold starts")
+	}
+	if out := res.String(); !strings.Contains(out, "by function") || !strings.Contains(out, "Auth-G") {
+		t.Errorf("summary lacks per-function breakdown: %s", out)
+	}
+}
+
+func TestDiurnalTrafficWiring(t *testing.T) {
+	// Diurnal takes precedence and produces gaps inside the designed band.
+	s := New(Config{})
+	deploySubset(t, s, "Auth-G")
+	cfg := DefaultTrafficConfig()
+	cfg.Diurnal = true
+	cfg.MeanIATms = 50
+	cfg.InvocationsPerInstance = 8
+	res := mustServe(t, s, cfg)
+	if res.Served != 8 {
+		t.Fatalf("served %d", res.Served)
+	}
+	// A ±30% rate swing keeps the span within [n*min_gap, n*max_gap].
+	if res.SimulatedMs < 7*50/1.4 || res.SimulatedMs > 8*50*1.6 {
+		t.Errorf("diurnal span %.0f ms outside plausible band", res.SimulatedMs)
+	}
+}

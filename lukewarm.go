@@ -48,6 +48,7 @@ import (
 	"lukewarm/internal/pif"
 	"lukewarm/internal/program"
 	"lukewarm/internal/runner"
+	"lukewarm/internal/sched"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 	"lukewarm/internal/topdown"
@@ -106,6 +107,17 @@ type (
 	Cycle = mem.Cycle
 	// TrafficResult aggregates one ServeTraffic run.
 	TrafficResult = serverless.TrafficResult
+	// TrafficSummary is TrafficResult's flat, cacheable projection.
+	TrafficSummary = serverless.TrafficSummary
+	// Placer decides which core serves an invocation (see Sched).
+	Placer = sched.Placer
+	// KeepAlive decides instance eviction between invocations (see Sched).
+	KeepAlive = sched.KeepAlive
+	// HybridKeepAliveConfig parameterizes the hybrid-histogram keep-alive
+	// policy (Shahrad et al., ATC'20).
+	HybridKeepAliveConfig = sched.HybridConfig
+	// SchedResult backs the scheduling-policy experiment (see Sched).
+	SchedResult = experiments.SchedResult
 	// FaultKind enumerates the injectable fault classes.
 	FaultKind = faults.Kind
 	// FaultPlan is one seeded fault-injection campaign.
@@ -283,6 +295,48 @@ func ServerSim(opt ExperimentOptions) (experiments.ServerSimResult, error) {
 func Scaling(opt ExperimentOptions) (experiments.ScalingResult, error) {
 	return experiments.Scaling(opt)
 }
+
+// Sched runs the scheduling-policy experiment: placement policies
+// (earliest-available, round-robin, sticky-affinity, Jukebox-aware) and
+// keep-alive policies (fixed timeout, hybrid histogram, no eviction) swept
+// against Poisson, heavy-tail and diurnal traffic over the co-resident
+// suite.
+func Sched(opt ExperimentOptions) (experiments.SchedResult, error) {
+	return experiments.Sched(opt)
+}
+
+// Placement policies for TrafficConfig.Placer.
+
+// EarliestAvailablePlacer dispatches to the core that frees up first — the
+// historical default.
+func EarliestAvailablePlacer() Placer { return sched.EarliestAvailable() }
+
+// RoundRobinPlacer stripes invocations across cores in order.
+func RoundRobinPlacer() Placer { return sched.RoundRobin() }
+
+// StickyAffinityPlacer routes an invocation back to the core whose L1-I/L2/
+// BTB state its function warmed most recently, unless more than patience
+// foreign invocations have run there since (patience <= 0 selects the
+// default).
+func StickyAffinityPlacer(patience int) Placer { return sched.StickyAffinity(patience) }
+
+// JukeboxAwarePlacer prefers the core the instance's Jukebox metadata is
+// already bound to when it frees up within slackMs of the earliest core
+// (slackMs <= 0 selects the default), minimizing Bind churn.
+func JukeboxAwarePlacer(slackMs float64) Placer { return sched.JukeboxAware(slackMs) }
+
+// Keep-alive policies for TrafficConfig.KeepAlive.
+
+// FixedTimeoutKeepAlive evicts an instance idle longer than timeoutMs.
+func FixedTimeoutKeepAlive(timeoutMs float64) KeepAlive { return sched.FixedTimeout(timeoutMs) }
+
+// NoEvictKeepAlive never evicts.
+func NoEvictKeepAlive() KeepAlive { return sched.NoEvict() }
+
+// HybridKeepAlive learns a per-function inter-arrival histogram and derives
+// a keep-alive head window plus a pre-warm point from it (Shahrad et al.,
+// ATC'20). The zero config selects defaults.
+func HybridKeepAlive(cfg HybridKeepAliveConfig) KeepAlive { return sched.HybridHistogram(cfg) }
 
 // Chaos sweeps the fault-injection matrix (see NewFaultPlan) across the
 // representative functions, classifying each (function, fault) cell as
