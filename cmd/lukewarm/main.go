@@ -10,7 +10,9 @@
 // fig8 fig9 fig10 fig11 fig12 fig13 table3 crrb compaction snapshot dynmeta
 // baselines server scaling sched chaos all. The -csv flag mirrors every table into
 // machine-readable CSV files; -audit cross-checks every measured invocation
-// against the simulator's conservation invariants.
+// against the simulator's conservation invariants. The extra `check`
+// subcommand runs the differential-oracle and metamorphic-property
+// validation battery (internal/check) instead of an experiment.
 //
 // Every experiment's measurements run as independent simulation cells on a
 // worker pool (-jobs, default GOMAXPROCS) with a content-addressed result
@@ -118,6 +120,7 @@ experiments:
   scaling               multi-core scaling under saturating traffic
   sched                 placement and keep-alive policy sweep
   chaos                 fault-injection sweep with graceful-degradation checks
+  check                 differential-oracle + metamorphic-property validation battery
   all                   everything above, in paper order
 
 flags:
@@ -291,6 +294,17 @@ func (s *session) runChaos() error {
 	return nil
 }
 
+// runCheck executes the differential-oracle and metamorphic-property
+// validation battery; any FAIL row makes the command exit non-zero after the
+// full report has been rendered.
+func (s *session) runCheck() error {
+	rep := lukewarm.Check()
+	if err := s.p.show(rep.Table()); err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
 // run dispatches one experiment by name.
 func (s *session) run(name string) error {
 	p, opt := s.p, s.opt
@@ -372,6 +386,8 @@ func (s *session) run(name string) error {
 		return s.step(name, s.runSched)
 	case "chaos":
 		return s.step(name, s.runChaos)
+	case "check":
+		return s.runCheck()
 	case "all":
 		return s.runAll()
 	default:

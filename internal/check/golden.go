@@ -1,0 +1,137 @@
+package check
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"lukewarm/internal/stats"
+)
+
+// GoldenTable is the serialized snapshot of one experiment table: the
+// rendered cells plus the tolerance band future runs are held to. Numeric
+// cells are compared within TolPct percent (relative, with a small absolute
+// floor); non-numeric cells must match exactly.
+type GoldenTable struct {
+	Title  string     `json:"title"`
+	TolPct float64    `json:"tol_pct"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// tableCells extracts a table's header and rows through its CSV rendering,
+// the one machine-readable surface stats.Table exposes.
+func tableCells(t *stats.Table) ([]string, [][]string, error) {
+	var buf bytes.Buffer
+	if err := t.WriteCSV(&buf); err != nil {
+		return nil, nil, err
+	}
+	cr := csv.NewReader(&buf)
+	cr.FieldsPerRecord = -1 // tables may have ragged rows (e.g. section breaks)
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("check: re-reading %q as CSV: %w", t.Title, err)
+	}
+	if len(all) == 0 {
+		return nil, nil, fmt.Errorf("check: table %q rendered empty", t.Title)
+	}
+	return all[0], all[1:], nil
+}
+
+// Snapshot captures t as a golden table with the given tolerance.
+func Snapshot(t *stats.Table, tolPct float64) (GoldenTable, error) {
+	header, rows, err := tableCells(t)
+	if err != nil {
+		return GoldenTable{}, err
+	}
+	return GoldenTable{Title: t.Title, TolPct: tolPct, Header: header, Rows: rows}, nil
+}
+
+// numericCell parses a cell as a number, accepting the unit suffixes the
+// tables use ("1.53x" speedups, "12.3%" shares).
+func numericCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// cellsMatch compares one golden cell against the current run's cell under
+// the table's tolerance.
+func (g GoldenTable) cellsMatch(want, got string) bool {
+	if want == got {
+		return true
+	}
+	wv, wok := numericCell(want)
+	gv, gok := numericCell(got)
+	if !wok || !gok {
+		return false
+	}
+	scale := math.Max(math.Abs(wv), math.Abs(gv))
+	return math.Abs(wv-gv) <= g.TolPct/100*scale+1e-9
+}
+
+// Compare checks the current rendering of t against the golden snapshot and
+// describes the first divergence.
+func (g GoldenTable) Compare(t *stats.Table) error {
+	header, rows, err := tableCells(t)
+	if err != nil {
+		return err
+	}
+	if t.Title != g.Title {
+		return fmt.Errorf("title %q, golden has %q", t.Title, g.Title)
+	}
+	if fmt.Sprint(header) != fmt.Sprint(g.Header) {
+		return fmt.Errorf("header %v, golden has %v", header, g.Header)
+	}
+	if len(rows) != len(g.Rows) {
+		return fmt.Errorf("%d rows, golden has %d", len(rows), len(g.Rows))
+	}
+	for i, want := range g.Rows {
+		got := rows[i]
+		if len(got) != len(want) {
+			return fmt.Errorf("row %d: %d cells, golden has %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if !g.cellsMatch(want[j], got[j]) {
+				return fmt.Errorf("row %d (%s), column %q: got %q, golden has %q (tolerance %.2f%%)",
+					i, strings.Join(got, " | "), g.Header[j], got[j], want[j], g.TolPct)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadGolden loads a golden snapshot from path.
+func ReadGolden(path string) (GoldenTable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return GoldenTable{}, fmt.Errorf("check: reading golden (run `go test -run Golden -update ./internal/check` to create it): %w", err)
+	}
+	var g GoldenTable
+	if err := json.Unmarshal(data, &g); err != nil {
+		return GoldenTable{}, fmt.Errorf("check: parsing golden %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteGolden stores a golden snapshot at path, creating the directory.
+func WriteGolden(path string, g GoldenTable) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("check: creating golden dir: %w", err)
+	}
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("check: encoding golden %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,36 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProperties runs every metamorphic invariant as a subtest.
+func TestProperties(t *testing.T) {
+	for _, c := range propertyChecks() {
+		t.Run(strings.TrimPrefix(c.name, "property/"), func(t *testing.T) {
+			if err := c.fn(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRunReport exercises the battery entry point the CLI uses: every check
+// is present in the report and the report renders.
+func TestRunReport(t *testing.T) {
+	r := Run()
+	if want := len(battery()); len(r.Results) != want {
+		t.Fatalf("report has %d results, battery has %d checks", len(r.Results), want)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures() != 0 {
+		t.Fatalf("%d failures", r.Failures())
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "oracle/cache/random") || !strings.Contains(out, "property/traffic-conservation") {
+		t.Fatalf("report table missing expected checks:\n%s", out)
+	}
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"fmt"
+
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+	"lukewarm/internal/workload"
+)
+
+// access is one element of a data-side address stream.
+type access struct {
+	addr  uint64
+	write bool
+}
+
+// branchEvent is one taken-branch event of a control stream.
+type branchEvent struct {
+	pc     uint64
+	target uint64
+}
+
+// randomAccesses draws n uniform accesses over pages 4 KiB pages starting at
+// base, with writeFrac of them stores. A small page count forces reuse and
+// eviction; a large one forces capacity misses — both regimes matter for the
+// cache oracle.
+func randomAccesses(seed uint64, n, pages int, base uint64, writeFrac float64) []access {
+	rng := program.NewRNG(seed)
+	out := make([]access, n)
+	for i := range out {
+		out[i] = access{
+			addr:  base + uint64(rng.Intn(pages))<<vm.PageShift + uint64(rng.Intn(vm.PageSize)),
+			write: rng.Bool(writeFrac),
+		}
+	}
+	return out
+}
+
+// hotColdAccesses mixes a small hot set (90% of accesses over hotPages) with
+// a large cold set, the locality shape of real instruction and data streams.
+func hotColdAccesses(seed uint64, n, hotPages, coldPages int) []access {
+	rng := program.NewRNG(program.Mix(seed, 0x9e3779b97f4a7c15))
+	out := make([]access, n)
+	for i := range out {
+		var a uint64
+		if rng.Bool(0.9) {
+			a = uint64(rng.Intn(hotPages)) << vm.PageShift
+		} else {
+			a = 1<<32 + uint64(rng.Intn(coldPages))<<vm.PageShift
+		}
+		out[i] = access{addr: a + uint64(rng.Intn(vm.PageSize)), write: rng.Bool(0.3)}
+	}
+	return out
+}
+
+// stridedAccesses walks stride-separated lines, wrapping over spanBytes — the
+// conflict-miss generator (every access maps to few sets when the stride is a
+// multiple of the way span).
+func stridedAccesses(n, strideBytes, spanBytes int) []access {
+	out := make([]access, n)
+	for i := range out {
+		out[i] = access{addr: uint64(i*strideBytes) % uint64(spanBytes)}
+	}
+	return out
+}
+
+// randomBranches synthesizes taken-branch events from small pools of branch
+// PCs and targets, sized to force direct-map aliasing in the BTB under test.
+func randomBranches(seed uint64, n, pcs, targets int) []branchEvent {
+	rng := program.NewRNG(program.Mix(seed, 0xbf58476d1ce4e5b9))
+	out := make([]branchEvent, n)
+	for i := range out {
+		out[i] = branchEvent{
+			pc:     0x400000 + uint64(rng.Intn(pcs))*4,
+			target: 0x400000 + uint64(rng.Intn(targets))*4,
+		}
+	}
+	return out
+}
+
+// traceAccesses derives a data-side address stream from a real workload: the
+// load/store effective addresses of invocation id of function fn, capped at
+// max (0 = all).
+func traceAccesses(fn string, id uint64, max int) ([]access, error) {
+	w, err := workload.ByName(fn)
+	if err != nil {
+		return nil, err
+	}
+	inv := w.Program.NewInvocation(id)
+	var out []access
+	for {
+		in, ok := inv.Next()
+		if !ok {
+			break
+		}
+		if in.Op != program.OpLoad && in.Op != program.OpStore {
+			continue
+		}
+		out = append(out, access{addr: in.MemAddr, write: in.Op == program.OpStore})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("check: %s invocation %d produced no memory accesses", fn, id)
+	}
+	return out, nil
+}
+
+// traceBranches derives the taken-branch stream of invocation id of fn,
+// capped at max (0 = all). Indirect branches are skipped: the core
+// synthesizes a per-occurrence target for them, which is its policy rather
+// than the BTB's behaviour.
+func traceBranches(fn string, id uint64, max int) ([]branchEvent, error) {
+	w, err := workload.ByName(fn)
+	if err != nil {
+		return nil, err
+	}
+	inv := w.Program.NewInvocation(id)
+	var out []branchEvent
+	for {
+		in, ok := inv.Next()
+		if !ok {
+			break
+		}
+		if in.Op != program.OpBranch || !in.Taken || in.Indirect {
+			continue
+		}
+		out = append(out, branchEvent{pc: in.VAddr, target: in.Target})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("check: %s invocation %d produced no taken branches", fn, id)
+	}
+	return out, nil
+}
+
+// vpagesOf projects an access stream onto its virtual page stream.
+func vpagesOf(stream []access) []uint64 {
+	out := make([]uint64, len(stream))
+	for i, a := range stream {
+		out[i] = vm.PageOf(a.addr)
+	}
+	return out
+}

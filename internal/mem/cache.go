@@ -224,6 +224,23 @@ func (c *Cache) fill(now Cycle, addr uint64, k Kind, prefetched bool, ready Cycl
 	return v
 }
 
+// DemandAccess performs one standalone demand access: a lookup that fills
+// the line on a miss (marking it dirty for writes, as the hierarchy's write
+// path does) and reports whether it hit. It drives a single cache outside a
+// Hierarchy — the differential oracles in internal/check and
+// microbenchmarks use it; the Hierarchy itself sequences access and fill
+// separately across levels.
+func (c *Cache) DemandAccess(now Cycle, addr uint64, k Kind, write bool) bool {
+	if c.access(now, addr, k, write).hit {
+		return true
+	}
+	c.fill(now, addr, k, false, now)
+	if write {
+		c.markDirty(addr)
+	}
+	return false
+}
+
 // probeWait reports whether addr is resident and, for an in-flight
 // prefetched line, the residual wait at time now. Counters and LRU are not
 // touched.

@@ -57,6 +57,26 @@ func TestCacheHitMiss(t *testing.T) {
 	}
 }
 
+func TestDemandAccessFillsOnMiss(t *testing.T) {
+	c := testCache(32, 8)
+	if c.DemandAccess(0, 0x1000, Data, false) {
+		t.Fatal("cold DemandAccess hit")
+	}
+	if !c.DemandAccess(1, 0x1000, Data, false) {
+		t.Fatal("DemandAccess did not fill on miss")
+	}
+	s := c.Stats
+	if s.DemandAccesses[Data] != 2 || s.DemandHits[Data] != 1 || s.DemandMisses[Data] != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+	// A missing write both fills and dirties the line.
+	one := NewCache(Config{Name: "t", SizeBytes: 1 * 64 * 1, Ways: 1})
+	one.DemandAccess(0, 0x0, Data, true)
+	if v := one.fill(1, 0x40, Data, false, 1); !v.valid || !v.dirty {
+		t.Fatalf("write-miss victim not dirty: %+v", v)
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	// 2-way cache: fill three blocks mapping to the same set; the least
 	// recently used one must be the victim.

@@ -1,0 +1,126 @@
+package program
+
+import (
+	"testing"
+)
+
+// maxCanonical is the x86-64 canonical-address ceiling the generator's
+// layout must stay under.
+const maxCanonical = uint64(1) << 48
+
+// fuzzConfig maps raw fuzz inputs onto a valid Config: every knob is scaled
+// into its documented range, sizes are clamped so a single walk stays
+// test-speed. The mapping is surjective enough that the fuzzer can reach
+// every structural regime (kernel-heavy, call-heavy, skip-heavy, indirect).
+func fuzzConfig(seed uint64, codeKB uint16, dyn uint32,
+	core, opt, rare, call, skip, load, cond, ind byte) Config {
+	frac := func(b byte) float64 { return float64(b) / 255 }
+	ck := 4 + int(codeKB)%252 // 4..255 KB
+	dn := int(dyn) % 200_000
+	if dn < ck*16 {
+		dn = ck * 16
+	}
+	dataKB := 8 + int(seed)%120
+	return Config{
+		Name:          "fuzz",
+		Seed:          seed,
+		CodeKB:        ck,
+		DynamicInstrs: dn,
+		CoreFrac:      frac(core),
+		OptionalProb:  frac(opt),
+		RareFrac:      frac(rare) * 0.5,
+		RareProb:      frac(rare) * 0.2,
+		InstrPerLine:  1 + int(seed>>8)%64,
+		LoadFrac:      frac(load) * 0.55,
+		StoreFrac:     frac(load) * 0.3,
+		CondFrac:      frac(cond),
+		CondBias:      0.9,
+		NoisyFrac:     frac(cond) * 0.2,
+		SkipFrac:      frac(skip) * 0.3,
+		IndirectFrac:  frac(ind),
+		CallFrac:      frac(call) * 0.8,
+		DataKB:        dataKB,
+		HotDataKB:     1 + int(seed>>16)%dataKB,
+		HotDataFrac:   0.8,
+		ColdDataFrac:  0.1,
+		DepLoadFrac:   0.3,
+		KernelFrac:    frac(ind) * 0.5,
+	}
+}
+
+// FuzzProgramWalk asserts the synthetic-program generator is total and
+// well-formed for any in-range configuration: every invocation walk
+// terminates within a linear bound, replays bit-identically for the same id,
+// matches DynamicLength, and emits only canonical addresses with memory
+// operands in the data regions.
+func FuzzProgramWalk(f *testing.F) {
+	f.Add(uint64(1), uint16(64), uint32(50_000),
+		byte(128), byte(128), byte(64), byte(40), byte(30), byte(120), byte(100), byte(20))
+	f.Add(uint64(42), uint16(4), uint32(0),
+		byte(255), byte(0), byte(0), byte(0), byte(0), byte(0), byte(0), byte(0)) // minimal, branch-free
+	f.Add(uint64(7), uint16(255), uint32(199_999),
+		byte(0), byte(255), byte(255), byte(204), byte(255), byte(255), byte(255), byte(255)) // every knob maxed
+	f.Add(uint64(0xdeadbeef), uint16(32), uint32(10_000),
+		byte(64), byte(32), byte(16), byte(8), byte(4), byte(2), byte(1), byte(128))
+
+	f.Fuzz(func(t *testing.T, seed uint64, codeKB uint16, dyn uint32,
+		core, opt, rare, call, skip, load, cond, ind byte) {
+		cfg := fuzzConfig(seed, codeKB, dyn, core, opt, rare, call, skip, load, cond, ind)
+		p, err := NewErr(cfg)
+		if err != nil {
+			t.Fatalf("fuzzConfig produced an invalid config: %v\n%+v", err, cfg)
+		}
+
+		// The walk must terminate well within a linear bound of the
+		// configured dynamic size. The plan always includes one full pass
+		// over the template, so the footprint itself (lines × InstrPerLine,
+		// times the ≤ 1+0.8·4 call expansion) is part of the bound, not just
+		// DynamicInstrs.
+		bound := 2*uint64(cfg.DynamicInstrs) +
+			5*uint64(cfg.CodeKB*16*cfg.InstrPerLine) + 100_000
+		inv := p.NewInvocation(seed)
+		var n uint64
+		for {
+			in, ok := inv.Next()
+			if !ok {
+				break
+			}
+			n++
+			if n > bound {
+				t.Fatalf("walk exceeded %d instructions (DynamicInstrs %d)", bound, cfg.DynamicInstrs)
+			}
+			if in.VAddr == 0 || in.VAddr >= maxCanonical {
+				t.Fatalf("instr %d: non-canonical PC %#x", n, in.VAddr)
+			}
+			switch in.Op {
+			case OpLoad, OpStore:
+				if in.MemAddr < heapBase || in.MemAddr >= maxCanonical {
+					t.Fatalf("instr %d: memory operand %#x outside data regions", n, in.MemAddr)
+				}
+			case OpBranch:
+				if in.Taken && (in.Target == 0 || in.Target >= maxCanonical) {
+					t.Fatalf("instr %d: taken branch with bad target %#x", n, in.Target)
+				}
+			}
+		}
+		if n == 0 {
+			t.Fatal("walk emitted no instructions")
+		}
+		if dl := p.DynamicLength(seed); dl != n {
+			t.Fatalf("DynamicLength(%d) = %d, walk emitted %d", seed, dl, n)
+		}
+
+		// Replay determinism: the same id yields the same stream.
+		a, b := p.NewInvocation(seed), p.NewInvocation(seed)
+		for i := uint64(0); ; i++ {
+			ia, oka := a.Next()
+			ib, okb := b.Next()
+			if oka != okb || ia != ib {
+				t.Fatalf("instr %d: replay diverged: %+v vs %+v", i, ia, ib)
+			}
+			if !oka {
+				break
+			}
+		}
+	})
+}

@@ -188,10 +188,25 @@ func (p *hybridHistogram) Decide(fn string, idleMs float64) Decision {
 	return d
 }
 
+// fallbackMs is the fixed-timeout window used while a function's histogram
+// is not yet trusted. It re-applies the documented 250 ms default so that an
+// empty history never degenerates to a zero-length window (and an immediate
+// evict) even when the policy was built from a zero-value HybridConfig that
+// bypassed withDefaults.
+func (p *hybridHistogram) fallbackMs() float64 {
+	if p.cfg.FallbackMs <= 0 {
+		return 250
+	}
+	return p.cfg.FallbackMs
+}
+
 // decide judges idleMs against the windows the current histogram implies.
 func (p *hybridHistogram) decide(h *funcHist, idleMs float64) Decision {
-	if h.n < p.cfg.MinSamples {
-		return fixedTimeout{timeoutMs: p.cfg.FallbackMs}.Decide("", idleMs)
+	// An empty history must fall back to the fixed timeout: percentile
+	// returns 0 for n == 0, which would otherwise collapse both windows to
+	// zero and evict (and "pre-warm") on every gap.
+	if h.n == 0 || h.n < p.cfg.MinSamples {
+		return fixedTimeout{timeoutMs: p.fallbackMs()}.Decide("", idleMs)
 	}
 	p5, p99 := h.percentile(5), h.percentile(99)
 	if p99 > p5*p.cfg.SpreadMax {
@@ -222,8 +237,8 @@ func (p *hybridHistogram) decide(h *funcHist, idleMs float64) Decision {
 // effect).
 func (p *hybridHistogram) Windows(fn string) (headMs, prewarmMs, keepMs float64) {
 	h := p.hists[fn]
-	if h == nil || h.n < p.cfg.MinSamples {
-		return 0, 0, p.cfg.FallbackMs
+	if h == nil || h.n == 0 || h.n < p.cfg.MinSamples {
+		return 0, 0, p.fallbackMs()
 	}
 	p5, p99 := h.percentile(5), h.percentile(99)
 	if p99 > p5*p.cfg.SpreadMax {

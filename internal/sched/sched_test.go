@@ -216,3 +216,34 @@ func TestDiurnalGapsPredictableBand(t *testing.T) {
 		t.Errorf("diurnal spread %.1fx would defeat the hybrid policy's predictability test", hi/lo)
 	}
 }
+
+// Regression: an empty IAT history must fall back to the fixed timeout, not
+// evict immediately. Before the h.n == 0 guard in decide, a zero-value
+// HybridConfig (MinSamples 0, bypassing withDefaults) made percentile return
+// 0, collapsing both windows to zero and reporting every gap as
+// evicted-and-prewarmed.
+func TestHybridHistogramEmptyHistoryFallsBackToFixedTimeout(t *testing.T) {
+	// The degenerate construction: a zero-value config never run through
+	// withDefaults, as an embedding caller might build it.
+	p := &hybridHistogram{cfg: HybridConfig{}, hists: map[string]*funcHist{}}
+	d := p.Decide("f", 10)
+	if d.Evicted || d.Prewarmed {
+		t.Fatalf("empty history with 10 ms gap: %+v, want resident (250 ms fallback)", d)
+	}
+	if d.ResidentMs != 10 {
+		t.Fatalf("ResidentMs = %v, want 10", d.ResidentMs)
+	}
+	if head, prewarm, keep := p.Windows("g"); head != 0 || prewarm != 0 || keep != 250 {
+		t.Fatalf("Windows on empty history = %v, %v, %v, want 0, 0, 250", head, prewarm, keep)
+	}
+
+	// The public constructor path: the very first gap a function ever shows
+	// must be judged by FallbackMs alone.
+	ka := HybridHistogram(HybridConfig{FallbackMs: 50})
+	if d := ka.Decide("h", 40); d.Evicted {
+		t.Fatalf("first 40 ms gap under 50 ms fallback evicted: %+v", d)
+	}
+	if d := ka.Decide("i", 60); !d.Evicted || d.Prewarmed {
+		t.Fatalf("first 60 ms gap under 50 ms fallback: %+v, want plain eviction", d)
+	}
+}

@@ -1,0 +1,132 @@
+package topdown
+
+import (
+	"math"
+	"testing"
+)
+
+// stackOf builds a stack from per-category cycles in declaration order.
+func stackOf(instrs uint64, cycles ...float64) Stack {
+	var s Stack
+	for i, c := range cycles {
+		s.Add(Category(i), c)
+	}
+	s.AddInstrs(instrs)
+	return s
+}
+
+// TestStackInvariants drives the accounting identities through edge
+// configurations: the category sum must equal the total, no bucket may go
+// negative under any supported operation, fractions must partition the
+// total, and per-category CPIs must sum to CPI.
+func TestStackInvariants(t *testing.T) {
+	cases := []struct {
+		name  string
+		stack Stack
+	}{
+		{"zero instructions", stackOf(0, 10, 5, 3, 2, 1)},
+		{"zero cycles", stackOf(1000)},
+		{"empty", Stack{}},
+		{"retiring only", stackOf(4000, 1000)},
+		// A pure-miss stream: every fetch stalls, nothing retires usefully —
+		// all cycles land in the latency bucket.
+		{"pure fetch-miss stream", stackOf(100, 0, 25000)},
+		{"pure backend stream", stackOf(100, 0, 0, 0, 0, 9000)},
+		{"mixed", stackOf(123457, 30864, 41000, 3500, 2200, 17000)},
+		{"fractional cycles", stackOf(7, 0.25, 0.5, 0.125, 0, 0.0625)},
+	}
+	const eps = 1e-9
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.stack
+
+			// Category-sum identity.
+			sum := 0.0
+			for c := Category(0); c < NumCategories; c++ {
+				sum += s.Cycles[c]
+			}
+			if math.Abs(sum-s.Total()) > eps*math.Max(1, sum) {
+				t.Errorf("category sum %v != Total %v", sum, s.Total())
+			}
+
+			// Non-negative buckets, fractions, CPI contributions.
+			fracSum, cpiSum := 0.0, 0.0
+			for c := Category(0); c < NumCategories; c++ {
+				if s.Cycles[c] < 0 {
+					t.Errorf("%s cycles negative: %v", c, s.Cycles[c])
+				}
+				if f := s.Fraction(c); f < 0 || f > 1+eps {
+					t.Errorf("%s fraction out of range: %v", c, f)
+				}
+				fracSum += s.Fraction(c)
+				cpiSum += s.CPIOf(c)
+			}
+			if s.Total() > 0 && math.Abs(fracSum-1) > eps {
+				t.Errorf("fractions sum to %v, want 1", fracSum)
+			}
+			if math.Abs(cpiSum-s.CPI()) > eps*math.Max(1, s.CPI()) {
+				t.Errorf("per-category CPIs sum to %v, CPI is %v", cpiSum, s.CPI())
+			}
+
+			// Degenerate stacks define their ratios as zero.
+			if s.Instrs == 0 && (s.CPI() != 0 || s.CPIOf(Retiring) != 0) {
+				t.Errorf("zero-instruction stack: CPI %v, CPIOf %v, want 0", s.CPI(), s.CPIOf(Retiring))
+			}
+			if s.Total() == 0 && s.Fraction(Retiring) != 0 {
+				t.Errorf("zero-cycle stack: Fraction %v, want 0", s.Fraction(Retiring))
+			}
+
+			// FrontendBound and StallCycles are sub-sums of the same total.
+			if fe := s.FrontendBound(); math.Abs(fe-(s.Cycles[FetchLatency]+s.Cycles[FetchBandwidth])) > eps {
+				t.Errorf("FrontendBound %v != FetchLatency+FetchBandwidth", fe)
+			}
+			if st := s.StallCycles(); math.Abs(st-(s.Total()-s.Cycles[Retiring])) > eps || st < -eps {
+				t.Errorf("StallCycles %v inconsistent with Total-Retiring", st)
+			}
+
+			// The identities survive the stack algebra: merging with itself,
+			// subtracting itself, normalizing.
+			m := s
+			m.Merge(s)
+			if math.Abs(m.Total()-2*s.Total()) > eps*math.Max(1, s.Total()) {
+				t.Errorf("Merge doubled total to %v, want %v", m.Total(), 2*s.Total())
+			}
+			d := s.Delta(s)
+			for c := Category(0); c < NumCategories; c++ {
+				if d.Cycles[c] != 0 {
+					t.Errorf("self-Delta left %v in %s", d.Cycles[c], c)
+				}
+			}
+			n := s.Normalize(1000)
+			for c := Category(0); c < NumCategories; c++ {
+				if n.Cycles[c] < 0 {
+					t.Errorf("Normalize made %s negative: %v", c, n.Cycles[c])
+				}
+			}
+			if s.Instrs > 0 && math.Abs(n.CPI()-s.CPI()) > eps*math.Max(1, s.CPI()) {
+				t.Errorf("Normalize changed CPI: %v -> %v", s.CPI(), n.CPI())
+			}
+		})
+	}
+}
+
+// TestDeltaNeverNegative pins the clamp across asymmetric pairs, including
+// ones where every category shrank.
+func TestDeltaNeverNegative(t *testing.T) {
+	pairs := []struct{ a, b Stack }{
+		{stackOf(100, 10, 20, 30), stackOf(100, 40, 5, 30)},
+		{Stack{}, stackOf(100, 1, 1, 1, 1, 1)},
+		{stackOf(100, 1, 1, 1, 1, 1), Stack{}},
+	}
+	for i, p := range pairs {
+		d := p.a.Delta(p.b)
+		for c := Category(0); c < NumCategories; c++ {
+			if d.Cycles[c] < 0 {
+				t.Errorf("pair %d: Delta %s negative: %v", i, c, d.Cycles[c])
+			}
+		}
+		if d.Instrs != p.a.Instrs {
+			t.Errorf("pair %d: Delta carried Instrs %d, want %d", i, d.Instrs, p.a.Instrs)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package vm
 
 import (
 	"fmt"
+	"slices"
 
 	"lukewarm/internal/cfgerr"
 )
@@ -102,9 +103,17 @@ func (as *AddressSpace) MappedPages() int { return len(as.table) }
 
 // Compact migrates every mapped page to a fresh physical frame, modeling OS
 // memory compaction / page migration. Virtual addresses are unaffected;
-// all previously returned physical addresses become stale.
+// all previously returned physical addresses become stale. Pages migrate in
+// virtual-address order: frame assignment must not depend on map iteration
+// order, or physically-indexed cache behaviour after compaction — and with
+// it the compaction experiment — differs run to run.
 func (as *AddressSpace) Compact() {
+	vps := make([]uint64, 0, len(as.table))
 	for vp := range as.table {
+		vps = append(vps, vp)
+	}
+	slices.Sort(vps)
+	for _, vp := range vps {
 		as.table[vp] = as.alloc.Alloc()
 		as.Migrations++
 	}

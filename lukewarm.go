@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"lukewarm/internal/cfgerr"
+	"lukewarm/internal/check"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/experiments"
@@ -361,6 +362,16 @@ func AuditRun(r RunResult) error { return faults.Audit(r) }
 
 // AuditTraffic checks a traffic run's aggregate invariants.
 func AuditTraffic(r TrafficResult) error { return faults.AuditTraffic(r) }
+
+// CheckReport is the outcome of the validation battery: differential oracles
+// cross-checking the cache, BTB, TLB, and fetch pipeline against naive
+// reference models, plus metamorphic invariants over whole runs.
+type CheckReport = check.Report
+
+// Check runs the full validation battery and returns its report. Render it
+// with CheckReport.Table; CheckReport.Err is non-nil if any check failed.
+// The `lukewarm check` subcommand wraps this.
+func Check() *CheckReport { return check.Run() }
 
 // TrafficConfig drives Server.ServeTraffic system-level simulations.
 type TrafficConfig = serverless.TrafficConfig
