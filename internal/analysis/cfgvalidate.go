@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CfgValidate enforces the configuration-hygiene contract from the error
+// model (DESIGN.md §7): every exported `*Config` struct carries a
+// `Validate() error` whose failures wrap cfgerr.ErrBadConfig, and that
+// Validate is actually invoked somewhere in the (non-test) tree — an unused
+// validator is a validation gap the fault harness cannot see. A Validate
+// body passes the wrapping rule when it references cfgerr.New /
+// cfgerr.ErrBadConfig, delegates to another Validate, or can only
+// `return nil`. Waive a type with `//lukewarm:novalidate <reason>` on its
+// declaration.
+var CfgValidate = &Analyzer{
+	Name: "cfgvalidate",
+	Doc:  "exported *Config structs need a called Validate() error wrapping cfgerr.ErrBadConfig",
+	Run:  runCfgValidate,
+}
+
+func runCfgValidate(pass *Pass) error {
+	if !simulation(pass.Pkg.Path()) {
+		return nil
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !strings.HasSuffix(name, "Config") {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		if pass.waived(tn.Pos(), "novalidate") {
+			continue
+		}
+		checkConfigType(pass, tn, named)
+	}
+	return nil
+}
+
+func checkConfigType(pass *Pass, tn *types.TypeName, named *types.Named) {
+	obj, _, _ := types.LookupFieldOrMethod(named, true, pass.Pkg, "Validate")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		pass.Reportf(tn.Pos(), "exported config %s has no Validate() error method "+
+			"(or waive with //lukewarm:novalidate <reason>)", tn.Name())
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 ||
+		sig.Results().At(0).Type().String() != "error" {
+		pass.Reportf(fn.Pos(), "%s.Validate must have signature Validate() error", tn.Name())
+		return
+	}
+	if decl := methodDecl(pass, tn.Name(), "Validate"); decl != nil {
+		if !validateWrapsSentinel(pass, decl) {
+			pass.Reportf(decl.Pos(), "%s.Validate returns errors that do not wrap "+
+				"cfgerr.ErrBadConfig (use cfgerr.New)", tn.Name())
+		}
+	}
+	if !validateCalled(pass, pass.Pkg.Path(), tn.Name()) {
+		pass.Reportf(tn.Pos(), "%s.Validate is never called: validate the config "+
+			"before use (or waive with //lukewarm:novalidate <reason>)", tn.Name())
+	}
+}
+
+// methodDecl finds the declaration of typeName's method in the package under
+// analysis (methods cannot live elsewhere).
+func methodDecl(pass *Pass, typeName, method string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != method || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// validateWrapsSentinel accepts a Validate body that references the cfgerr
+// package (New or ErrBadConfig), delegates to another Validate call, or
+// whose every return is a bare `return nil`.
+func validateWrapsSentinel(pass *Pass, decl *ast.FuncDecl) bool {
+	if decl.Body == nil {
+		return true
+	}
+	usesCfgerr, delegates, trivial := false, false, true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj != nil && obj.Pkg() != nil &&
+				strings.HasSuffix(obj.Pkg().Path(), "internal/cfgerr") &&
+				(obj.Name() == "New" || obj.Name() == "ErrBadConfig") {
+				usesCfgerr = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+				delegates = true
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) != 1 {
+				trivial = false
+				return true
+			}
+			if id, ok := ast.Unparen(n.Results[0]).(*ast.Ident); !ok || id.Name != "nil" {
+				trivial = false
+			}
+		}
+		return true
+	})
+	return usesCfgerr || delegates || trivial
+}
+
+// validateCalled scans every loaded package for a call of
+// (<pkgPath>.<typeName>).Validate. Instances of the same package loaded
+// through different importers are distinct objects, so the match is by
+// package path and type name, not object identity.
+func validateCalled(pass *Pass, pkgPath, typeName string) bool {
+	for _, pkg := range pass.Prog {
+		for _, file := range pkg.Syntax {
+			found := false
+			ast.Inspect(file, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Validate" {
+					return true
+				}
+				tv, ok := pkg.TypesInfo.Types[sel.X]
+				if !ok {
+					return true
+				}
+				if namedTypeIs(tv.Type, pkgPath, typeName) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		return namedTypeIs(ptr.Elem(), pkgPath, name)
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

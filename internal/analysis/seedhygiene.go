@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedHygiene enforces the simulator's randomness and clock contract: all
+// stochastic behaviour flows through seeded per-instance streams whose seeds
+// derive from a Config or cell key, and nothing under internal/ reads the
+// wall clock (replays must be bit-identical, cache keys content-addressed).
+// It flags
+//
+//   - any use of math/rand or math/rand/v2 package-level functions (the
+//     process-global source; `rand.New` over an explicit source is fine),
+//   - `rand.NewSource`/`rand.NewPCG` whose seed arguments are compile-time
+//     constants — a constant seed is not derived from the Config or cell key,
+//     so distinct cells would share a stream, and
+//   - `time.Now`/`time.Since`/`time.Until` outside the telemetry allowlist
+//     (the CLI layer; injected clock seams carry a single-site waiver).
+//
+// Waive with `//lukewarm:seed <reason>` (rand) or
+// `//lukewarm:wallclock <reason>` (time).
+var SeedHygiene = &Analyzer{
+	Name: "seedhygiene",
+	Doc:  "flags global rand sources, constant seeds, and wall-clock reads in simulation code",
+	Run:  runSeedHygiene,
+}
+
+func runSeedHygiene(pass *Pass) error {
+	if !simulation(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name, ok := pass.pkgFunc(n); ok &&
+					(pkg == "math/rand" || pkg == "math/rand/v2") {
+					checkRandCall(pass, n, name)
+				}
+			case *ast.Ident:
+				// Wall-clock access is flagged at every reference, calls and
+				// method values alike, so a stored `time.Now` seam default is
+				// visible too and carries its own single-site waiver.
+				fn, ok := pass.TypesInfo.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					if !pass.waived(n.Pos(), "wallclock") {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock in simulation code: "+
+							"inject a clock seam, or waive with //lukewarm:wallclock <reason>", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constructors are the rand functions that build explicit sources or
+// generators rather than touching the global stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+func checkRandCall(pass *Pass, call *ast.CallExpr, name string) {
+	if !randConstructors[name] {
+		if !pass.waived(call.Pos(), "seed") {
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global source: "+
+				"use a per-instance rand.New with a Config-derived seed, "+
+				"or waive with //lukewarm:seed <reason>", name)
+		}
+		return
+	}
+	if name != "NewSource" && name != "NewPCG" {
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+			return // at least one runtime-derived seed component
+		}
+	}
+	if !pass.waived(call.Pos(), "seed") {
+		pass.Reportf(call.Pos(), "rand.%s with a constant seed: derive the seed "+
+			"from the Config or cell key so distinct cells get distinct streams, "+
+			"or waive with //lukewarm:seed <reason>", name)
+	}
+}

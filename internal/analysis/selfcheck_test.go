@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+// TestRepoLintsClean is the meta-test behind the CI gate: the full analyzer
+// suite over the whole module must report nothing, i.e.
+// `go run ./cmd/lukewarmlint ./...` exits 0. Loading re-type-checks the tree
+// from source, so this is the slowest test in the package.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree source type-check; skipped in -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo is not lint-clean: %v", d)
+	}
+}

@@ -1,0 +1,87 @@
+// Fixture for the cfgvalidate analyzer: exported *Config structs must carry a
+// called Validate() error wrapping cfgerr.ErrBadConfig. Missing methods,
+// non-wrapping bodies, wrong signatures, and never-called validators are
+// flagged; wrapping+called, delegating, trivial, and waived configs pass.
+package cfgvalidate
+
+import (
+	"errors"
+
+	"lukewarm/internal/cfgerr"
+)
+
+// GoodConfig: wraps the sentinel and is called below. Clean.
+type GoodConfig struct{ N int }
+
+func (c GoodConfig) Validate() error {
+	if c.N < 0 {
+		return cfgerr.New("N must be >= 0, got %d", c.N)
+	}
+	return nil
+}
+
+// MissingConfig has no Validate at all.
+type MissingConfig struct{ N int } // want `exported config MissingConfig has no Validate\(\) error method`
+
+// BadWrapConfig's Validate returns a bare error that does not wrap the
+// sentinel, so errors.Is(err, cfgerr.ErrBadConfig) misses it.
+type BadWrapConfig struct{ N int }
+
+func (c BadWrapConfig) Validate() error { // want `BadWrapConfig.Validate returns errors that do not wrap`
+	if c.N < 0 {
+		return errors.New("bad N")
+	}
+	return nil
+}
+
+// BadSigConfig's Validate has the wrong shape.
+type BadSigConfig struct{ N int }
+
+func (c BadSigConfig) Validate(strict bool) error { // want `BadSigConfig.Validate must have signature Validate\(\) error`
+	_ = strict
+	return nil
+}
+
+// UncalledConfig wraps correctly but nothing ever invokes it.
+type UncalledConfig struct{ N int } // want `UncalledConfig.Validate is never called`
+
+func (c UncalledConfig) Validate() error {
+	if c.N < 0 {
+		return cfgerr.New("N must be >= 0, got %d", c.N)
+	}
+	return nil
+}
+
+// DelegatingConfig satisfies the wrapping rule by delegating to a nested
+// config's Validate. Clean.
+type DelegatingConfig struct{ Inner GoodConfig }
+
+func (c DelegatingConfig) Validate() error { return c.Inner.Validate() }
+
+// TrivialConfig has nothing to check: every return is `return nil`. Clean.
+type TrivialConfig struct{ Label string }
+
+func (c TrivialConfig) Validate() error { return nil }
+
+//lukewarm:novalidate fixture: defaults are filled by withDefaults, nothing to reject
+type WaivedConfig struct{ N int }
+
+func use() error {
+	if err := (GoodConfig{N: 1}).Validate(); err != nil {
+		return err
+	}
+	if err := (BadWrapConfig{N: 1}).Validate(); err != nil {
+		return err
+	}
+	if err := (DelegatingConfig{}).Validate(); err != nil {
+		return err
+	}
+	if err := (TrivialConfig{}).Validate(); err != nil {
+		return err
+	}
+	_ = BadSigConfig{}.Validate(true)
+	_ = MissingConfig{}
+	_ = UncalledConfig{}
+	_ = WaivedConfig{}
+	return nil
+}

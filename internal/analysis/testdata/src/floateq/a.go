@@ -1,0 +1,38 @@
+// Fixture for the floateq analyzer: exact ==/!= between float operands is
+// flagged; integer comparisons, compile-time constant comparisons, and
+// reasoned waivers pass.
+package floateq
+
+func exactEqual(a, b float64) bool {
+	return a == b // want `exact float comparison`
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b // want `exact float comparison`
+}
+
+func zeroSentinelUnwaived(x float64) bool {
+	return x == 0 // want `exact float comparison`
+}
+
+func mixedWidth(a float32, b float64) bool {
+	return float64(a) == b // want `exact float comparison`
+}
+
+func integerCompare(a, b int) bool {
+	return a == b
+}
+
+func orderedCompare(a, b float64) bool {
+	return a < b // only ==/!= are exactness traps; ordering is well-defined
+}
+
+func bothConstant() bool {
+	const eps = 1e-9
+	return eps == 1e-9 // compile-time fact, not runtime float equality
+}
+
+func waivedSentinel(x float64) bool {
+	//lukewarm:floateq fixture: 0 is a configured sentinel, not arithmetic
+	return x == 0
+}

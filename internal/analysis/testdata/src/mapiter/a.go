@@ -1,0 +1,118 @@
+// Fixture for the mapiter analyzer: order-sensitive map iteration is flagged,
+// the sanctioned idioms (collect-then-sort, commutative accumulation,
+// running min/max, deletes, membership counting) and reasoned waivers pass.
+package mapiter
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+func next() string { return "x" }
+
+// Order-sensitive loops: flagged.
+
+func appendWithoutSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map m is order-sensitive`
+		out = append(out, fmt.Sprint(k))
+	}
+	return out
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `iteration over map m is order-sensitive`
+		sum += v
+	}
+	return sum
+}
+
+func mapWriteWithCall(m, dst map[string]string) {
+	for k := range m { // want `iteration over map m is order-sensitive`
+		dst[k] = next()
+	}
+}
+
+// A bare waiver carries no reason and does not waive.
+func bareWaiverDoesNotWaive(m map[string]int) []string {
+	var out []string
+	//lukewarm:ordered
+	for k := range m { // want `iteration over map m is order-sensitive`
+		out = append(out, fmt.Sprint(k))
+	}
+	return out
+}
+
+// Order-insensitive or sanctioned loops: clean.
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func integerCounting(m map[string]int) (n, total int) {
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return n, total
+}
+
+func runningMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func membershipCount(small, large map[string]bool) int {
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	return inter
+}
+
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func callFreeMapWrite(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+func waivedLoop(m map[string]int) int {
+	s := 0
+	//lukewarm:ordered fixture: demonstrates a reasoned waiver on the loop
+	for _, v := range m {
+		s = s + v // plain = into a non-map target would otherwise flag
+	}
+	return s
+}
+
+// maps.Keys must be sorted or waived.
+
+func unsortedMapsKeys(m map[string]int) {
+	for range maps.Keys(m) { // want `maps.Keys yields keys in random order`
+	}
+}
+
+func sortedMapsKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}

@@ -1,0 +1,44 @@
+// Regression fixture: the PR 4 vm.AddressSpace.Compact frame-assignment bug.
+//
+// Compact migrates every resident page to a freshly allocated frame. The
+// pre-fix implementation ranged over the page table directly and called the
+// stateful frame allocator inside the loop, so the virtual-page -> new-frame
+// assignment depended on Go's randomized map iteration order — replays were
+// not bit-identical across runs. The shipped fix collects and sorts the
+// virtual pages first. mapiter must flag the former and pass the latter.
+package mapiter
+
+import "slices"
+
+type frameAlloc struct{ next uint64 }
+
+func (a *frameAlloc) Alloc() uint64 {
+	a.next++
+	return a.next
+}
+
+type addressSpace struct {
+	table map[uint64]uint64 // virtual page -> physical frame
+	alloc frameAlloc
+}
+
+// compactPreFix is the buggy PR 4 shape: alloc.Alloc() is a stateful call, so
+// which page receives which frame follows map iteration order.
+func (as *addressSpace) compactPreFix() {
+	for vp := range as.table { // want `iteration over map as\.table is order-sensitive`
+		as.table[vp] = as.alloc.Alloc()
+	}
+}
+
+// compactFixed is the shipped fix: deterministic page order via collect-then-
+// sort, then the stateful allocation in sorted order.
+func (as *addressSpace) compactFixed() {
+	vps := make([]uint64, 0, len(as.table))
+	for vp := range as.table {
+		vps = append(vps, vp)
+	}
+	slices.Sort(vps)
+	for _, vp := range vps {
+		as.table[vp] = as.alloc.Alloc()
+	}
+}

@@ -1,0 +1,61 @@
+// Fixture for the seedhygiene analyzer: global math/rand use, constant seeds,
+// and wall-clock reads are flagged; per-instance sources with derived seeds
+// and reasoned waivers pass.
+package seedhygiene
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global-source draws: flagged.
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand.Intn draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand.Shuffle draws from the process-global source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Constant seeds: flagged. Derived seeds: clean.
+
+func constantSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand.NewSource with a constant seed`
+}
+
+func derivedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func waivedGlobalDraw() int {
+	//lukewarm:seed fixture: deliberately nondeterministic smoke path
+	return rand.Intn(10)
+}
+
+// Wall-clock reads: flagged at every reference, including method values.
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in simulation code`
+}
+
+func storedSeamDefault() func() time.Time {
+	return time.Now // want `time.Now reads the wall clock in simulation code`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock in simulation code`
+}
+
+func waivedClock() time.Time {
+	//lukewarm:wallclock fixture: telemetry-only timestamp
+	return time.Now()
+}
+
+// Simulated time arithmetic does not touch the wall clock: clean.
+
+func simulatedTime(base time.Time) time.Time {
+	return base.Add(3 * time.Millisecond)
+}

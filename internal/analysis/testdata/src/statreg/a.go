@@ -1,0 +1,54 @@
+// Fixture for the statreg analyzer: exported fields of Result/Stats structs
+// must be reachable from the type's emitter methods (String/*Table*/*CSV*/
+// *Write*/*Render*/*Row*), directly or through same-package helpers. Dropped
+// fields are flagged; reached, unexported, embedded, and waived fields pass,
+// as do structs with no emitters at all.
+package statreg
+
+import "fmt"
+
+type baseCounters struct{ raw uint64 }
+
+// RunResult has a String emitter; every exported field must reach it.
+type RunResult struct {
+	baseCounters // embedded: out of scope
+
+	Hits    uint64
+	Misses  uint64
+	Dropped uint64 // want `RunResult.Dropped is never reachable`
+
+	//lukewarm:nostat fixture: scratch state carried between phases, not a column
+	Scratch uint64
+
+	internal uint64 // unexported: out of scope
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("hits %d, %s", r.Hits, r.missLine())
+}
+
+// missLine is a same-package helper the emitter calls: Misses is reachable
+// through it.
+func (r RunResult) missLine() string {
+	return fmt.Sprintf("misses %d", r.Misses)
+}
+
+// BareStats has no emitter methods, so it is a plain counter bag: skipped.
+type BareStats struct {
+	Count uint64
+}
+
+// CSVResult exercises a non-String emitter name.
+type CSVResult struct {
+	Rows  int
+	Bytes int // want `CSVResult.Bytes is never reachable`
+}
+
+func (c CSVResult) WriteCSV() string {
+	return fmt.Sprintf("%d", c.Rows)
+}
+
+func use() {
+	_ = RunResult{internal: 1, baseCounters: baseCounters{raw: 2}}.internal
+	_ = BareStats{}
+}

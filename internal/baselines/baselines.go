@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
 )
 
@@ -85,6 +86,16 @@ type RecapConfig struct {
 // one-block-per-cycle fill port.
 func DefaultRecapConfig() RecapConfig { return RecapConfig{RestoreRate: 1} }
 
+// Validate reports whether the configuration is realizable: no negative
+// footprint cap (zero means unlimited; a non-positive restore rate selects
+// the default fill port). Errors wrap cfgerr.ErrBadConfig.
+func (c RecapConfig) Validate() error {
+	if c.MaxBlocks < 0 {
+		return cfgerr.New("recap: negative footprint cap %d", c.MaxBlocks)
+	}
+	return nil
+}
+
 // RecapStats counts save/restore activity.
 type RecapStats struct {
 	// SavedBlocks counts footprint entries written at context-switch-out.
@@ -111,6 +122,9 @@ type Recap struct {
 
 // NewRecap builds the baseline attached to hier.
 func NewRecap(cfg RecapConfig, hier *mem.Hierarchy) *Recap {
+	if err := cfg.Validate(); err != nil {
+		panic("baselines: " + err.Error()) // configs are design-time constants
+	}
 	if cfg.RestoreRate <= 0 {
 		cfg.RestoreRate = 1
 	}

@@ -271,6 +271,7 @@ func checkFetchAccountant(fn string, id uint64) error {
 		return fail("retired instructions", res.Instrs, want.instrs)
 	case res.Instrs != w.Program.DynamicLength(id):
 		return fail("dynamic length", res.Instrs, w.Program.DynamicLength(id))
+	//lukewarm:floateq the oracle asserts an exact integer-valued identity; any drift must fail loudly
 	case res.Stack.Cycles[topdown.Retiring] != float64(want.instrs/uint64(c.Cfg.DispatchWidth)):
 		// Retiring on a fresh core is exactly floor(instrs/DispatchWidth):
 		// one cycle per full dispatch group, the sub-group residue uncharged.

@@ -1,5 +1,7 @@
 package cpu
 
+import "lukewarm/internal/cfgerr"
+
 // BPConfig sizes the branch prediction structures (Table 1: "LTAGE (16K
 // gShare 4K bimodal) + BTB 8K entries"). We implement the classic tournament
 // organization that line describes: a history-indexed gshare table, a bimodal
@@ -21,6 +23,28 @@ func DefaultBPConfig() BPConfig {
 		BTBEntries:     8 << 10,
 		HistoryBits:    14,
 	}
+}
+
+// Validate reports whether the geometry is realizable: table sizes must be
+// zero (select the default) or a power of two (they are indexed by masking),
+// and the history length must fit the gshare hash. Errors wrap
+// cfgerr.ErrBadConfig.
+func (c BPConfig) Validate() error {
+	for _, t := range []struct {
+		name string
+		n    int
+	}{
+		{"gshare", c.GshareEntries}, {"bimodal", c.BimodalEntries},
+		{"chooser", c.ChooserEntries}, {"BTB", c.BTBEntries},
+	} {
+		if t.n < 0 || t.n&(t.n-1) != 0 {
+			return cfgerr.New("predictor %s table size %d is not a power of two", t.name, t.n)
+		}
+	}
+	if c.HistoryBits < 0 || c.HistoryBits > 64 {
+		return cfgerr.New("predictor history length %d outside [0, 64]", c.HistoryBits)
+	}
+	return nil
 }
 
 // BPStats counts direction-prediction outcomes.
@@ -61,10 +85,8 @@ func NewBranchPredictor(cfg BPConfig) *BranchPredictor {
 	if cfg.HistoryBits == 0 {
 		cfg.HistoryBits = def.HistoryBits
 	}
-	for _, n := range []int{cfg.GshareEntries, cfg.BimodalEntries, cfg.ChooserEntries} {
-		if n <= 0 || n&(n-1) != 0 {
-			panic("cpu: predictor table sizes must be powers of two")
-		}
+	if err := cfg.Validate(); err != nil {
+		panic("cpu: " + err.Error())
 	}
 	bp := &BranchPredictor{
 		cfg:     cfg,

@@ -129,13 +129,10 @@ func (c Config) Validate() error {
 	if err := c.Hier.Validate(); err != nil {
 		return err
 	}
-	if err := c.MMU.ITLB.Validate(); err != nil {
+	if err := c.MMU.Validate(); err != nil {
 		return err
 	}
-	if err := c.MMU.DTLB.Validate(); err != nil {
-		return err
-	}
-	return nil
+	return c.BP.Validate()
 }
 
 // validate is the internal invariant check used by the core constructors,

@@ -112,20 +112,22 @@ func Baselines(opt Options) (BaselinesResult, error) {
 	}
 	for wi := range suite {
 		base := ms[stride*wi]
-		var baseBytes float64
+		// Sum in the integer domain: float accumulation over a map would
+		// round differently run to run with iteration order.
+		var baseBytes uint64
 		for _, b := range base.DRAM {
-			baseBytes += float64(b)
+			baseBytes += b
 		}
 		for ci, cfg := range baselineConfigs {
 			m := ms[stride*wi+1+ci]
 			a := accs[cfg]
 			a.speed = append(a.speed, 1+stats.SpeedupPct(normCycles(base), normCycles(m))/100)
-			var bytes float64
+			var bytes uint64
 			for _, b := range m.DRAM {
-				bytes += float64(b)
+				bytes += b
 			}
 			scale := float64(base.Instrs) / float64(m.Instrs)
-			a.bw.Add(stats.Pct(bytes*scale-baseBytes, baseBytes))
+			a.bw.Add(stats.Pct(float64(bytes)*scale-float64(baseBytes), float64(baseBytes)))
 			a.meta.Add(float64(m.MetaBytes) / 1024)
 		}
 	}

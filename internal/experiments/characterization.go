@@ -242,11 +242,7 @@ func (r CharacterizationResult) Fig4FetchLatencyShare() float64 {
 		d := row.Interleaved.Stack.Normalize(row.Ref.Stack.Instrs).Delta(row.Ref.Stack)
 		extra.Merge(d)
 	}
-	total := extra.StallCycles()
-	if total == 0 {
-		return 0
-	}
-	return extra.Cycles[topdown.FetchLatency] / total
+	return stats.Ratio(extra.Cycles[topdown.FetchLatency], extra.StallCycles())
 }
 
 // Fig4Table renders the mean interleaved CPI normalized to the mean

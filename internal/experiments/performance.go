@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
@@ -46,10 +47,11 @@ func normCycles(m measured) float64 {
 // instruction misses remaining with Jukebox), overpredicted (prefetched but
 // never referenced).
 func (r PerfRow) Coverage() (covered, uncovered, overpredicted float64) {
-	base := float64(r.Baseline.L2.DemandMisses[mem.Instr])
-	if base == 0 {
+	misses := r.Baseline.L2.DemandMisses[mem.Instr]
+	if misses == 0 {
 		return 0, 0, 0
 	}
+	base := float64(misses)
 	// Normalize per instruction first: runs may have different lengths.
 	scale := float64(r.Baseline.Instrs) / float64(r.Jukebox.Instrs)
 	covered = float64(r.Jukebox.L2.PrefetchUsed[mem.Instr]) * scale / base
@@ -62,13 +64,16 @@ func (r PerfRow) Coverage() (covered, uncovered, overpredicted float64) {
 // baseline's total DRAM traffic: overpredicted prefetch bytes, metadata
 // record bytes, and metadata replay bytes.
 func (r PerfRow) BandwidthOverhead() (overpred, metaRecord, metaReplay float64) {
-	var baseTotal float64
+	// Integer-domain sum: float accumulation over a map rounds differently
+	// run to run with iteration order.
+	var totalBytes uint64
 	for _, b := range r.Baseline.DRAM {
-		baseTotal += float64(b)
+		totalBytes += b
 	}
-	if baseTotal == 0 {
+	if totalBytes == 0 {
 		return 0, 0, 0
 	}
+	baseTotal := float64(totalBytes)
 	scale := float64(r.Baseline.Instrs) / float64(r.Jukebox.Instrs)
 	overpred = float64(r.Jukebox.L2.PrefetchEvictedUnused[mem.Instr]*mem.LineSize) * scale / baseTotal
 	metaRecord = float64(r.Jukebox.DRAM[mem.TrafficMetadataRecord]) * scale / baseTotal
@@ -169,9 +174,14 @@ func (r PerfResult) MeanCoverageByLang() map[workload.Lang]float64 {
 		}
 		sums[row.Lang].Add(c)
 	}
+	langs := make([]workload.Lang, 0, len(sums))
+	for l := range sums {
+		langs = append(langs, l)
+	}
+	slices.Sort(langs)
 	out := map[workload.Lang]float64{}
-	for l, s := range sums {
-		out[l] = s.Mean()
+	for _, l := range langs {
+		out[l] = sums[l].Mean()
 	}
 	return out
 }
@@ -201,9 +211,9 @@ type Fig9Row struct {
 	SpeedupPct map[string]float64
 }
 
-// Fig9Result backs Fig. 9.
+// Fig9Result backs Fig. 9. The swept budgets are carried per-row
+// (Fig9Row.BudgetKB).
 type Fig9Result struct {
-	Budgets   []int
 	Functions []string
 	Rows      []Fig9Row
 }
@@ -216,9 +226,6 @@ func Fig9(opt Options) (Fig9Result, error) {
 	budgets := []int{8 << 10, 12 << 10, 16 << 10, 32 << 10}
 	reps := workload.Representatives()
 	out := Fig9Result{Functions: reps}
-	for _, b := range budgets {
-		out.Budgets = append(out.Budgets, b/1024)
-	}
 
 	suite, err := opt.suite()
 	if err != nil {

@@ -294,6 +294,7 @@ func (r SchedResult) GeomeanCPI(policy string) float64 {
 func (r SchedResult) CPIDeltaPct(policy string) float64 {
 	base := r.GeomeanCPI("EarliestAvailable")
 	own := r.GeomeanCPI(policy)
+	//lukewarm:floateq GeoMean returns exactly 0 on empty input; this guards the no-data sentinel
 	if base == 0 || own == 0 {
 		return 0
 	}

@@ -238,6 +238,7 @@ func (p *Plan) BurstTraffic(cfg serverless.TrafficConfig) serverless.TrafficConf
 		cfg.MeanIATms = 0.01
 	}
 	cfg.HeavyTail = true
+	//lukewarm:floateq 0 is the disabled-valve config sentinel, an exact configured value, not arithmetic
 	if cfg.MaxQueue == 0 && cfg.ShedAfterMs == 0 {
 		cfg.ShedAfterMs = 1.0
 	}

@@ -1,5 +1,7 @@
 package mem
 
+import "lukewarm/internal/cfgerr"
+
 // DRAMConfig describes the memory device timing. The defaults model the
 // paper's DDR4-2400 part (tRCD = tRP = tCL = 14 ns) behind a 2.6 GHz core:
 // an idle access costs on the order of 150-200 core cycles beyond the LLC
@@ -17,6 +19,17 @@ type DRAMConfig struct {
 // platforms.
 func DefaultDRAMConfig() DRAMConfig {
 	return DRAMConfig{AccessLatency: 180, LinePeriod: 9}
+}
+
+// Validate reports whether the timing is realizable: no negative latencies
+// or periods (zero fields select defaults in NewDRAM). Errors wrap
+// cfgerr.ErrBadConfig.
+func (c DRAMConfig) Validate() error {
+	if c.AccessLatency < 0 || c.LinePeriod < 0 {
+		return cfgerr.New("dram: negative timing (latency %d, period %d)",
+			c.AccessLatency, c.LinePeriod)
+	}
+	return nil
 }
 
 // DRAM models main memory: a fixed access latency plus a single-channel

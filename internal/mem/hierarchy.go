@@ -1,6 +1,5 @@
 package mem
 
-import "lukewarm/internal/cfgerr"
 
 // HierarchyConfig assembles the per-level cache configurations of one
 // simulated platform. Table 1 of the paper defines the Skylake-like setup;
@@ -19,11 +18,7 @@ func (c HierarchyConfig) Validate() error {
 			return err
 		}
 	}
-	if c.DRAM.AccessLatency < 0 || c.DRAM.LinePeriod < 0 {
-		return cfgerr.New("dram: negative timing (latency %d, period %d)",
-			c.DRAM.AccessLatency, c.DRAM.LinePeriod)
-	}
-	return nil
+	return c.DRAM.Validate()
 }
 
 // SkylakeHierarchy returns the Table 1 configuration: 32 KB L1-I/L1-D,

@@ -26,6 +26,7 @@
 package pif
 
 import (
+	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
 )
 
@@ -59,6 +60,18 @@ type Config struct {
 	// The published design loses them with the rest of the
 	// microarchitectural state.
 	Persist bool
+}
+
+// Validate reports whether the configuration is realizable: the frontier
+// model must not be negative (history/index bounds may be, meaning
+// unlimited, and a non-positive lookahead selects the default). Errors wrap
+// cfgerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.FrontierBlocks < 0 || c.FrontierPenalty < 0 {
+		return cfgerr.New("pif: negative frontier model (blocks %d, penalty %d)",
+			c.FrontierBlocks, c.FrontierPenalty)
+	}
+	return nil
 }
 
 // bytesPerRecord models PIF's spatio-temporal compression: one stream or
@@ -128,6 +141,9 @@ const prefetchBufferLines = 32
 // New builds a PIF attached to hier. Prefetched lines are staged in hier's
 // instruction prefetch buffer, which New enables.
 func New(cfg Config, hier *mem.Hierarchy) *PIF {
+	if err := cfg.Validate(); err != nil {
+		panic("pif: " + err.Error()) // configs are design-time constants
+	}
 	if cfg.LookaheadBlocks <= 0 {
 		cfg.LookaheadBlocks = DefaultConfig().LookaheadBlocks
 	}

@@ -28,7 +28,10 @@ import (
 	"time"
 )
 
-// Config parameterizes an Engine.
+// Config parameterizes an Engine. Every field value is meaningful — zero
+// values select documented defaults — so there is nothing to reject.
+//
+//lukewarm:novalidate all field values are valid; zero values select defaults (Jobs -> GOMAXPROCS, CacheDir -> no disk tier, Now -> wall clock)
 type Config struct {
 	// Jobs is the maximum number of cells simulated concurrently. Zero or
 	// negative selects GOMAXPROCS. A batch of n cells uses min(Jobs, n)
@@ -45,6 +48,12 @@ type Config struct {
 	// Writes are serialized; direct this at stderr so stdout tables stay
 	// byte-identical.
 	Progress io.Writer
+	// Now is the engine's clock, read once per cell start and finish for
+	// telemetry (progress lines, CellWall, -report wall times). Nil selects
+	// the wall clock. Telemetry is the engine's only time source — results
+	// never depend on it — and tests inject a fake here to make progress
+	// and report timing deterministic.
+	Now func() time.Time
 }
 
 // Engine executes cell batches. Create one with New and share it across an
@@ -54,6 +63,7 @@ type Engine struct {
 	jobs     int
 	cache    *Cache
 	progress io.Writer
+	now      func() time.Time // telemetry clock seam; see Config.Now
 
 	mu    sync.Mutex // guards progress writes and phase
 	phase string
@@ -73,7 +83,11 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{jobs: cfg.Jobs, cache: cache, progress: cfg.Progress}, nil
+	if cfg.Now == nil {
+		//lukewarm:wallclock the engine's sole wall-clock seam; telemetry only, tests inject Config.Now
+		cfg.Now = time.Now
+	}
+	return &Engine{jobs: cfg.Jobs, cache: cache, progress: cfg.Progress, now: cfg.Now}, nil
 }
 
 // Default builds the engine experiments fall back on when the caller did not
@@ -164,10 +178,10 @@ func mapHit[T any](e *Engine, n int, label func(int) string, fn func(int) (T, bo
 	var done atomic.Int64
 
 	run := func(i int) {
-		start := time.Now()
+		start := e.now()
 		var hit bool
 		results[i], hit, errs[i] = fn(i)
-		e.note(int(done.Add(1)), n, label(i), time.Since(start), hit)
+		e.note(int(done.Add(1)), n, label(i), e.now().Sub(start), hit)
 	}
 
 	if workers := min(e.jobs, n); workers > 1 {

@@ -124,6 +124,8 @@ func (h *funcHist) percentile(p float64) float64 {
 
 // HybridConfig parameterizes the HybridHistogram policy. The zero value
 // selects the defaults documented on each field.
+//
+//lukewarm:novalidate the whole field domain is realizable: zero/negative fields select the documented defaults in withDefaults
 type HybridConfig struct {
 	// FallbackMs is the fixed timeout applied while a function has fewer
 	// than MinSamples observed gaps (and as the behaviour HybridHistogram

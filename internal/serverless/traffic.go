@@ -139,6 +139,7 @@ func (c TrafficConfig) keepAlive() sched.KeepAlive {
 	switch {
 	case c.KeepAlive != nil:
 		return c.KeepAlive
+	//lukewarm:floateq 0 is the no-keep-alive config sentinel, an exact configured value, not arithmetic
 	case c.NoKeepAlive || c.KeepAliveMs == 0:
 		return sched.NoEvict()
 	}
@@ -531,11 +532,16 @@ func (r *TrafficResult) String() string {
 	if r.PlacementMigrations > 0 {
 		extra += fmt.Sprintf(", %d migrations", r.PlacementMigrations)
 	}
+	if r.JukeboxRebinds > 0 {
+		extra += fmt.Sprintf(", %d jukebox rebinds", r.JukeboxRebinds)
+	}
 	out := fmt.Sprintf(
 		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s%s); "+
-			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles",
+			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles; "+
+			"instances resident %.0f ms",
 		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts, shed, extra,
-		r.CPI.Mean(), r.ServiceCycles.Mean(), r.LatencyCycles.Mean(), r.P99LatencyCycles())
+		r.CPI.Mean(), r.ServiceCycles.Mean(), r.LatencyCycles.Mean(), r.P99LatencyCycles(),
+		r.ResidentMs)
 	if r.ColdStarts > 0 || r.Shed > 0 {
 		var parts []string
 		for _, f := range r.PerFunction {

@@ -173,6 +173,7 @@ func Jaccard(a, b map[uint64]struct{}) float64 {
 // Ratio reports num/den, or 0 when den is 0. It keeps MPKI/CPI style
 // divisions free of NaNs on empty runs.
 func Ratio(num, den float64) float64 {
+	//lukewarm:floateq exact zero is the only invalid denominator; this guard is the canonical form
 	if den == 0 {
 		return 0
 	}
@@ -186,8 +187,31 @@ func Pct(num, den float64) float64 { return Ratio(num, den) * 100 }
 // plots: how much faster the optimized run is relative to the baseline.
 // A positive value means the optimized run took fewer cycles.
 func SpeedupPct(baselineCycles, optimizedCycles float64) float64 {
+	//lukewarm:floateq exact zero-denominator guard, as in Ratio
 	if optimizedCycles == 0 {
 		return 0
 	}
 	return (baselineCycles/optimizedCycles - 1) * 100
 }
+
+// ApproxEqual reports whether a and b agree within tol, using a relative
+// comparison that degrades to absolute near zero:
+//
+//	|a-b| <= tol * max(1, |a|, |b|)
+//
+// This is the comparison simulation code must use instead of ==/!= on
+// floats (enforced by the floateq analyzer): accumulated rounding varies
+// with evaluation order, and the golden-figure gates hold tables only to
+// tolerance bands. NaNs compare unequal to everything, like ==.
+func ApproxEqual(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// NearTol is Near's tolerance: loose enough to absorb order-of-evaluation
+// rounding across a whole experiment, tight enough that any modeled effect
+// (the paper's smallest reported delta is ~0.1%) stays visible.
+const NearTol = 1e-9
+
+// Near is ApproxEqual at NearTol, the default equality for simulation code.
+func Near(a, b float64) bool { return ApproxEqual(a, b, NearTol) }

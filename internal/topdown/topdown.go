@@ -11,6 +11,8 @@ package topdown
 import (
 	"fmt"
 	"strings"
+
+	"lukewarm/internal/stats"
 )
 
 // Category is one Top-Down cycle class.
@@ -94,11 +96,7 @@ func (s *Stack) StallCycles() float64 { return s.Total() - s.Cycles[Retiring] }
 // Fraction reports category c's share of total cycles, or 0 for an empty
 // stack.
 func (s *Stack) Fraction(c Category) float64 {
-	t := s.Total()
-	if t == 0 {
-		return 0
-	}
-	return s.Cycles[c] / t
+	return stats.Ratio(s.Cycles[c], s.Total())
 }
 
 // Merge accumulates o into s (for averaging across invocations).

@@ -1,6 +1,9 @@
 package vm
 
-import "lukewarm/internal/mem"
+import (
+	"lukewarm/internal/cfgerr"
+	"lukewarm/internal/mem"
+)
 
 // WalkerConfig describes the hardware page-table walker cost model.
 type WalkerConfig struct {
@@ -17,6 +20,17 @@ type WalkerConfig struct {
 // access when it is not.
 func DefaultWalkerConfig() WalkerConfig {
 	return WalkerConfig{BaseLatency: 25, CacheEntries: 64}
+}
+
+// Validate reports whether the cost model is realizable: no negative
+// latency or cache size (zero fields select defaults in NewWalker). Errors
+// wrap cfgerr.ErrBadConfig.
+func (c WalkerConfig) Validate() error {
+	if c.BaseLatency < 0 || c.CacheEntries < 0 {
+		return cfgerr.New("walker: negative parameters (latency %d, entries %d)",
+			c.BaseLatency, c.CacheEntries)
+	}
+	return nil
 }
 
 // Walker is the hardware page-table walker. PTE lines hold 8 PTEs (64 B /
@@ -74,6 +88,18 @@ func (w *Walker) Flush() {
 type MMUConfig struct {
 	ITLB, DTLB TLBConfig
 	Walker     WalkerConfig
+}
+
+// Validate checks both TLB geometries and the walker cost model. Errors
+// wrap cfgerr.ErrBadConfig.
+func (c MMUConfig) Validate() error {
+	if err := c.ITLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.DTLB.Validate(); err != nil {
+		return err
+	}
+	return c.Walker.Validate()
 }
 
 // DefaultMMUConfig models a 128-entry ITLB and a 64-entry DTLB.
