@@ -1,0 +1,27 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test lint bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/lukewarmlint ./...
+
+# bench captures the performance trajectory: the fleet-simulation benchmarks
+# and the raw simulator-throughput benchmark, one iteration each, serialized
+# to BENCH_$(PR).json via cmd/benchjson. Refresh the committed snapshot when
+# simulator performance changes materially.
+PR ?= 6
+bench:
+	$(GO) test -run '^$$' -bench 'Fleet|ExtensionCluster|SimulationThroughput' -benchtime 1x ./internal/cluster . \
+		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
+	@echo "wrote BENCH_$(PR).json"

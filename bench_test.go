@@ -297,6 +297,43 @@ func BenchmarkExtensionScaling(b *testing.B) {
 	b.ReportMetric(gain, "gain4core%")
 }
 
+// BenchmarkExtensionCluster measures the fault-tolerant fleet simulation:
+// three nodes behind the retrying/hedging front end with all three fleet
+// fault kinds armed.
+func BenchmarkExtensionCluster(b *testing.B) {
+	ws := make([]Workload, 0, 2)
+	for _, name := range []string{"Auth-G", "Email-P"} {
+		w, err := FunctionByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	tc := DefaultTrafficConfig()
+	tc.MeanIATms = 50
+	tc.InvocationsPerInstance = 6
+	var avail float64
+	for i := 0; i < b.N; i++ {
+		cfg := FleetConfig{
+			Nodes: 3, Workloads: ws, Traffic: tc,
+			DeadlineMs: 400, RetryMax: 1, RetryBackoffMs: 2, HedgeDelayMinMs: 0.5,
+			EjectAfter: 3, EjectMs: 60,
+			Faults:            NewFaultPlan(7, FaultKinds()...),
+			InstanceCrashProb: 0.1, DispatchFlakeProb: 0.2,
+			NodeCrashMTBFms: 150, NodeDownMs: 40,
+		}
+		r, err := RunFleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := AuditFleetResult(&r); err != nil {
+			b.Fatal(err)
+		}
+		avail = r.Availability() * 100
+	}
+	b.ReportMetric(avail, "avail%")
+}
+
 // BenchmarkSimulationThroughput measures raw simulator speed: instructions
 // simulated per wall-clock second for one lukewarm invocation.
 func BenchmarkSimulationThroughput(b *testing.B) {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: lukewarm/internal/cluster
+cpu: whatever
+BenchmarkFleetChaos-8   	       5	 214631842 ns/op
+BenchmarkFleetFaultFree-8 	       6	 180000000 ns/op	  12 B/op	   3 allocs/op
+PASS
+ok  	lukewarm/internal/cluster	3.1s
+pkg: lukewarm
+BenchmarkExtensionCluster-8 	       1	1000000000 ns/op	        97.50 avail%
+`
+	recs, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	if recs[0].Name != "BenchmarkFleetChaos-8" || recs[0].Package != "lukewarm/internal/cluster" {
+		t.Errorf("first record = %+v", recs[0])
+	}
+	if recs[0].Iterations != 5 || recs[0].Metrics["ns/op"] != 214631842 {
+		t.Errorf("first record counters = %+v", recs[0])
+	}
+	if recs[1].Metrics["allocs/op"] != 3 {
+		t.Errorf("second record metrics = %+v", recs[1].Metrics)
+	}
+	if recs[2].Package != "lukewarm" || recs[2].Metrics["avail%"] != 97.5 {
+		t.Errorf("third record = %+v", recs[2])
+	}
+
+	if _, err := parse(bufio.NewScanner(strings.NewReader("Benchmark-X 2 oops ns/op junk extra\n"))); err == nil {
+		t.Error("malformed value accepted")
+	}
+}

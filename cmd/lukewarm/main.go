@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5a fig5b fig6a fig6b
 // fig8 fig9 fig10 fig11 fig12 fig13 table3 crrb compaction snapshot dynmeta
-// baselines server scaling sched chaos all. The -csv flag mirrors every table into
+// baselines server scaling sched chaos cluster all. The -csv flag mirrors every table into
 // machine-readable CSV files; -audit cross-checks every measured invocation
 // against the simulator's conservation invariants. The extra `check`
 // subcommand runs the differential-oracle and metamorphic-property
@@ -120,6 +120,7 @@ experiments:
   scaling               multi-core scaling under saturating traffic
   sched                 placement and keep-alive policy sweep
   chaos                 fault-injection sweep with graceful-degradation checks
+  cluster               fault-tolerant fleet sweep: nodes x failure rate x placement
   check                 differential-oracle + metamorphic-property validation battery
   all                   everything above, in paper order
 
@@ -294,6 +295,24 @@ func (s *session) runChaos() error {
 	return nil
 }
 
+// runCluster executes the fleet simulation sweep, renders both tables, and
+// records the headlines: availability of the largest fleet under heavy
+// faults, and the hedging compute bill at the same point.
+func (s *session) runCluster() error {
+	r, err := lukewarm.Cluster(s.opt)
+	if err != nil {
+		return err
+	}
+	s.rep.Headline["cluster_heavy_availability_pct"] = r.HeavyAvailabilityPct()
+	s.rep.Headline["cluster_wasted_hedge_pct"] = r.WastedHedgePct()
+	for _, t := range []*lukewarm.Table{r.Table(), r.LatencyTable()} {
+		if err := s.p.show(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runCheck executes the differential-oracle and metamorphic-property
 // validation battery; any FAIL row makes the command exit non-zero after the
 // full report has been rendered.
@@ -386,6 +405,8 @@ func (s *session) run(name string) error {
 		return s.step(name, s.runSched)
 	case "chaos":
 		return s.step(name, s.runChaos)
+	case "cluster":
+		return s.step(name, s.runCluster)
 	case "check":
 		return s.runCheck()
 	case "all":
@@ -461,6 +482,7 @@ func (s *session) runAll() error {
 		{"scaling", func() error { return p.render(lukewarm.Scaling(opt)) }},
 		{"sched", s.runSched},
 		{"chaos", s.runChaos},
+		{"cluster", s.runCluster},
 	}
 	for _, st := range steps {
 		if err := s.step(st.name, st.fn); err != nil {

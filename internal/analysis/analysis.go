@@ -151,6 +151,7 @@ var resultPkgs = map[string]bool{
 	modulePath + "/internal/pif":         true,
 	modulePath + "/internal/serverless":  true,
 	modulePath + "/internal/sched":       true,
+	modulePath + "/internal/cluster":     true,
 	modulePath + "/internal/experiments": true,
 	modulePath + "/internal/runner":      true,
 	modulePath + "/internal/stats":       true,

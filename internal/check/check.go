@@ -17,7 +17,7 @@
 //   - Golden-figure regression (golden.go, golden_test.go): canonical
 //     small-config runs of every experiment, snapshotted under
 //     testdata/golden with explicit tolerance bands and refreshed via
-//     `go test -run Golden -update ./internal/check`.
+//     `go test ./internal/check -run Golden -update`.
 //
 // The oracle and property layers run in plain unit tests and behind the
 // `lukewarm check` subcommand (Run); the golden layer is test-only because

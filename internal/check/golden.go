@@ -115,7 +115,7 @@ func (g GoldenTable) Compare(t *stats.Table) error {
 func ReadGolden(path string) (GoldenTable, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return GoldenTable{}, fmt.Errorf("check: reading golden (run `go test -run Golden -update ./internal/check` to create it): %w", err)
+		return GoldenTable{}, fmt.Errorf("check: reading golden (run `go test ./internal/check -run Golden -update` to create it): %w", err)
 	}
 	var g GoldenTable
 	if err := json.Unmarshal(data, &g); err != nil {

@@ -13,9 +13,11 @@ import (
 	"lukewarm/internal/stats"
 )
 
-// update rewrites the golden snapshots instead of comparing against them:
+// update rewrites the golden snapshots instead of comparing against them
+// (package path before the flag, or go test hands the path to the wrong
+// binary):
 //
-//	go test -run Golden -update ./internal/check
+//	go test ./internal/check -run Golden -update
 var update = flag.Bool("update", false, "rewrite golden snapshots in testdata/golden")
 
 // goldenOpts is the canonical small configuration every experiment is
@@ -116,6 +118,10 @@ func goldenCases() []goldenCase {
 			r, err := experiments.Chaos(o, 42)
 			return one(r.Table(), err)
 		}},
+		{"cluster", 1.0, func(o experiments.Options) ([]*stats.Table, error) {
+			r, err := experiments.Cluster(o)
+			return []*stats.Table{r.Table(), r.LatencyTable()}, err
+		}},
 	}
 }
 
@@ -156,7 +162,7 @@ func TestGoldenExperiments(t *testing.T) {
 					t.Fatal(err)
 				}
 				if err := g.Compare(tb); err != nil {
-					t.Errorf("%s: %v\n(refresh with `go test -run Golden -update ./internal/check` if the change is intended)",
+					t.Errorf("%s: %v\n(refresh with `go test ./internal/check -run Golden -update` if the change is intended)",
 						filepath.Base(path), err)
 				}
 			}

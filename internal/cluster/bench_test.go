@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+
+	"lukewarm/internal/faults"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/workload"
+)
+
+// benchConfig builds a small fleet; faulty arms the whole failure model.
+func benchConfig(b *testing.B, faulty bool) Config {
+	b.Helper()
+	var ws []workload.Workload
+	for _, n := range []string{"Auth-G", "Email-P"} {
+		w, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	tc := serverless.DefaultTrafficConfig()
+	tc.MeanIATms = 50
+	tc.InvocationsPerInstance = 6
+	cfg := Config{Nodes: 3, Workloads: ws, Traffic: tc}
+	if faulty {
+		cfg.DeadlineMs = 400
+		cfg.RetryMax = 1
+		cfg.RetryBackoffMs = 2
+		cfg.HedgeDelayMinMs = 0.5
+		cfg.EjectAfter = 3
+		cfg.EjectMs = 60
+		cfg.Faults = faults.NewPlan(7, faults.NodeCrash, faults.InstanceCrash, faults.DispatchFlake)
+		cfg.InstanceCrashProb = 0.1
+		cfg.DispatchFlakeProb = 0.2
+		cfg.NodeCrashMTBFms = 150
+		cfg.NodeDownMs = 40
+	}
+	return cfg
+}
+
+// BenchmarkFleetFaultFree is the fleet event loop with the failure model
+// off: pure dispatch and placement overhead on top of the node simulators.
+func BenchmarkFleetFaultFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchConfig(b, false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetChaos adds the full failure model and resilience front end:
+// keyed fault draws, retries, hedges, ejection and the brownout ladder.
+func BenchmarkFleetChaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchConfig(b, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -93,6 +93,16 @@ func New(cfg Config, hier *mem.Hierarchy, mmu *vm.MMU, alloc *vm.FrameAllocator)
 // Config returns the configuration in effect.
 func (j *Jukebox) Config() Config { return j.cfg }
 
+// SetReplayEnabled toggles metadata replay at run time. Recording continues
+// either way, so a unit that re-enables replay picks up from the freshest
+// sealed metadata. This is the knob behind the cluster front end's
+// record-only brownout tier: under overload the fleet keeps learning access
+// patterns but stops spending memory bandwidth on replay prefetches.
+func (j *Jukebox) SetReplayEnabled(on bool) { j.cfg.ReplayEnabled = on }
+
+// ReplayEnabled reports whether metadata replay is currently enabled.
+func (j *Jukebox) ReplayEnabled() bool { return j.cfg.ReplayEnabled }
+
 // Bind points the prefetcher at the core the OS scheduled the instance
 // onto. Jukebox's metadata lives in main memory, so an instance can migrate
 // freely between cores: scheduling it is exactly the OS writing the

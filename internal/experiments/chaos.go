@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"lukewarm/internal/cluster"
 	"lukewarm/internal/core"
 	"lukewarm/internal/faults"
 	"lukewarm/internal/program"
@@ -253,6 +254,87 @@ func chaosCell(w workload.Workload, k faults.Kind, seed uint64, baseCPI float64)
 				res.Shed, cfg.InvocationsPerInstance)
 		}
 		return set(ChaosPass, "absorbed 100x burst without shedding")
+
+	case faults.NodeCrash:
+		cfg := chaosClusterCfg(w, plan)
+		cfg.NodeCrashMTBFms = 100
+		cfg.NodeDownMs = 40
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return set(ChaosFail, "cluster: %v", err)
+		}
+		if err := cluster.Audit(&res); err != nil {
+			return set(ChaosFail, "audit: %v", err)
+		}
+		if res.NodeCrashes == 0 {
+			return set(ChaosPass, "no crash landed in the simulated span")
+		}
+		cold := 0
+		for i := range res.PerNode {
+			cold += res.PerNode[i].ColdStarts
+		}
+		if res.Served == res.Offered {
+			return set(ChaosDegraded, "%d node crashes absorbed by rerouting and retries (%d cold restarts)",
+				res.NodeCrashes, cold)
+		}
+		return set(ChaosDegraded, "%d node crashes: served %d of %d, %d cold restarts",
+			res.NodeCrashes, res.Served, res.Offered, cold)
+
+	case faults.InstanceCrash:
+		cfg := chaosClusterCfg(w, plan)
+		cfg.InstanceCrashProb = 0.2
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return set(ChaosFail, "cluster: %v", err)
+		}
+		if err := cluster.Audit(&res); err != nil {
+			return set(ChaosFail, "audit: %v", err)
+		}
+		if res.InstanceCrashes == 0 {
+			return set(ChaosPass, "no crash struck in the simulated span")
+		}
+		if res.Served == res.Offered {
+			return set(ChaosDegraded, "%d mid-invocation crashes absorbed by retries (work redone cold)",
+				res.InstanceCrashes)
+		}
+		return set(ChaosDegraded, "%d mid-invocation crashes: served %d of %d",
+			res.InstanceCrashes, res.Served, res.Offered)
+
+	case faults.DispatchFlake:
+		cfg := chaosClusterCfg(w, plan)
+		cfg.DispatchFlakeProb = 0.3
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return set(ChaosFail, "cluster: %v", err)
+		}
+		if err := cluster.Audit(&res); err != nil {
+			return set(ChaosFail, "audit: %v", err)
+		}
+		if res.DispatchFlakes == 0 {
+			return set(ChaosPass, "no flake struck in the simulated span")
+		}
+		if res.Served == res.Offered {
+			return set(ChaosPass, "%d transient dispatch failures absorbed by retry/backoff",
+				res.DispatchFlakes)
+		}
+		return set(ChaosDegraded, "%d dispatch flakes: served %d of %d",
+			res.DispatchFlakes, res.Served, res.Offered)
 	}
 	return set(ChaosFail, "no cell runner for fault kind")
+}
+
+// chaosClusterCfg is the small two-node fleet the fleet-fault cells share:
+// retries on, everything else at defaults, the plan under test armed.
+func chaosClusterCfg(w workload.Workload, plan *faults.Plan) cluster.Config {
+	tc := serverless.DefaultTrafficConfig()
+	tc.MeanIATms = 50
+	tc.InvocationsPerInstance = 6
+	return cluster.Config{
+		Nodes:          2,
+		Workloads:      []workload.Workload{w},
+		Traffic:        tc,
+		RetryMax:       2,
+		RetryBackoffMs: 2,
+		Faults:         plan,
+	}
 }

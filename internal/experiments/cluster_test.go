@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// clusterTestOptions keeps the fleet sweep tractable for CI: a small
+// cross-language suite and few invocations, with auditing on so every cell
+// is checked against the fleet conservation invariants.
+func clusterTestOptions() Options {
+	return Options{
+		Functions: []string{"Auth-G", "Email-P", "Pay-N", "Geo-G"},
+		Warmup:    1,
+		Measure:   3,
+		Audit:     true,
+	}
+}
+
+func TestClusterSweep(t *testing.T) {
+	r, err := Cluster(clusterTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(clusterFleetPlacers) * len(clusterFaultLevels) * len(clusterNodeCounts)
+	if len(r.Rows) != want {
+		t.Fatalf("cluster sweep has %d rows, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if row.C.Served == 0 {
+			t.Errorf("%s/%s/nodes=%d served nothing", row.Policy, row.FaultLevel, row.Nodes)
+		}
+		switch row.FaultLevel {
+		case "none":
+			if row.C.AvailabilityPct != 100 {
+				t.Errorf("%s/nodes=%d fault-free availability = %.2f%%, want 100%%",
+					row.Policy, row.Nodes, row.C.AvailabilityPct)
+			}
+			if row.C.Injections != 0 {
+				t.Errorf("%s/nodes=%d injected %d faults with no plan armed",
+					row.Policy, row.Nodes, row.C.Injections)
+			}
+		case "heavy":
+			// Moderate faults may dodge a small test cell entirely; the
+			// heavy level must not.
+			if row.C.Injections == 0 {
+				t.Errorf("%s/heavy/nodes=%d armed faults but injected nothing",
+					row.Policy, row.Nodes)
+			}
+		}
+	}
+	// The fault axis must bite: heavy faults cost availability relative to
+	// the clean run on the largest swept fleet.
+	nodes := clusterNodeCounts[len(clusterNodeCounts)-1]
+	clean, okC := r.Row(nodes, clusterFleetPlacers[0], "none")
+	heavy, okH := r.Row(nodes, clusterFleetPlacers[0], "heavy")
+	if !okC || !okH {
+		t.Fatal("sweep missing clean or heavy row for the largest fleet")
+	}
+	if heavy.C.AvailabilityPct >= clean.C.AvailabilityPct {
+		t.Errorf("heavy faults did not cost availability: %.2f%% vs clean %.2f%%",
+			heavy.C.AvailabilityPct, clean.C.AvailabilityPct)
+	}
+	if heavy.C.NodeCrashes == 0 {
+		t.Error("heavy fault level fired no node crashes")
+	}
+	if heavy.C.Retries == 0 {
+		t.Error("heavy faults exercised no retries")
+	}
+	if h := r.HeavyAvailabilityPct(); h <= 0 || h >= 100 {
+		t.Errorf("headline heavy availability = %.2f%%, want strictly between 0 and 100", h)
+	}
+}
+
+func TestClusterTables(t *testing.T) {
+	r, err := Cluster(clusterTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.Table().String()
+	lat := r.LatencyTable().String()
+	for _, frag := range []string{"EarliestAvailable", "StickyAffinity", "heavy", "moderate"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("sweep table missing %q:\n%s", frag, tbl)
+		}
+		if !strings.Contains(lat, frag) {
+			t.Errorf("latency table missing %q:\n%s", frag, lat)
+		}
+	}
+	if !strings.Contains(tbl, "100.0%") {
+		t.Errorf("sweep table shows no fault-free cell at full availability:\n%s", tbl)
+	}
+}

@@ -38,6 +38,10 @@ func renderTables(t *testing.T, eng *runner.Engine) map[string]string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl, err := Cluster(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]string{
 		"fig2":  char.Fig2Table().String(),
 		"fig10": perf.Fig10Table().String(),
@@ -48,9 +52,15 @@ func renderTables(t *testing.T, eng *runner.Engine) map[string]string {
 		// shows up as a byte difference here.
 		"sched-place": sc.Table().String(),
 		"sched-keep":  sc.KeepAliveTable().String(),
+		// The cluster tables gate the fleet simulation: arrival draws, keyed
+		// fault draws, retry backoff jitter and crash schedules all feed
+		// these bytes, so any worker- or cache-order dependence surfaces.
+		"cluster":     cl.Table().String(),
+		"cluster-lat": cl.LatencyTable().String(),
 		// The raw rows are stricter than the rendered tables (no rounding):
 		// every counter and float must match bit-for-bit.
-		"sched-rows": fmt.Sprintf("%+v", sc),
+		"sched-rows":   fmt.Sprintf("%+v", sc),
+		"cluster-rows": fmt.Sprintf("%+v", cl),
 	}
 }
 

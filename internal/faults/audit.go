@@ -73,20 +73,25 @@ func AuditJukebox(s core.Stats) error {
 	return nil
 }
 
-// AuditTraffic checks a traffic run's aggregate invariants.
+// AuditTraffic checks a traffic run's aggregate invariants, including
+// dispatch conservation: every offered invocation is accounted for exactly
+// once as served, shed or failed.
 func AuditTraffic(r serverless.TrafficResult) error {
 	switch {
-	case r.Served < 0 || r.Shed < 0 || r.ColdStarts < 0:
-		return fmt.Errorf("faults: audit traffic: negative counters (served %d, shed %d, cold %d)",
-			r.Served, r.Shed, r.ColdStarts)
-	case r.ColdStarts > r.Served:
-		return fmt.Errorf("faults: audit traffic: cold starts %d exceed served %d", r.ColdStarts, r.Served)
+	case r.Offered < 0 || r.Served < 0 || r.Shed < 0 || r.Failed < 0 || r.ColdStarts < 0:
+		return fmt.Errorf("faults: audit traffic: negative counters (offered %d, served %d, shed %d, failed %d, cold %d)",
+			r.Offered, r.Served, r.Shed, r.Failed, r.ColdStarts)
+	case r.Served+r.Shed+r.Failed != r.Offered:
+		return fmt.Errorf("faults: audit traffic: served %d + shed %d + failed %d != offered %d",
+			r.Served, r.Shed, r.Failed, r.Offered)
+	case r.ColdStarts > r.Served+r.Failed:
+		return fmt.Errorf("faults: audit traffic: cold starts %d exceed dispatched %d", r.ColdStarts, r.Served+r.Failed)
 	case r.PrewarmHits < 0 || r.PlacementMigrations < 0 || r.JukeboxRebinds < 0:
 		return fmt.Errorf("faults: audit traffic: negative scheduling counters (prewarm %d, migrations %d, rebinds %d)",
 			r.PrewarmHits, r.PlacementMigrations, r.JukeboxRebinds)
-	case r.PlacementMigrations > r.Served || r.JukeboxRebinds > r.Served:
-		return fmt.Errorf("faults: audit traffic: migrations %d / rebinds %d exceed served %d",
-			r.PlacementMigrations, r.JukeboxRebinds, r.Served)
+	case r.PlacementMigrations > r.Served+r.Failed || r.JukeboxRebinds > r.Served+r.Failed:
+		return fmt.Errorf("faults: audit traffic: migrations %d / rebinds %d exceed dispatched %d",
+			r.PlacementMigrations, r.JukeboxRebinds, r.Served+r.Failed)
 	case r.ResidentMs < 0:
 		return fmt.Errorf("faults: audit traffic: negative resident time %g ms", r.ResidentMs)
 	case r.BusyFraction < 0 || r.BusyFraction > 1.000001:
@@ -97,19 +102,88 @@ func AuditTraffic(r serverless.TrafficResult) error {
 		return fmt.Errorf("faults: audit traffic: %d CPI samples for %d served", r.CPI.N(), r.Served)
 	}
 	// The per-function breakdown must conserve the fleet-wide counters.
-	var served, cold, shed int
+	var served, cold, shed, failed int
 	for _, f := range r.PerFunction {
-		if f.Served < 0 || f.ColdStarts < 0 || f.Shed < 0 {
-			return fmt.Errorf("faults: audit traffic: %s has negative counters (%d/%d/%d)",
-				f.Name, f.Served, f.ColdStarts, f.Shed)
+		if f.Served < 0 || f.ColdStarts < 0 || f.Shed < 0 || f.Failed < 0 {
+			return fmt.Errorf("faults: audit traffic: %s has negative counters (%d/%d/%d/%d)",
+				f.Name, f.Served, f.ColdStarts, f.Shed, f.Failed)
 		}
 		served += f.Served
 		cold += f.ColdStarts
 		shed += f.Shed
+		failed += f.Failed
 	}
-	if len(r.PerFunction) > 0 && (served != r.Served || cold != r.ColdStarts || shed != r.Shed) {
-		return fmt.Errorf("faults: audit traffic: per-function sums %d/%d/%d != fleet %d/%d/%d",
-			served, cold, shed, r.Served, r.ColdStarts, r.Shed)
+	if len(r.PerFunction) > 0 && (served != r.Served || cold != r.ColdStarts || shed != r.Shed || failed != r.Failed) {
+		return fmt.Errorf("faults: audit traffic: per-function sums %d/%d/%d/%d != fleet %d/%d/%d/%d",
+			served, cold, shed, failed, r.Served, r.ColdStarts, r.Shed, r.Failed)
+	}
+	return nil
+}
+
+// FleetCounters is the conservation ledger of one cluster run, flattened so
+// AuditFleet can check it without importing the cluster package (which
+// imports faults). The cluster result's Counters method produces it.
+type FleetCounters struct {
+	// Request-level accounting: every injected request resolves exactly once.
+	Offered, Served, Shed, Failed int
+	// Shed decomposition.
+	ShedLowPriority, TierRejected, ValveShed int
+	// Failure decomposition.
+	DeadlineFailed, RetriesExhausted int
+	// Attempt-level accounting: attempts that failed either spawned a retry
+	// or exhausted the budget.
+	FailedAttempts, Retries int
+	// Node-side dispatch accounting (hedges make node attempts exceed
+	// request successes).
+	NodeOffered, NodeServed, NodeShed, NodeFailed int
+	// Hedging: wasted completions, and hedges that rescued a failed primary.
+	Hedges, WastedHedges, HedgeRescues int
+	// InstanceCrashes is the node-side count of doomed dispatches.
+	InstanceCrashes int
+	// ServedWhileDown counts node completions attributed to a node that was
+	// down or ejected at dispatch time — must always be zero.
+	ServedWhileDown int
+}
+
+// AuditFleet checks a cluster run's conservation invariants: injected ==
+// served + shed + failed, retries never double-count, hedge work is fully
+// attributed, and no request was served by a down or ejected node.
+func AuditFleet(c FleetCounters) error {
+	switch {
+	case c.Offered < 0 || c.Served < 0 || c.Shed < 0 || c.Failed < 0 ||
+		c.ShedLowPriority < 0 || c.TierRejected < 0 || c.ValveShed < 0 ||
+		c.DeadlineFailed < 0 || c.RetriesExhausted < 0 ||
+		c.FailedAttempts < 0 || c.Retries < 0 ||
+		c.NodeOffered < 0 || c.NodeServed < 0 || c.NodeShed < 0 || c.NodeFailed < 0 ||
+		c.Hedges < 0 || c.WastedHedges < 0 || c.HedgeRescues < 0 || c.InstanceCrashes < 0:
+		return fmt.Errorf("faults: audit fleet: negative counters in %+v", c)
+	case c.Served+c.Shed+c.Failed != c.Offered:
+		return fmt.Errorf("faults: audit fleet: served %d + shed %d + failed %d != offered %d",
+			c.Served, c.Shed, c.Failed, c.Offered)
+	case c.ShedLowPriority+c.TierRejected+c.ValveShed != c.Shed:
+		return fmt.Errorf("faults: audit fleet: shed breakdown %d+%d+%d != shed %d",
+			c.ShedLowPriority, c.TierRejected, c.ValveShed, c.Shed)
+	case c.DeadlineFailed+c.RetriesExhausted != c.Failed:
+		return fmt.Errorf("faults: audit fleet: failure breakdown %d+%d != failed %d",
+			c.DeadlineFailed, c.RetriesExhausted, c.Failed)
+	case c.FailedAttempts != c.Retries+c.RetriesExhausted:
+		return fmt.Errorf("faults: audit fleet: %d failed attempts but %d retries + %d exhausted (double-counted retry?)",
+			c.FailedAttempts, c.Retries, c.RetriesExhausted)
+	case c.NodeServed+c.NodeShed+c.NodeFailed != c.NodeOffered:
+		return fmt.Errorf("faults: audit fleet: node served %d + shed %d + failed %d != node offered %d",
+			c.NodeServed, c.NodeShed, c.NodeFailed, c.NodeOffered)
+	case c.NodeServed != c.Served+c.WastedHedges:
+		return fmt.Errorf("faults: audit fleet: node completions %d != served %d + wasted hedges %d",
+			c.NodeServed, c.Served, c.WastedHedges)
+	case c.NodeShed != c.ValveShed:
+		return fmt.Errorf("faults: audit fleet: node sheds %d != valve sheds %d", c.NodeShed, c.ValveShed)
+	case c.NodeFailed != c.InstanceCrashes:
+		return fmt.Errorf("faults: audit fleet: node failures %d != instance crashes %d", c.NodeFailed, c.InstanceCrashes)
+	case c.WastedHedges > c.Hedges || c.HedgeRescues > c.Hedges:
+		return fmt.Errorf("faults: audit fleet: wasted %d / rescues %d exceed hedges %d",
+			c.WastedHedges, c.HedgeRescues, c.Hedges)
+	case c.ServedWhileDown != 0:
+		return fmt.Errorf("faults: audit fleet: %d completions attributed to down or ejected nodes", c.ServedWhileDown)
 	}
 	return nil
 }

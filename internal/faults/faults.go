@@ -11,6 +11,8 @@
 package faults
 
 import (
+	"math"
+
 	"lukewarm/internal/core"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/program"
@@ -42,6 +44,16 @@ const (
 	TraceCorrupt
 	// TrafficBurst turns an arrival process into a saturating burst.
 	TrafficBurst
+	// NodeCrash takes a whole simulated node down: every resident instance's
+	// warm state and Jukebox metadata is lost, in-flight work dies, and the
+	// node stays dark for a recovery window (cluster fleet simulations).
+	NodeCrash
+	// InstanceCrash kills one instance mid-invocation: the cycles are spent,
+	// the response is lost, and the instance's next dispatch is cold.
+	InstanceCrash
+	// DispatchFlake is a transient front-end dispatch failure: the request
+	// never reaches the node and is eligible for retry.
+	DispatchFlake
 
 	numKinds
 )
@@ -65,6 +77,12 @@ func (k Kind) String() string {
 		return "trace-corrupt"
 	case TrafficBurst:
 		return "traffic-burst"
+	case NodeCrash:
+		return "node-crash"
+	case InstanceCrash:
+		return "instance-crash"
+	case DispatchFlake:
+		return "dispatch-flake"
 	default:
 		return "unknown-fault"
 	}
@@ -85,6 +103,7 @@ func Kinds() []Kind {
 // before a run, ...); the Injections counters record what actually fired.
 type Plan struct {
 	rng   *program.RNG
+	seed  uint64
 	armed [numKinds]bool
 	// Injections counts fired injections per kind.
 	Injections [numKinds]uint64
@@ -93,7 +112,7 @@ type Plan struct {
 // NewPlan builds a plan with the given kinds armed, seeded from the
 // library's xorshift stream family (never wall-clock).
 func NewPlan(seed uint64, kinds ...Kind) *Plan {
-	p := &Plan{rng: program.NewRNG(program.Mix(0xFA017, seed))}
+	p := &Plan{rng: program.NewRNG(program.Mix(0xFA017, seed)), seed: seed}
 	for _, k := range kinds {
 		if k < numKinds {
 			p.armed[k] = true
@@ -220,6 +239,52 @@ func (p *Plan) CorruptTrace(data []byte) []byte {
 	}
 	p.Injections[TraceCorrupt]++
 	return out
+}
+
+// AttemptFails decides, by a keyed Bernoulli draw, whether fault kind k
+// strikes the attempt identified by key, with probability prob. The draw is
+// a pure function of (plan seed, kind, key) — never of call order or of prob
+// itself — which gives the campaign the common-random-numbers property: the
+// set of struck attempts at probability p is a subset of the set at any
+// p' > p. Availability therefore degrades monotonically as failure rates
+// rise, which the cluster chaos tests assert. Counts an injection when it
+// fires. Unarmed kinds and non-positive probabilities never fire.
+func (p *Plan) AttemptFails(k Kind, key uint64, prob float64) bool {
+	if k >= numKinds || !p.armed[k] || prob <= 0 {
+		return false
+	}
+	u := program.NewRNG(program.Mix(program.Mix(p.seed, 0x51AB+uint64(k)), key)).Float64()
+	if u >= prob {
+		return false
+	}
+	p.Injections[k]++
+	return true
+}
+
+// NodeCrashGapMs draws the gap to a node's next crash from an exponential
+// distribution with mean mtbfMs, clamped to at least 1 ms. Draws come from
+// the plan's own stream in call order, so a fixed call sequence (node
+// initialization order, then crash-event order) is fully determined by the
+// seed. Returns 0 — never crash — when NodeCrash is unarmed or mtbfMs is
+// not positive.
+func (p *Plan) NodeCrashGapMs(mtbfMs float64) float64 {
+	if !p.armed[NodeCrash] || mtbfMs <= 0 {
+		return 0
+	}
+	g := -math.Log(1-p.rng.Float64()) * mtbfMs
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// RecordInjection counts one fired injection of kind k for injections whose
+// firing decision lives outside the plan (node-crash events scheduled from
+// NodeCrashGapMs draws).
+func (p *Plan) RecordInjection(k Kind) {
+	if k < numKinds {
+		p.Injections[k]++
+	}
 }
 
 // BurstTraffic transforms an arrival process into a saturating burst:

@@ -317,3 +317,176 @@ func TestAuditCatchesViolations(t *testing.T) {
 		t.Error("cold starts > served not caught")
 	}
 }
+
+// TestAuditTrafficConservation exercises the dispatch-conservation checks:
+// a real run balances, and any miscounted ledger is caught.
+func TestAuditTrafficConservation(t *testing.T) {
+	s := serverless.New(serverless.Config{})
+	for _, fn := range []string{"Auth-G", "Email-P"} {
+		w, err := workload.ByName(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Deploy(w)
+	}
+	cfg := serverless.DefaultTrafficConfig()
+	cfg.InvocationsPerInstance = 3
+	cfg.MeanIATms = 50
+	res, err := s.ServeTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditTraffic(res); err != nil {
+		t.Errorf("clean run flagged: %v", err)
+	}
+	if res.Offered != res.Served+res.Shed {
+		t.Errorf("offered %d != served %d + shed %d", res.Offered, res.Served, res.Shed)
+	}
+
+	leak := res
+	leak.Offered++ // one injected invocation vanished
+	if AuditTraffic(leak) == nil {
+		t.Error("lost invocation not caught")
+	}
+	double := res
+	double.Served++ // one invocation counted twice
+	if AuditTraffic(double) == nil {
+		t.Error("double-counted invocation not caught")
+	}
+	fail := res
+	fail.Failed = -1
+	if AuditTraffic(fail) == nil {
+		t.Error("negative failed count not caught")
+	}
+	if len(res.PerFunction) > 0 {
+		fn := res
+		fn.PerFunction = append([]serverless.FuncTraffic(nil), res.PerFunction...)
+		fn.PerFunction[0].Failed++ // per-function ledger out of balance
+		if AuditTraffic(fn) == nil {
+			t.Error("per-function failed imbalance not caught")
+		}
+	}
+}
+
+func TestAuditFleetInvariants(t *testing.T) {
+	good := FleetCounters{
+		Offered: 10, Served: 7, Shed: 2, Failed: 1,
+		ShedLowPriority: 1, TierRejected: 1,
+		DeadlineFailed: 0, RetriesExhausted: 1,
+		FailedAttempts: 3, Retries: 2,
+		NodeOffered: 9, NodeServed: 8, NodeFailed: 1,
+		Hedges: 2, WastedHedges: 1, HedgeRescues: 1,
+		InstanceCrashes: 1,
+	}
+	if err := AuditFleet(good); err != nil {
+		t.Errorf("balanced ledger flagged: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*FleetCounters)
+	}{
+		{"lost request", func(c *FleetCounters) { c.Offered++ }},
+		{"shed breakdown", func(c *FleetCounters) { c.TierRejected++ }},
+		{"failure breakdown", func(c *FleetCounters) { c.DeadlineFailed++ }},
+		{"double-counted retry", func(c *FleetCounters) { c.Retries++ }},
+		{"node conservation", func(c *FleetCounters) { c.NodeServed++; c.NodeOffered++ }},
+		{"phantom node shed", func(c *FleetCounters) { c.NodeShed++; c.NodeOffered++ }},
+		{"served while down", func(c *FleetCounters) { c.ServedWhileDown = 1 }},
+		{"wasted exceeds hedges", func(c *FleetCounters) { c.WastedHedges = 5 }},
+		{"negative counter", func(c *FleetCounters) { c.Served = -1; c.Failed = 9 }},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mutate(&c)
+		if AuditFleet(c) == nil {
+			t.Errorf("%s not caught", tc.name)
+		}
+	}
+}
+
+// TestAttemptFailsKeyed pins the common-random-numbers contract: draws are
+// order-independent, nested across probabilities, and seed-keyed.
+func TestAttemptFailsKeyed(t *testing.T) {
+	strikes := func(prob float64, keys []uint64) map[uint64]bool {
+		p := NewPlan(42, DispatchFlake)
+		out := map[uint64]bool{}
+		for _, k := range keys {
+			if p.AttemptFails(DispatchFlake, k, prob) {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i) * 977
+	}
+	lo, hi := strikes(0.1, keys), strikes(0.4, keys)
+	if len(lo) == 0 || len(hi) == 0 {
+		t.Fatal("no strikes at either probability")
+	}
+	if len(lo) >= len(hi) {
+		t.Errorf("strike counts not increasing: %d at 0.1, %d at 0.4", len(lo), len(hi))
+	}
+	for k := range lo {
+		if !hi[k] {
+			t.Fatalf("key %d struck at 0.1 but spared at 0.4: draws not nested", k)
+		}
+	}
+	// Reversed call order must strike the same set.
+	rev := make([]uint64, len(keys))
+	for i, k := range keys {
+		rev[len(keys)-1-i] = k
+	}
+	back := strikes(0.1, rev)
+	if len(back) != len(lo) {
+		t.Error("call order changed the struck set")
+	}
+	for k := range lo {
+		if !back[k] {
+			t.Error("call order changed the struck set membership")
+		}
+	}
+	// Unarmed kinds and zero probability never fire.
+	p := NewPlan(42, DispatchFlake)
+	if p.AttemptFails(InstanceCrash, 1, 1.0) {
+		t.Error("unarmed kind fired")
+	}
+	if p.AttemptFails(DispatchFlake, 1, 0) {
+		t.Error("zero probability fired")
+	}
+	n := NewPlan(42, DispatchFlake)
+	hits := 0
+	for _, k := range keys {
+		if n.AttemptFails(DispatchFlake, k, 0.25) {
+			hits++
+		}
+	}
+	if int(n.Injections[DispatchFlake]) != hits {
+		t.Errorf("injection counter %d != observed strikes %d", n.Injections[DispatchFlake], hits)
+	}
+}
+
+func TestNodeCrashGapDeterministic(t *testing.T) {
+	draw := func() []float64 {
+		p := NewPlan(5, NodeCrash)
+		var gs []float64
+		for i := 0; i < 8; i++ {
+			gs = append(gs, p.NodeCrashGapMs(1000))
+		}
+		return gs
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical plans: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] < 1 {
+			t.Errorf("gap %g below the 1 ms floor", a[i])
+		}
+	}
+	unarmed := NewPlan(5, DispatchFlake)
+	if g := unarmed.NodeCrashGapMs(1000); g != 0 {
+		t.Errorf("unarmed plan drew a crash gap %g", g)
+	}
+}

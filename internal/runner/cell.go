@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"lukewarm/internal/cluster"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/faults"
@@ -19,7 +20,9 @@ import (
 // construction, no cleanup pass needed.
 //
 // v2: Measurement gained the Traffic field (scheduling experiments).
-const SchemaVersion = 2
+// v3: Measurement gained the Cluster field and TrafficSummary gained
+// Offered/Failed (fleet simulation).
+const SchemaVersion = 3
 
 // Mode selects the execution regime of a measurement cell.
 type Mode uint8
@@ -120,6 +123,9 @@ type Measurement struct {
 	// measurement window (the scheduling experiment); nil for standard
 	// cells.
 	Traffic *serverless.TrafficSummary
+	// Cluster holds a fleet simulation's summary for cells whose custom
+	// executor runs cluster.Run (the cluster experiment); nil otherwise.
+	Cluster *cluster.Summary
 }
 
 // CPI reports the window's cycles per instruction.

@@ -126,6 +126,10 @@ func (c TrafficConfig) shape() sched.Shape {
 	return s
 }
 
+// Shape exposes the resolved arrival-process shape (the cluster front end
+// drives the same generator at fleet scope).
+func (c TrafficConfig) Shape() sched.Shape { return c.shape() }
+
 // placer resolves the placement policy.
 func (c TrafficConfig) placer() sched.Placer {
 	if c.Placer != nil {
@@ -166,6 +170,10 @@ type FuncTraffic struct {
 	// Served, ColdStarts and Shed are this function's share of the
 	// fleet-wide counters.
 	Served, ColdStarts, Shed int
+	// Failed counts dispatches that ran but whose response was lost to an
+	// injected instance crash (fleet simulations); always 0 in plain
+	// ServeTraffic runs.
+	Failed int
 	// CPISum accumulates per-invocation CPI; CPISum/Served is the
 	// function's mean CPI over the run.
 	CPISum float64
@@ -181,11 +189,19 @@ func (f FuncTraffic) MeanCPI() float64 {
 
 // TrafficResult summarizes a traffic run.
 type TrafficResult struct {
+	// Offered counts every invocation that reached the dispatcher:
+	// Offered == Served + Shed + Failed (the conservation invariant
+	// faults.AuditTraffic enforces).
+	Offered int
 	// Served counts completed invocations.
 	Served int
 	// Shed counts invocations dropped by the overload valve (MaxQueue bound
 	// or ShedAfterMs deadline) instead of being served.
 	Shed int
+	// Failed counts invocations that executed but whose response was lost
+	// to an injected instance crash. Plain ServeTraffic runs never fail
+	// invocations; the cluster front end injects them via TrafficSim.
+	Failed int
 	// ColdStarts counts invocations that found their instance evicted.
 	ColdStarts int
 	// PrewarmHits counts invocations whose instance had been evicted but
@@ -203,7 +219,7 @@ type TrafficResult struct {
 	// memory-resident — the instance-memory budget the keep-alive policy
 	// spent. Busy (executing) time is not included.
 	ResidentMs float64
-	// PerFunction breaks Served/ColdStarts/Shed down by function, in
+	// PerFunction breaks Served/ColdStarts/Shed/Failed down by function, in
 	// deployment order.
 	PerFunction []FuncTraffic
 	// CPI summarizes per-invocation CPI across all instances.
@@ -257,6 +273,7 @@ func (r *TrafficResult) JukeboxCoverage() float64 {
 // cache unchanged. Experiment runners store it inside runner.Measurement.
 type TrafficSummary struct {
 	Served, Shed, ColdStarts         int
+	Offered, Failed                  int
 	PrewarmHits, Migrations, Rebinds int
 	MeanCPI, MeanServiceCycles       float64
 	MeanLatencyCycles, P99LatencyCyc float64
@@ -269,6 +286,7 @@ type TrafficSummary struct {
 func (r *TrafficResult) Summary() TrafficSummary {
 	return TrafficSummary{
 		Served: r.Served, Shed: r.Shed, ColdStarts: r.ColdStarts,
+		Offered: r.Offered, Failed: r.Failed,
 		PrewarmHits: r.PrewarmHits, Migrations: r.PlacementMigrations,
 		Rebinds:           r.JukeboxRebinds,
 		MeanCPI:           r.CPI.Mean(),
@@ -344,6 +362,317 @@ type instSched struct {
 	hasDone    bool
 	lastCore   int // core of the last completion, -1 before the first
 	servedMark int // coreServed[lastCore] at that completion
+	// forceCold marks an instance whose warm state was destroyed outside
+	// the keep-alive policy's control (node or instance crash): its next
+	// dispatch cold-starts unconditionally. Never set by ServeTraffic.
+	forceCold bool
+}
+
+// WarmthClass classifies one served invocation's microarchitectural state
+// at dispatch — the cold/lukewarm/warm split the fleet results report.
+type WarmthClass uint8
+
+// The three warmth classes of the paper's framing.
+const (
+	// ClassCold: the instance was evicted (or never ran) and paid the boot
+	// charge — or would have, for a first invocation.
+	ClassCold WarmthClass = iota
+	// ClassLukewarm: the instance was memory-resident but other invocations
+	// ran on its core since its last completion (state partially thrashed),
+	// or it came back on a different core.
+	ClassLukewarm
+	// ClassWarm: back-to-back on the same core with nothing in between —
+	// the fully warm reference regime.
+	ClassWarm
+)
+
+// String names the class.
+func (c WarmthClass) String() string {
+	switch c {
+	case ClassCold:
+		return "cold"
+	case ClassWarm:
+		return "warm"
+	default:
+		return "lukewarm"
+	}
+}
+
+// DispatchOutcome reports what one dispatched arrival did to the node.
+type DispatchOutcome struct {
+	// Shed reports the arrival was dropped by an overload valve; nothing
+	// else in the outcome is meaningful.
+	Shed bool
+	// Failed reports the invocation executed (cycles were spent, state was
+	// thrashed) but its response was lost: the dispatch was Doomed.
+	Failed bool
+	// Class is the invocation's warmth class at dispatch.
+	Class WarmthClass
+	// ColdStart reports the keep-alive (or a crash) charged a cold start.
+	ColdStart bool
+	// Prewarmed reports the keep-alive's pre-warm absorbed the eviction.
+	Prewarmed bool
+	// Core is the core index that served the invocation.
+	Core int
+	// Done is the chosen core's clock after completion.
+	Done mem.Cycle
+	// LatencyCycles is arrival-to-completion time, ServiceCycles execution
+	// time only, CPI the invocation's cycles per instruction.
+	LatencyCycles, ServiceCycles, CPI float64
+}
+
+// TrafficSim is the dispatch engine underneath ServeTraffic, factored out so
+// a fleet front end (internal/cluster) can drive one node's instances
+// arrival-by-arrival while owning the arrival processes, retries and fault
+// injection itself. The sim owns everything node-local: core placement,
+// overload valves, keep-alive judgments, migration/rebind accounting and the
+// per-node TrafficResult. It draws no randomness of its own — determinism is
+// exactly the caller's arrival order.
+type TrafficSim struct {
+	srv         *Server
+	cfg         TrafficConfig
+	placer      sched.Placer
+	keepAlive   sched.KeepAlive
+	cyclesPerMs float64
+
+	res        TrafficResult
+	state      map[*Instance]*instSched
+	perFn      []*FuncTraffic
+	coreServed []int
+	views      []sched.CoreView
+	start      mem.Cycle
+	busy       mem.Cycle
+}
+
+// NewTrafficSim builds a dispatch engine for srv under cfg. The server's
+// already-deployed instances are registered in deployment order; instances
+// deployed later must be registered explicitly.
+func (s *Server) NewTrafficSim(cfg TrafficConfig) (*TrafficSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ts := &TrafficSim{
+		srv:         s,
+		cfg:         cfg,
+		placer:      cfg.placer(),
+		keepAlive:   cfg.keepAlive(),
+		cyclesPerMs: s.cfg.CPU.FreqGHz * 1e6,
+		state:       map[*Instance]*instSched{},
+		coreServed:  make([]int, len(s.Cores)),
+		views:       make([]sched.CoreView, len(s.Cores)),
+		start:       s.Core.Now(),
+	}
+	for _, inst := range s.instances {
+		ts.Register(inst)
+	}
+	return ts, nil
+}
+
+// Register adds per-instance bookkeeping (and a PerFunction row) for inst.
+func (ts *TrafficSim) Register(inst *Instance) {
+	if ts.state[inst] != nil {
+		return
+	}
+	fn := &FuncTraffic{Name: inst.Workload.Name}
+	ts.perFn = append(ts.perFn, fn)
+	ts.state[inst] = &instSched{fn: fn, lastCore: -1}
+}
+
+// CyclesPerMs reports the clock conversion factor of the underlying server.
+func (ts *TrafficSim) CyclesPerMs() float64 { return ts.cyclesPerMs }
+
+// EarliestFreeAt reports when the node's least-loaded core drains its
+// backlog — the fleet placer's per-node FreeAt signal.
+func (ts *TrafficSim) EarliestFreeAt() mem.Cycle {
+	min := ts.srv.Cores[0].Now()
+	for _, c := range ts.srv.Cores[1:] {
+		if n := c.Now(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// MarkCrashed models the instance dying with its host state: the address
+// space and any Jukebox metadata are reclaimed (Instance.Evict) and the next
+// dispatch cold-starts unconditionally, bypassing the keep-alive policy.
+func (ts *TrafficSim) MarkCrashed(inst *Instance) {
+	st := ts.state[inst]
+	if st == nil {
+		return
+	}
+	inst.Evict()
+	st.forceCold = true
+	st.hasDone = false
+}
+
+// Dispatch serves one arrival of inst at time at: core placement, overload
+// valves, keep-alive judgment, cold-start charge, migration accounting and
+// the invocation itself, exactly as ServeTraffic's historical loop body.
+//
+// due, consulted only when an overload valve is armed, must report how many
+// other pending arrivals are due at or before the chosen core's clock (this
+// arrival is counted by the sim itself).
+//
+// doomed runs the invocation but loses the response: the work is done and
+// the state thrashed, but the arrival counts as Failed, not Served, and the
+// instance crashes with it (MarkCrashed semantics). ServeTraffic never dooms.
+func (ts *TrafficSim) Dispatch(inst *Instance, at mem.Cycle, doomed bool, due func(coreNow mem.Cycle) int) DispatchOutcome {
+	st := ts.state[inst]
+	cfg := ts.cfg
+	s := ts.srv
+	arrivalMs := float64(at) / ts.cyclesPerMs
+	ts.res.Offered++
+	// Snapshot per-core state and let the placement policy dispatch.
+	for i := range s.Cores {
+		ts.views[i] = sched.CoreView{
+			FreeAtMs: float64(s.Cores[i].Now()) / ts.cyclesPerMs,
+			Last:     st.lastCore == i,
+		}
+		if ts.views[i].Last {
+			ts.views[i].ForeignSince = ts.coreServed[i] - st.servedMark
+			ts.views[i].Bound = inst.Jukebox != nil
+		}
+	}
+	idx := ts.placer.Place(sched.Request{
+		Func:       inst.Workload.Name,
+		ArrivalMs:  arrivalMs,
+		HasJukebox: inst.Jukebox != nil,
+	}, ts.views)
+	core := s.Cores[idx]
+	// Overload valve: shed before touching any simulated state, so a
+	// shed decision never perturbs the microarchitecture. An invocation
+	// is shed when it already blew its deadline waiting for a core, or
+	// when the due backlog (this arrival plus queued arrivals whose time
+	// has passed) exceeds the configured bound. The client's later
+	// requests still arrive, so the process drains deterministically.
+	if cfg.ShedAfterMs > 0 || cfg.MaxQueue > 0 {
+		waitedMs := 0.0
+		if core.Now() > at {
+			waitedMs = float64(core.Now()-at) / ts.cyclesPerMs
+		}
+		d := 1
+		if due != nil {
+			d += due(core.Now())
+		}
+		if (cfg.ShedAfterMs > 0 && waitedMs > cfg.ShedAfterMs) ||
+			(cfg.MaxQueue > 0 && d > cfg.MaxQueue) {
+			ts.res.Shed++
+			st.fn.Shed++
+			return DispatchOutcome{Shed: true, Core: idx}
+		}
+	}
+	if core.Now() < at {
+		gap := at - core.Now()
+		if cfg.AmbientThrash {
+			s.AdvanceIATOn(idx, float64(gap)/ts.cyclesPerMs)
+		} else {
+			core.AdvanceCycles(gap)
+		}
+	}
+	var out DispatchOutcome
+	out.Core = idx
+	// Warmth class: fully warm only when nothing ran on the instance's last
+	// core since its last completion; a cold start (from keep-alive or a
+	// crash) is cold; everything else — including first invocations on a
+	// thrashed core and pre-warm restorations — is lukewarm. First-ever
+	// invocations on a fresh server are cold microarchitecturally even
+	// though no boot charge applies.
+	switch {
+	case st.forceCold || !st.hasDone:
+		out.Class = ClassCold
+	case st.lastCore == idx && ts.coreServed[idx] == st.servedMark:
+		out.Class = ClassWarm
+	default:
+		out.Class = ClassLukewarm
+	}
+	// Keep-alive: judge the idle gap since the instance's last
+	// completion. Evicted-and-not-prewarmed instances cold-start. A
+	// crash-marked instance cold-starts unconditionally: its state is
+	// already gone, no policy can have kept it.
+	if st.forceCold {
+		st.forceCold = false
+		out.ColdStart = true
+		ts.res.ColdStarts++
+		st.fn.ColdStarts++
+		core.AdvanceCycles(mem.Cycle(cfg.ColdStartMs * ts.cyclesPerMs))
+	} else if st.hasDone {
+		idleMs := 0.0
+		if at > st.lastDone {
+			idleMs = float64(at-st.lastDone) / ts.cyclesPerMs
+		}
+		d := ts.keepAlive.Decide(inst.Workload.Name, idleMs)
+		ts.res.ResidentMs += d.ResidentMs
+		if d.Prewarmed {
+			ts.res.PrewarmHits++
+			out.Prewarmed = true
+		}
+		if d.ColdStart() {
+			out.Class = ClassCold
+			out.ColdStart = true
+			ts.res.ColdStarts++
+			st.fn.ColdStarts++
+			core.AdvanceCycles(mem.Cycle(cfg.ColdStartMs * ts.cyclesPerMs))
+		}
+	}
+	// Placement accounting: a core change is a migration, and (with
+	// Jukebox) a base/limit reprogramming on the new core.
+	if st.lastCore >= 0 && st.lastCore != idx {
+		ts.res.PlacementMigrations++
+	}
+	if inst.Jukebox != nil && st.lastCore != idx {
+		ts.res.JukeboxRebinds++
+	}
+	r := s.InvokeOn(idx, inst)
+	ts.busy += r.Cycles
+	out.Done = core.Now()
+	out.CPI = r.CPI()
+	out.ServiceCycles = float64(r.Cycles)
+	out.LatencyCycles = float64(core.Now() - at)
+	ts.coreServed[idx]++
+	if doomed {
+		// The work ran — cycles were burned and foreign state streamed
+		// through the core — but the response died with the instance.
+		out.Failed = true
+		ts.res.Failed++
+		st.fn.Failed++
+		inst.Evict()
+		st.forceCold = true
+		st.hasDone = false
+		return out
+	}
+	ts.res.Served++
+	st.fn.Served++
+	st.fn.CPISum += out.CPI
+	ts.res.CPI.Add(out.CPI)
+	ts.res.ServiceCycles.Add(out.ServiceCycles)
+	ts.res.LatencyCycles.Add(out.LatencyCycles)
+	ts.res.latencies = append(ts.res.latencies, out.LatencyCycles)
+	st.lastDone = core.Now()
+	st.hasDone = true
+	st.lastCore = idx
+	st.servedMark = ts.coreServed[idx]
+	return out
+}
+
+// Finish seals the run: busy fraction and span are computed and the
+// aggregate result returned. The sim must not be dispatched to afterwards.
+func (ts *TrafficSim) Finish() TrafficResult {
+	var span mem.Cycle
+	for _, c := range ts.srv.Cores {
+		if d := c.Now() - ts.start; d > span {
+			span = d
+		}
+	}
+	if span > 0 {
+		ts.res.BusyFraction = float64(ts.busy) / (float64(span) * float64(len(ts.srv.Cores)))
+	}
+	ts.res.SimulatedMs = float64(span) / ts.cyclesPerMs
+	ts.res.PerFunction = make([]FuncTraffic, len(ts.perFn))
+	for i, fn := range ts.perFn {
+		ts.res.PerFunction[i] = *fn
+	}
+	return ts.res
 }
 
 // ServeTraffic runs the arrival process over every deployed instance until
@@ -357,17 +686,16 @@ type instSched struct {
 // co-resident instances the interleaved executions themselves provide the
 // (realistic, partial) state destruction.
 func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return TrafficResult{}, err
-	}
 	if len(s.instances) == 0 {
 		return TrafficResult{}, cfgerr.New("traffic: server has no deployed instances")
 	}
+	sim, err := s.NewTrafficSim(cfg)
+	if err != nil {
+		return TrafficResult{}, err
+	}
 	rng := program.NewRNG(program.Mix(0x7AF1C, cfg.Seed))
-	cyclesPerMs := s.cfg.CPU.FreqGHz * 1e6
+	cyclesPerMs := sim.CyclesPerMs()
 	shape := cfg.shape()
-	placer := cfg.placer()
-	keepAlive := cfg.keepAlive()
 
 	nextGap := func(nowMs float64) mem.Cycle {
 		c := mem.Cycle(shape.GapMs(rng, nowMs) * cyclesPerMs)
@@ -377,145 +705,37 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
 		return c
 	}
 
-	var res TrafficResult
 	var q arrivalQueue
 	seq := 0
 	remaining := map[*Instance]int{}
-	state := map[*Instance]*instSched{}
-	res.PerFunction = make([]FuncTraffic, len(s.instances))
-	for i, inst := range s.instances {
-		res.PerFunction[i].Name = inst.Workload.Name
+	for _, inst := range s.instances {
 		remaining[inst] = cfg.InvocationsPerInstance
-		state[inst] = &instSched{fn: &res.PerFunction[i], lastCore: -1}
 		// Phase-shift first arrivals across instances.
 		first := s.Core.Now() + mem.Cycle(rng.Float64()*cfg.MeanIATms*cyclesPerMs)
 		heap.Push(&q, arrival{at: first, inst: inst, seq: seq})
 		seq++
 	}
-	coreServed := make([]int, len(s.Cores))
-	views := make([]sched.CoreView, len(s.Cores))
-
-	start := s.Core.Now()
-	var busy mem.Cycle
 
 	for q.Len() > 0 {
 		a := heap.Pop(&q).(arrival)
-		st := state[a.inst]
-		arrivalMs := float64(a.at) / cyclesPerMs
-		// Snapshot per-core state and let the placement policy dispatch.
-		for i := range s.Cores {
-			views[i] = sched.CoreView{
-				FreeAtMs: float64(s.Cores[i].Now()) / cyclesPerMs,
-				Last:     st.lastCore == i,
-			}
-			if views[i].Last {
-				views[i].ForeignSince = coreServed[i] - st.servedMark
-				views[i].Bound = a.inst.Jukebox != nil
-			}
-		}
-		idx := placer.Place(sched.Request{
-			Func:       a.inst.Workload.Name,
-			ArrivalMs:  arrivalMs,
-			HasJukebox: a.inst.Jukebox != nil,
-		}, views)
-		core := s.Cores[idx]
-		// Overload valve: shed before touching any simulated state, so a
-		// shed decision never perturbs the microarchitecture. An invocation
-		// is shed when it already blew its deadline waiting for a core, or
-		// when the due backlog (this arrival plus queued arrivals whose time
-		// has passed) exceeds the configured bound. The client's later
-		// requests still arrive, so the process drains deterministically.
-		if cfg.ShedAfterMs > 0 || cfg.MaxQueue > 0 {
-			waitedMs := 0.0
-			if core.Now() > a.at {
-				waitedMs = float64(core.Now()-a.at) / cyclesPerMs
-			}
-			due := 1
+		out := sim.Dispatch(a.inst, a.at, false, func(coreNow mem.Cycle) int {
+			due := 0
 			for _, p := range q {
-				if p.at <= core.Now() {
+				if p.at <= coreNow {
 					due++
 				}
 			}
-			if (cfg.ShedAfterMs > 0 && waitedMs > cfg.ShedAfterMs) ||
-				(cfg.MaxQueue > 0 && due > cfg.MaxQueue) {
-				res.Shed++
-				st.fn.Shed++
-				remaining[a.inst]--
-				if remaining[a.inst] > 0 {
-					heap.Push(&q, arrival{at: a.at + nextGap(arrivalMs), inst: a.inst, seq: seq})
-					seq++
-				}
-				continue
-			}
-		}
-		if core.Now() < a.at {
-			gap := a.at - core.Now()
-			if cfg.AmbientThrash {
-				s.AdvanceIATOn(idx, float64(gap)/cyclesPerMs)
-			} else {
-				core.AdvanceCycles(gap)
-			}
-		}
-		// Keep-alive: judge the idle gap since the instance's last
-		// completion. Evicted-and-not-prewarmed instances cold-start.
-		if st.hasDone {
-			idleMs := 0.0
-			if a.at > st.lastDone {
-				idleMs = float64(a.at-st.lastDone) / cyclesPerMs
-			}
-			d := keepAlive.Decide(a.inst.Workload.Name, idleMs)
-			res.ResidentMs += d.ResidentMs
-			if d.Prewarmed {
-				res.PrewarmHits++
-			}
-			if d.ColdStart() {
-				res.ColdStarts++
-				st.fn.ColdStarts++
-				core.AdvanceCycles(mem.Cycle(cfg.ColdStartMs * cyclesPerMs))
-			}
-		}
-		// Placement accounting: a core change is a migration, and (with
-		// Jukebox) a base/limit reprogramming on the new core.
-		if st.lastCore >= 0 && st.lastCore != idx {
-			res.PlacementMigrations++
-		}
-		if a.inst.Jukebox != nil && st.lastCore != idx {
-			res.JukeboxRebinds++
-		}
-		r := s.InvokeOn(idx, a.inst)
-		busy += r.Cycles
-		res.Served++
-		st.fn.Served++
-		st.fn.CPISum += r.CPI()
-		res.CPI.Add(r.CPI())
-		res.ServiceCycles.Add(float64(r.Cycles))
-		lat := float64(core.Now() - a.at)
-		res.LatencyCycles.Add(lat)
-		res.latencies = append(res.latencies, lat)
-		coreServed[idx]++
-		st.lastDone = core.Now()
-		st.hasDone = true
-		st.lastCore = idx
-		st.servedMark = coreServed[idx]
-
+			return due
+		})
+		_ = out
 		remaining[a.inst]--
 		if remaining[a.inst] > 0 {
+			arrivalMs := float64(a.at) / cyclesPerMs
 			heap.Push(&q, arrival{at: a.at + nextGap(arrivalMs), inst: a.inst, seq: seq})
 			seq++
 		}
 	}
-
-	var span mem.Cycle
-	for _, c := range s.Cores {
-		if d := c.Now() - start; d > span {
-			span = d
-		}
-	}
-	if span > 0 {
-		res.BusyFraction = float64(busy) / (float64(span) * float64(len(s.Cores)))
-	}
-	res.SimulatedMs = float64(span) / cyclesPerMs
-	return res, nil
+	return sim.Finish(), nil
 }
 
 // String renders a one-paragraph summary, with a per-function breakdown of
@@ -524,6 +744,9 @@ func (r *TrafficResult) String() string {
 	shed := ""
 	if r.Shed > 0 {
 		shed = fmt.Sprintf(", %d shed", r.Shed)
+	}
+	if r.Failed > 0 {
+		shed += fmt.Sprintf(", %d failed", r.Failed)
 	}
 	extra := ""
 	if r.PrewarmHits > 0 {
@@ -536,17 +759,17 @@ func (r *TrafficResult) String() string {
 		extra += fmt.Sprintf(", %d jukebox rebinds", r.JukeboxRebinds)
 	}
 	out := fmt.Sprintf(
-		"served %d invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s%s); "+
+		"served %d of %d offered invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s%s); "+
 			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles; "+
 			"instances resident %.0f ms",
-		r.Served, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts, shed, extra,
+		r.Served, r.Offered, r.SimulatedMs, r.BusyFraction*100, r.ColdStarts, shed, extra,
 		r.CPI.Mean(), r.ServiceCycles.Mean(), r.LatencyCycles.Mean(), r.P99LatencyCycles(),
 		r.ResidentMs)
-	if r.ColdStarts > 0 || r.Shed > 0 {
+	if r.ColdStarts > 0 || r.Shed > 0 || r.Failed > 0 {
 		var parts []string
 		for _, f := range r.PerFunction {
-			if f.ColdStarts > 0 || f.Shed > 0 {
-				parts = append(parts, fmt.Sprintf("%s %d cold/%d shed", f.Name, f.ColdStarts, f.Shed))
+			if f.ColdStarts > 0 || f.Shed > 0 || f.Failed > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d cold/%d shed/%d failed", f.Name, f.ColdStarts, f.Shed, f.Failed))
 			}
 		}
 		if len(parts) > 0 {

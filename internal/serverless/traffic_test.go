@@ -58,7 +58,7 @@ func TestServeTrafficBasics(t *testing.T) {
 	if res.P99LatencyCycles() < res.LatencyCycles.Mean() {
 		t.Errorf("p99 %.0f below mean %.0f", res.P99LatencyCycles(), res.LatencyCycles.Mean())
 	}
-	if !strings.Contains(res.String(), "served 9 invocations") {
+	if !strings.Contains(res.String(), "served 9 of 9 offered") {
 		t.Errorf("summary rendering: %s", res.String())
 	}
 }

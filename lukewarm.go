@@ -41,6 +41,7 @@ import (
 
 	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/check"
+	"lukewarm/internal/cluster"
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/experiments"
@@ -119,6 +120,17 @@ type (
 	HybridKeepAliveConfig = sched.HybridConfig
 	// SchedResult backs the scheduling-policy experiment (see Sched).
 	SchedResult = experiments.SchedResult
+	// FleetConfig configures a fault-tolerant multi-node fleet simulation
+	// (see RunFleet).
+	FleetConfig = cluster.Config
+	// FleetResult aggregates one fleet simulation run.
+	FleetResult = cluster.Result
+	// FleetSummary is FleetResult's flat, cacheable projection.
+	FleetSummary = cluster.Summary
+	// FleetCounters is the request-conservation ledger AuditFleet checks.
+	FleetCounters = faults.FleetCounters
+	// ClusterResult backs the fleet sweep experiment (see Cluster).
+	ClusterResult = experiments.ClusterResult
 	// FaultKind enumerates the injectable fault classes.
 	FaultKind = faults.Kind
 	// FaultPlan is one seeded fault-injection campaign.
@@ -305,6 +317,27 @@ func Scaling(opt ExperimentOptions) (experiments.ScalingResult, error) {
 func Sched(opt ExperimentOptions) (experiments.SchedResult, error) {
 	return experiments.Sched(opt)
 }
+
+// RunFleet simulates a fault-tolerant fleet: identical nodes behind a
+// retrying, hedging, health-checking front end with a graceful-degradation
+// ladder, under a seeded fault plan injecting node crashes, instance
+// crashes and dispatch flakes. Deterministic for a fixed configuration.
+func RunFleet(cfg FleetConfig) (FleetResult, error) { return cluster.Run(cfg) }
+
+// Cluster runs the fleet sweep experiment: node count x failure rate x
+// fleet placement policy, reporting availability, warmth mix, tail latency
+// and resilience overheads per cell.
+func Cluster(opt ExperimentOptions) (experiments.ClusterResult, error) {
+	return experiments.Cluster(opt)
+}
+
+// AuditFleetResult checks a fleet run against the request-conservation
+// invariants (offered == served + shed + failed, retry and hedge ledgers
+// balance, no request served by a down node) plus per-node traffic audits.
+func AuditFleetResult(r *FleetResult) error { return cluster.Audit(r) }
+
+// AuditFleet checks a raw fleet-counter ledger's conservation invariants.
+func AuditFleet(c FleetCounters) error { return faults.AuditFleet(c) }
 
 // Placement policies for TrafficConfig.Placer.
 

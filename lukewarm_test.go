@@ -146,7 +146,9 @@ func TestFacadeErrorHygiene(t *testing.T) {
 }
 
 func TestFacadeFaultSurface(t *testing.T) {
-	if n := len(FaultKinds()); n != 8 {
+	// 8 single-node kinds plus the 3 fleet kinds (node crash, instance
+	// crash, dispatch flake).
+	if n := len(FaultKinds()); n != 11 {
 		t.Errorf("fault matrix has %d kinds", n)
 	}
 	plan := NewFaultPlan(3, FaultKinds()...)
