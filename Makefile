@@ -16,12 +16,16 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lukewarmlint ./...
 
-# bench captures the performance trajectory: the fleet-simulation benchmarks
-# and the raw simulator-throughput benchmark, one iteration each, serialized
-# to BENCH_$(PR).json via cmd/benchjson. Refresh the committed snapshot when
-# simulator performance changes materially.
-PR ?= 6
+# bench captures the performance trajectory: the fleet-simulation benchmarks,
+# the raw simulator-throughput benchmark, and the REAP restore path, one
+# iteration each, serialized to BENCH_$(PR).json via cmd/benchjson. Refresh
+# the committed snapshot when simulator performance changes materially.
+#
+# PR defaults to one past the highest committed BENCH_<n>.json so each PR's
+# `make bench` lands a fresh snapshot without editing this file; override
+# with `make bench PR=ci` (or any explicit tag) to write elsewhere.
+PR ?= $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9]*\)\.json$$/\1/p' | sort -n | tail -1 | awk '{print $$1 + 1}')
 bench:
-	$(GO) test -run '^$$' -bench 'Fleet|ExtensionCluster|SimulationThroughput' -benchtime 1x ./internal/cluster . \
+	$(GO) test -run '^$$' -bench 'Fleet|ExtensionCluster|SimulationThroughput|ReapRestore' -benchtime 1x ./internal/cluster ./internal/reap . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"

@@ -121,6 +121,7 @@ experiments:
   sched                 placement and keep-alive policy sweep
   chaos                 fault-injection sweep with graceful-degradation checks
   cluster               fault-tolerant fleet sweep: nodes x failure rate x placement
+  coldstart             REAP page-prefetch vs Jukebox vs PIF across start conditions
   check                 differential-oracle + metamorphic-property validation battery
   all                   everything above, in paper order
 
@@ -313,6 +314,24 @@ func (s *session) runCluster() error {
 	return nil
 }
 
+// runColdstart executes the cold-start comparator, renders its three tables,
+// and records the headlines: the combined REAP+Jukebox cold-band speedup and
+// the IAT at which Jukebox alone overtakes REAP alone.
+func (s *session) runColdstart() error {
+	r, err := lukewarm.Coldstart(s.opt)
+	if err != nil {
+		return err
+	}
+	s.rep.Headline["coldstart_reapjb_cold_speedup_pct"] = r.ColdSpeedupPct()
+	s.rep.Headline["coldstart_crossover_iat_ms"] = r.CrossoverIATms
+	for _, t := range []*lukewarm.Table{r.Table(), r.CrossoverTable(), r.StalenessTable()} {
+		if err := s.p.show(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runCheck executes the differential-oracle and metamorphic-property
 // validation battery; any FAIL row makes the command exit non-zero after the
 // full report has been rendered.
@@ -407,6 +426,8 @@ func (s *session) run(name string) error {
 		return s.step(name, s.runChaos)
 	case "cluster":
 		return s.step(name, s.runCluster)
+	case "coldstart":
+		return s.step(name, s.runColdstart)
 	case "check":
 		return s.runCheck()
 	case "all":
@@ -483,6 +504,7 @@ func (s *session) runAll() error {
 		{"sched", s.runSched},
 		{"chaos", s.runChaos},
 		{"cluster", s.runCluster},
+		{"coldstart", s.runColdstart},
 	}
 	for _, st := range steps {
 		if err := s.step(st.name, st.fn); err != nil {

@@ -48,7 +48,32 @@ func (c CSVResult) WriteCSV() string {
 	return fmt.Sprintf("%d", c.Rows)
 }
 
+// SweepResult mirrors the coldstart-comparator shape: nested map columns
+// split across several emitters (a main table, a winner table, a headline
+// accessor), with reachability satisfied as long as ANY emitter reads the
+// field. A map field no emitter renders is still flagged.
+type SweepResult struct {
+	SpeedupPct map[string]map[string]float64
+	Winner     map[string]string
+	Crossover  float64
+	Staleness  []float64
+	WastedKB   map[string]float64 // want `SweepResult.WastedKB is never reachable`
+}
+
+func (r SweepResult) Table() string {
+	return fmt.Sprintf("%v", r.SpeedupPct)
+}
+
+func (r SweepResult) CrossoverTable() string {
+	return fmt.Sprintf("%v %.1f", r.Winner, r.Crossover)
+}
+
+func (r SweepResult) StalenessTable() string {
+	return fmt.Sprintf("%v", r.Staleness)
+}
+
 func use() {
 	_ = RunResult{internal: 1, baseCounters: baseCounters{raw: 2}}.internal
 	_ = BareStats{}
+	_ = SweepResult{WastedKB: nil}
 }

@@ -122,6 +122,10 @@ func goldenCases() []goldenCase {
 			r, err := experiments.Cluster(o)
 			return []*stats.Table{r.Table(), r.LatencyTable()}, err
 		}},
+		{"coldstart", 1.0, func(o experiments.Options) ([]*stats.Table, error) {
+			r, err := experiments.Coldstart(o)
+			return []*stats.Table{r.Table(), r.CrossoverTable(), r.StalenessTable()}, err
+		}},
 	}
 }
 

@@ -118,6 +118,12 @@ type Config struct {
 	// NodeDownMs is how long a crashed node stays dark. Required positive
 	// when node crashes are enabled.
 	NodeDownMs float64
+	// ShipManifests keeps each instance's REAP manifest across node
+	// crashes — the record file is shipped to durable storage with the
+	// snapshot — so rescheduled instances restore their working set
+	// instead of demand-faulting everything. No effect unless Node.Reap
+	// is configured.
+	ShipManifests bool
 }
 
 // Validate reports whether the fleet configuration is runnable. Errors wrap
@@ -379,11 +385,20 @@ func (r *run) accountTier(at mem.Cycle) {
 
 // crashNode takes a whole node down: every resident instance loses its warm
 // state and Jukebox metadata, the node leaves rotation for NodeDownMs, and
-// the next crash is scheduled after recovery.
+// the next crash is scheduled after recovery. With ShipManifests, REAP
+// record files survive the crash and the restarted instances restore from
+// them instead of going fully cold.
 func (r *run) crashNode(e event) {
 	nd := r.nodes[e.node]
 	nd.downUntil = e.at + mem.Cycle(r.cfg.NodeDownMs*r.cyclesPerMs)
 	for _, inst := range nd.insts {
+		if r.cfg.ShipManifests && inst.Reap != nil {
+			nd.sim.MarkCrashedShipped(inst)
+			if inst.Reap.ManifestView().Pages() > 0 {
+				r.res.ManifestRestores++
+			}
+			continue
+		}
 		nd.sim.MarkCrashed(inst)
 	}
 	nd.srv.FlushMicroarch()

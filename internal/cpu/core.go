@@ -34,6 +34,16 @@ type InstrPrefetcher interface {
 	OnBlockRetire(now mem.Cycle, vBlock, pBlock uint64)
 }
 
+// DataObserver is an optional extension of InstrPrefetcher: a prefetcher
+// that also implements it sees the retired data-access stream (loads and
+// stores). Page-granular working-set recorders (internal/reap) need both
+// sides — instruction pages arrive via OnFetch, data pages via
+// OnDataAccess. The hook fires after the access completes, so observers
+// must not charge latency from it.
+type DataObserver interface {
+	OnDataAccess(now mem.Cycle, vaddr, paddr uint64, store bool)
+}
+
 // RunResult summarizes one invocation's execution.
 type RunResult struct {
 	Instrs uint64
@@ -61,6 +71,9 @@ type Core struct {
 	BTB  *BTB
 	// Prefetcher receives the hook calls; nil disables prefetching.
 	Prefetcher InstrPrefetcher
+	// dataObs caches the Prefetcher's DataObserver side, re-asserted once
+	// per invocation so the load/store hot path pays no interface probe.
+	dataObs DataObserver
 
 	now mem.Cycle
 
@@ -126,6 +139,7 @@ func (c *Core) RunInvocation(inv InstrSource) RunResult {
 	resteerBefore := c.BTB.Stats.Resteers
 	start := c.now
 
+	c.dataObs, _ = c.Prefetcher.(DataObserver)
 	if c.Prefetcher != nil {
 		c.Prefetcher.InvocationStart(c.now)
 	}
@@ -236,6 +250,9 @@ func (c *Core) load(in *program.Instr, td *topdown.Stack) {
 		td.Add(topdown.BackendBound, float64(w))
 	}
 	res := c.Hier.AccessData(c.now, paddr, false)
+	if c.dataObs != nil {
+		c.dataObs.OnDataAccess(c.now, in.MemAddr, paddr, false)
+	}
 	miss := res.Latency - cfg.Hier.L1D.HitLatency
 	if miss <= 0 {
 		return
@@ -271,6 +288,9 @@ func (c *Core) store(in *program.Instr, td *topdown.Stack) {
 		td.Add(topdown.BackendBound, float64(w))
 	}
 	c.Hier.AccessData(c.now, paddr, true)
+	if c.dataObs != nil {
+		c.dataObs.OnDataAccess(c.now, in.MemAddr, paddr, true)
+	}
 }
 
 // branch resolves a control transfer: direction prediction for

@@ -35,3 +35,14 @@ func (m MultiPrefetcher) OnBlockRetire(now mem.Cycle, vBlock, pBlock uint64) {
 		p.OnBlockRetire(now, vBlock, pBlock)
 	}
 }
+
+// OnDataAccess implements DataObserver, forwarding to the members that
+// observe the data side. The composite always satisfies DataObserver, so
+// Core caches one assertion and the per-member probes happen here.
+func (m MultiPrefetcher) OnDataAccess(now mem.Cycle, vaddr, paddr uint64, store bool) {
+	for _, p := range m {
+		if o, ok := p.(DataObserver); ok {
+			o.OnDataAccess(now, vaddr, paddr, store)
+		}
+	}
+}

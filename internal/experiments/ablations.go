@@ -6,6 +6,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/reap"
 	"lukewarm/internal/runner"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
@@ -129,9 +130,12 @@ func Snapshot(opt Options) (SnapshotResult, error) {
 	var cells []runner.Cell
 	for _, w := range suite {
 		jb := core.DefaultConfig()
+		replay := opt.variantCell("snapshot-replay", w.Name, cpu.SkylakeConfig(), &jb, lukewarm)
+		rc := reap.DefaultConfig()
+		replay.Reap = &rc
 		cells = append(cells,
 			opt.variantCell("snapshot-cold", w.Name, cpu.SkylakeConfig(), nil, lukewarm),
-			opt.variantCell("snapshot-replay", w.Name, cpu.SkylakeConfig(), &jb, lukewarm))
+			replay)
 	}
 	ms, err := opt.engine().MeasureFunc(cells, execSnapshot)
 	if err != nil {
@@ -165,11 +169,17 @@ func execSnapshot(c runner.Cell) (runner.Measurement, error) {
 		res := srv.Invoke(inst)
 		return runner.Measurement{Instrs: res.Instrs, Cycles: res.Cycles}, nil
 	case "snapshot-replay":
-		srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox})
+		srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox, Reap: c.Reap})
 		donor := srv.Deploy(w)
 		srv.RunLukewarm(donor, c.Warmup)
 		restored := srv.Deploy(w)
 		if err := restored.Jukebox.AdoptMetadata(donor.Jukebox); err != nil {
+			return runner.Measurement{}, fmt.Errorf("experiments: snapshot adopt %s: %w", w.Name, err)
+		}
+		// The snapshot ships the REAP record file alongside the Jukebox
+		// metadata (internal/reap supersedes the metadata-only study): the
+		// restored instance prefetches the donor's page working set too.
+		if err := restored.Reap.AdoptManifest(donor.Reap); err != nil {
 			return runner.Measurement{}, fmt.Errorf("experiments: snapshot adopt %s: %w", w.Name, err)
 		}
 		srv.FlushMicroarch()

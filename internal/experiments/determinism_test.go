@@ -42,6 +42,10 @@ func renderTables(t *testing.T, eng *runner.Engine) map[string]string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cs, err := Coldstart(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]string{
 		"fig2":  char.Fig2Table().String(),
 		"fig10": perf.Fig10Table().String(),
@@ -57,10 +61,17 @@ func renderTables(t *testing.T, eng *runner.Engine) map[string]string {
 		// these bytes, so any worker- or cache-order dependence surfaces.
 		"cluster":     cl.Table().String(),
 		"cluster-lat": cl.LatencyTable().String(),
+		// The coldstart tables gate the REAP restore engine: manifest replay
+		// order, blind line streaming, TLB-probe deltas and the staleness
+		// sweep's drifted workload variants all feed these bytes.
+		"coldstart":           cs.Table().String(),
+		"coldstart-crossover": cs.CrossoverTable().String(),
+		"coldstart-staleness": cs.StalenessTable().String(),
 		// The raw rows are stricter than the rendered tables (no rounding):
 		// every counter and float must match bit-for-bit.
-		"sched-rows":   fmt.Sprintf("%+v", sc),
-		"cluster-rows": fmt.Sprintf("%+v", cl),
+		"sched-rows":     fmt.Sprintf("%+v", sc),
+		"cluster-rows":   fmt.Sprintf("%+v", cl),
+		"coldstart-rows": fmt.Sprintf("%+v", cs),
 	}
 }
 

@@ -7,8 +7,10 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/reap"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/topdown"
+	"lukewarm/internal/vm"
 )
 
 // The invariants below are conservation properties: they must hold for any
@@ -69,6 +71,39 @@ func AuditJukebox(s core.Stats) error {
 	}
 	if s.ReplayPrefetches > 0 && s.ReplayEntries == 0 {
 		return fmt.Errorf("faults: audit jukebox: %d prefetches from zero replay entries", s.ReplayPrefetches)
+	}
+	return nil
+}
+
+// AuditReap checks a REAP recorder/restorer's conservation invariants:
+// every replayed manifest page is installed or skipped exactly once, every
+// installed page settles as used or wasted (never both — demanded and
+// prefetched installs are never double-counted), prefetched bytes are
+// line-exact and bounded by the pages the manifest named, and late pages
+// are a subset of used ones.
+func AuditReap(s reap.Stats) error {
+	switch {
+	case s.RestoredPages+s.SkippedResident != s.ReplayedPages:
+		return fmt.Errorf("faults: audit reap: restored %d + skipped %d != replayed %d",
+			s.RestoredPages, s.SkippedResident, s.ReplayedPages)
+	case s.UsedPages+s.WastedPages > s.RestoredPages:
+		return fmt.Errorf("faults: audit reap: used %d + wasted %d exceeds restored %d (double-counted install)",
+			s.UsedPages, s.WastedPages, s.RestoredPages)
+	case s.PrefetchedBytes != s.PrefetchedLines*mem.LineSize:
+		return fmt.Errorf("faults: audit reap: prefetched bytes %d != %d lines x %d B",
+			s.PrefetchedBytes, s.PrefetchedLines, mem.LineSize)
+	case s.PrefetchedBytes > s.ReplayedPages*vm.PageSize:
+		return fmt.Errorf("faults: audit reap: prefetched %d B exceeds manifest reach %d pages x %d B",
+			s.PrefetchedBytes, s.ReplayedPages, vm.PageSize)
+	case s.LatePages > s.UsedPages:
+		return fmt.Errorf("faults: audit reap: late pages %d exceed used pages %d", s.LatePages, s.UsedPages)
+	case s.WastedBytes != s.WastedPages*vm.PageSize:
+		return fmt.Errorf("faults: audit reap: wasted bytes %d != %d pages x %d B",
+			s.WastedBytes, s.WastedPages, vm.PageSize)
+	case s.ManifestBytes < s.ManifestPages: // any positive entry width makes bytes >= pages
+		return fmt.Errorf("faults: audit reap: manifest bytes %d below page count %d", s.ManifestBytes, s.ManifestPages)
+	case s.DeltaRestores > s.Restores:
+		return fmt.Errorf("faults: audit reap: delta restores %d exceed restores %d", s.DeltaRestores, s.Restores)
 	}
 	return nil
 }

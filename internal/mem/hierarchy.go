@@ -356,11 +356,33 @@ func (h *Hierarchy) FlushPrefetchBuffer() {
 // the target of whole-cache context-restoration schemes (RECAP-style).
 // Returns the ready cycle; a no-op when already LLC-resident.
 func (h *Hierarchy) PrefetchIntoLLC(now Cycle, paddr uint64, cls TrafficClass) Cycle {
+	return h.PrefetchLineIntoLLC(now, paddr, Data, cls)
+}
+
+// PrefetchLineIntoLLC is PrefetchIntoLLC with an explicit line kind, so
+// page-granular restore engines (internal/reap) can install instruction
+// pages as Instr lines and keep the per-kind cache stats honest. Returns
+// now unchanged when the line is already LLC-resident — the probe is what
+// makes restore a delta on lukewarm starts.
+func (h *Hierarchy) PrefetchLineIntoLLC(now Cycle, paddr uint64, k Kind, cls TrafficClass) Cycle {
 	if h.LLC.Probe(paddr) {
 		return now
 	}
 	ready := now + h.DRAM.Access(now, cls)
-	h.LLC.fill(now, paddr, Data, true, ready)
+	h.LLC.fill(now, paddr, k, true, ready)
+	return ready
+}
+
+// PrefetchLineIntoLLCBlind is PrefetchLineIntoLLC without the residency
+// probe: a software restore engine (REAP) streams recorded pages from the
+// snapshot regardless of what is already cache-resident, so every line
+// occupies prefetch bandwidth even when redundant — redundant transfers
+// push the useful installs' ready times later, which is exactly the
+// restore's lukewarm-start penalty. A redundant fill refreshes the resident
+// line without resetting its readiness.
+func (h *Hierarchy) PrefetchLineIntoLLCBlind(now Cycle, paddr uint64, k Kind, cls TrafficClass) Cycle {
+	ready := now + h.DRAM.Access(now, cls)
+	h.LLC.fill(now, paddr, k, true, ready)
 	return ready
 }
 

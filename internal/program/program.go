@@ -135,6 +135,13 @@ type Config struct {
 	CallFrac float64
 	// DataKB / HotDataKB size the data working set and its hot subset.
 	DataKB, HotDataKB int
+	// ChurnSlideKB sets how far the allocator's live window slides through
+	// the churned-heap arena per invocation, in KB. Zero selects half the
+	// churned region — two alternating generations, the historical
+	// default. Smaller values make the window drift gradually, so a frozen
+	// snapshot of one invocation's pages (a REAP manifest) goes stale
+	// monotonically with age rather than flipping between two states.
+	ChurnSlideKB int
 	// HotDataFrac is the probability a memory op targets the hot subset.
 	HotDataFrac float64
 	// ColdDataFrac is the probability a memory op streams through a large
@@ -166,6 +173,8 @@ func (c Config) Validate() error {
 		return cfgerr.New("program %q: memory-op fraction %v too high", c.Name, c.LoadFrac+c.StoreFrac)
 	case c.DataKB <= 0 || c.HotDataKB <= 0 || c.HotDataKB > c.DataKB:
 		return cfgerr.New("program %q: data sizes invalid (%d/%d KB)", c.Name, c.HotDataKB, c.DataKB)
+	case c.ChurnSlideKB < 0:
+		return cfgerr.New("program %q: ChurnSlideKB %d negative", c.Name, c.ChurnSlideKB)
 	}
 	return nil
 }

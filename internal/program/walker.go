@@ -277,6 +277,12 @@ func (inv *Invocation) dataAddr() uint64 {
 		if inv.coldPtr >= coldRegionBytes {
 			inv.coldPtr = 0
 		}
+		if cfg.ChurnSlideKB > 0 {
+			// Payload buffers drift through their arena at the same rate
+			// as the churned heap (see the warm-half comment below).
+			slide := uint64(cfg.ChurnSlideKB) << 10
+			return coldBase + (inv.id*slide+inv.coldPtr)%(2*coldRegionBytes)
+		}
 		return coldBase + gen*coldRegionBytes + inv.coldPtr
 	default:
 		lo := uint64(cfg.HotDataKB << 10)
@@ -290,8 +296,17 @@ func (inv *Invocation) dataAddr() uint64 {
 			// Persistent warm half.
 			return heapBase + lo + off
 		}
-		// Churned warm half: two generations, swapped each invocation.
-		return heapBase + lo + half + gen*half + off
+		// Churned warm half: the allocator's bump pointer slides a live
+		// window of `half` bytes through a two-generation arena each
+		// invocation. The default slide of one full window reproduces the
+		// two alternating generations; a smaller ChurnSlideKB drifts the
+		// window gradually, so a frozen snapshot of one invocation's pages
+		// goes stale monotonically with age.
+		slide := half
+		if cfg.ChurnSlideKB > 0 {
+			slide = uint64(cfg.ChurnSlideKB) << 10
+		}
+		return heapBase + lo + half + (inv.id*slide+off)%(2*half)
 	}
 }
 

@@ -1,0 +1,284 @@
+package reap_test
+
+import (
+	"errors"
+	"testing"
+
+	"lukewarm/internal/cfgerr"
+	"lukewarm/internal/cpu"
+	"lukewarm/internal/faults"
+	"lukewarm/internal/reap"
+	"lukewarm/internal/serverless"
+	"lukewarm/internal/workload"
+)
+
+// The recorder must see both sides of the core.
+var (
+	_ cpu.InstrPrefetcher = (*reap.Reap)(nil)
+	_ cpu.DataObserver    = (*reap.Reap)(nil)
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := reap.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []reap.Config{
+		{MaxPages: 0, EntryBytes: 8},
+		{MaxPages: -1, EntryBytes: 8},
+		{MaxPages: 64, EntryBytes: 0},
+		{MaxPages: 64, EntryBytes: 65},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, cfgerr.ErrBadConfig) {
+			t.Errorf("config %+v: want ErrBadConfig, got %v", cfg, err)
+		}
+	}
+}
+
+// newServer builds a single-purpose server with REAP enabled.
+func newServer(t testing.TB, cfg reap.Config) (*serverless.Server, *serverless.Instance) {
+	t.Helper()
+	w, err := workload.ByName("Auth-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serverless.New(serverless.Config{Reap: &cfg})
+	return srv, srv.Deploy(w)
+}
+
+func TestRecordSealRestore(t *testing.T) {
+	srv, inst := newServer(t, reap.DefaultConfig())
+	srv.RunLukewarm(inst, 1)
+	s := inst.Reap.Stats
+	if s.RecordedPages == 0 || s.ManifestPages == 0 {
+		t.Fatalf("first invocation recorded nothing: %+v", s)
+	}
+	if s.Restores != 0 {
+		t.Fatalf("first invocation had no manifest yet restored %d times", s.Restores)
+	}
+
+	srv.RunLukewarm(inst, 1)
+	s = inst.Reap.Stats
+	if s.Restores != 1 {
+		t.Fatalf("second (flushed) invocation should restore once, got %d", s.Restores)
+	}
+	if s.RestoredPages == 0 || s.PrefetchedLines == 0 {
+		t.Fatalf("restore installed nothing: %+v", s)
+	}
+	if s.UsedPages == 0 {
+		t.Fatalf("no restored page was used: %+v", s)
+	}
+	if s.RestoreWalks == 0 {
+		t.Fatalf("restore pre-populated no TLB entries: %+v", s)
+	}
+	if err := faults.AuditReap(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestSortedWithFirstTouchPermutation(t *testing.T) {
+	srv, inst := newServer(t, reap.DefaultConfig())
+	srv.RunLukewarm(inst, 1)
+	m := inst.Reap.ManifestView()
+	if m.Pages() == 0 {
+		t.Fatal("empty manifest after a recorded invocation")
+	}
+	seen := make(map[uint32]bool, m.Pages())
+	for i, e := range m.Entries {
+		if i > 0 && m.Entries[i-1].VPage >= e.VPage {
+			t.Fatalf("entries not strictly sorted by VPage at %d: %#x >= %#x",
+				i, m.Entries[i-1].VPage, e.VPage)
+		}
+		if int(e.FirstTouch) >= m.Pages() || seen[e.FirstTouch] {
+			t.Fatalf("FirstTouch %d not a permutation of 0..%d", e.FirstTouch, m.Pages()-1)
+		}
+		seen[e.FirstTouch] = true
+	}
+}
+
+// TestColdRestoreSpeedsFirstInvocation is the tentpole claim: restoring the
+// manifest makes a cold start cheaper than demand-faulting everything.
+func TestColdRestoreSpeedsFirstInvocation(t *testing.T) {
+	coldCycles := func(withReap bool) uint64 {
+		w, err := workload.ByName("Auth-G")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := serverless.Config{}
+		if withReap {
+			rc := reap.DefaultConfig()
+			cfg.Reap = &rc
+		}
+		srv := serverless.New(cfg)
+		inst := srv.Deploy(w)
+		srv.RunLukewarm(inst, 1) // record
+		inst.Evict()             // cold: pages gone, manifest survives
+		srv.FlushMicroarch()
+		return uint64(srv.Invoke(inst).Cycles)
+	}
+	with, without := coldCycles(true), coldCycles(false)
+	if with >= without {
+		t.Fatalf("REAP restore did not speed the cold start: %d cycles with, %d without", with, without)
+	}
+}
+
+// TestDeltaRestoreOnWarmInstance: when TLB entries survive the gap, the
+// restore skips resident pages instead of re-installing them.
+func TestDeltaRestoreOnWarmInstance(t *testing.T) {
+	srv, inst := newServer(t, reap.DefaultConfig())
+	srv.Invoke(inst)
+	srv.Invoke(inst) // nothing flushed: most pages still resident
+	s := inst.Reap.Stats
+	if s.SkippedResident == 0 || s.DeltaRestores == 0 {
+		t.Fatalf("warm back-to-back restore skipped nothing: %+v", s)
+	}
+	if err := faults.AuditReap(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWasteGrowsWithManifestStaleness: as the function's allocator drifts
+// its live window (workload.WithChurnSlide), a manifest frozen at invocation
+// 0 names ever more dead pages, so the wasted-prefetch fraction of each
+// restore grows monotonically with the manifest's age.
+func TestWasteGrowsWithManifestStaleness(t *testing.T) {
+	w, err := workload.ByName("Auth-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = workload.WithChurnSlide(w, 8) // 8 KB drift per invocation
+	cfg := reap.DefaultConfig()
+	srv := serverless.New(serverless.Config{Reap: &cfg})
+	inst := srv.Deploy(w)
+	srv.RunLukewarm(inst, 1) // record invocation 0, then freeze the manifest
+	inst.Reap.SetRecordEnabled(false)
+
+	prev := inst.Reap.Stats
+	var fracs []float64
+	for age := 1; age <= 8; age++ {
+		srv.RunLukewarm(inst, 1)
+		s := inst.Reap.Stats
+		restored := s.RestoredPages - prev.RestoredPages
+		if restored == 0 {
+			t.Fatalf("age %d: nothing restored", age)
+		}
+		fracs = append(fracs, float64(s.WastedPages-prev.WastedPages)/float64(restored))
+		prev = s
+	}
+	for i := 1; i < len(fracs); i++ {
+		if fracs[i] < fracs[i-1] {
+			t.Fatalf("wasted-prefetch fraction fell with staleness at age %d: %v", i+1, fracs)
+		}
+	}
+	if fracs[len(fracs)-1] <= fracs[0] {
+		t.Fatalf("wasted-prefetch fraction never grew: %v", fracs)
+	}
+}
+
+// TestDivergenceFaultsCold: pages the invocation touches that the (frozen)
+// manifest never named count as divergent — they demand-fault.
+func TestDivergenceAccounting(t *testing.T) {
+	srv, inst := newServer(t, reap.DefaultConfig())
+	srv.RunLukewarm(inst, 1) // record invocation 0 (data generation 0)
+	inst.Reap.SetRecordEnabled(false)
+	srv.RunLukewarm(inst, 1) // invocation 1 flips the churned generation
+	s := inst.Reap.Stats
+	if s.DivergentPages == 0 {
+		t.Fatalf("generation flip produced no divergent pages: %+v", s)
+	}
+	if s.WastedPages == 0 {
+		t.Fatalf("generation flip produced no wasted pages: %+v", s)
+	}
+	if err := faults.AuditReap(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictKeepsManifestCrashDropsIt(t *testing.T) {
+	srv, inst := newServer(t, reap.DefaultConfig())
+	srv.RunLukewarm(inst, 1)
+	inst.Evict()
+	if inst.Reap.ManifestView().Pages() == 0 {
+		t.Fatal("Evict dropped the manifest; it lives with the snapshot")
+	}
+	srv.FlushMicroarch()
+	srv.Invoke(inst)
+	if inst.Reap.Stats.Restores != 1 {
+		t.Fatalf("post-evict invocation did not restore: %+v", inst.Reap.Stats)
+	}
+	inst.DropManifest()
+	if inst.Reap.ManifestView().Pages() != 0 {
+		t.Fatal("DropManifest left entries behind")
+	}
+	srv.FlushMicroarch()
+	srv.Invoke(inst)
+	if got := inst.Reap.Stats.Restores; got != 1 {
+		t.Fatalf("restore ran from a dropped manifest (restores %d)", got)
+	}
+}
+
+func TestAdoptManifest(t *testing.T) {
+	srvA, instA := newServer(t, reap.DefaultConfig())
+	srvA.RunLukewarm(instA, 1)
+
+	srvB, instB := newServer(t, reap.DefaultConfig())
+	if err := instB.Reap.AdoptManifest(instA.Reap); err != nil {
+		t.Fatal(err)
+	}
+	srvB.FlushMicroarch()
+	srvB.Invoke(instB)
+	if instB.Reap.Stats.Restores != 1 {
+		t.Fatalf("adopted manifest did not restore: %+v", instB.Reap.Stats)
+	}
+
+	odd := reap.DefaultConfig()
+	odd.EntryBytes = 16
+	srvC, instC := newServer(t, odd)
+	_ = srvC
+	if err := instC.Reap.AdoptManifest(instA.Reap); !errors.Is(err, cfgerr.ErrBadConfig) {
+		t.Fatalf("geometry mismatch accepted: %v", err)
+	}
+	if err := instC.Reap.AdoptManifest(nil); !errors.Is(err, cfgerr.ErrBadConfig) {
+		t.Fatalf("nil donor accepted: %v", err)
+	}
+}
+
+// TestDeterministicStats: two identical runs produce identical counters —
+// the property the golden harness and cache rely on.
+func TestDeterministicStats(t *testing.T) {
+	run := func() reap.Stats {
+		srv, inst := newServer(t, reap.DefaultConfig())
+		srv.RunLukewarm(inst, 3)
+		return inst.Reap.Stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stats diverged across identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestResetStatsKeepsManifest(t *testing.T) {
+	srv, inst := newServer(t, reap.DefaultConfig())
+	srv.RunLukewarm(inst, 2)
+	inst.Reap.ResetStats()
+	s := inst.Reap.Stats
+	if s.Restores != 0 || s.RecordedPages != 0 {
+		t.Fatalf("ResetStats left counters: %+v", s)
+	}
+	if s.ManifestPages == 0 || s.ManifestBytes == 0 {
+		t.Fatalf("ResetStats lost the manifest description: %+v", s)
+	}
+}
+
+// BenchmarkReapRestore measures the restore path: a full manifest replay
+// plus the restored invocation, the inner loop of every cold-start cell.
+func BenchmarkReapRestore(b *testing.B) {
+	srv, inst := newServer(b, reap.DefaultConfig())
+	srv.RunLukewarm(inst, 1) // record and seal
+	inst.Reap.SetRecordEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.FlushMicroarch()
+		srv.Invoke(inst)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/faults"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/reap"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/topdown"
 	"lukewarm/internal/workload"
@@ -22,7 +23,10 @@ import (
 // v2: Measurement gained the Traffic field (scheduling experiments).
 // v3: Measurement gained the Cluster field and TrafficSummary gained
 // Offered/Failed (fleet simulation).
-const SchemaVersion = 3
+// v4: Cells gained the Reap field and Measurement the Reap stats (REAP
+// working-set restore; the data-access observer also shifts prefetcher
+// composition semantics).
+const SchemaVersion = 4
 
 // Mode selects the execution regime of a measurement cell.
 type Mode uint8
@@ -56,6 +60,9 @@ type Cell struct {
 	CPU cpu.Config
 	// Jukebox, when non-nil, deploys the instance with a Jukebox.
 	Jukebox *core.Config
+	// Reap, when non-nil, deploys the instance with a REAP working-set
+	// recorder/restorer (internal/reap).
+	Reap *reap.Config
 	// Perfect services instruction fetches at L1 latency (Fig. 10's bound).
 	Perfect bool
 	// Mode is the execution regime.
@@ -75,11 +82,16 @@ type Cell struct {
 // Label names the cell in progress lines and telemetry.
 func (c Cell) Label() string {
 	tag := c.Mode.String()
-	if c.Variant != "" {
+	switch {
+	case c.Variant != "":
 		tag = c.Variant
-	} else if c.Jukebox != nil {
+	case c.Reap != nil && c.Jukebox != nil:
+		tag = "reap+jukebox"
+	case c.Reap != nil:
+		tag = "reap"
+	case c.Jukebox != nil:
 		tag = "jukebox"
-	} else if c.Perfect {
+	case c.Perfect:
 		tag = "perfect"
 	}
 	return c.Workload + "/" + tag
@@ -99,6 +111,11 @@ func (c Cell) Key() uint64 {
 	} else {
 		fmt.Fprintf(h, "|jb=nil")
 	}
+	if c.Reap != nil {
+		fmt.Fprintf(h, "|reap=%+v", *c.Reap)
+	} else {
+		fmt.Fprintf(h, "|reap=nil")
+	}
 	return h.Sum64()
 }
 
@@ -114,6 +131,13 @@ type Measurement struct {
 	LLC    mem.CacheStats
 	DRAM   map[mem.TrafficClass]uint64 // bytes by class
 	JB     core.Stats
+	// Reap holds the instance's REAP recorder/restorer counters; zero for
+	// cells without a Reap configuration.
+	Reap reap.Stats
+	// FirstInvCycles is the first measured invocation's cycle count — the
+	// start latency a custom executor chose to surface (the coldstart
+	// comparator); zero for standard cells.
+	FirstInvCycles mem.Cycle
 	// MetaBytes is the per-instance metadata cost a custom executor chose to
 	// report (comparator prefetchers); zero for standard cells, whose
 	// Jukebox cost is in JB.
@@ -155,7 +179,7 @@ func Execute(c Cell) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox, PerfectICache: c.Perfect})
+	srv := serverless.New(serverless.Config{CPU: c.CPU, Jukebox: c.Jukebox, Reap: c.Reap, PerfectICache: c.Perfect})
 	inst := srv.Deploy(w)
 	return MeasureInstance(srv, inst, c.Mode, c.Warmup, c.Measure, c.Audit)
 }
@@ -181,6 +205,9 @@ func MeasureInstance(srv *serverless.Server, inst *serverless.Instance, md Mode,
 	srv.Core.BTB.ResetStats()
 	if inst.Jukebox != nil {
 		inst.Jukebox.ResetStats()
+	}
+	if inst.Reap != nil {
+		inst.Reap.ResetStats()
 	}
 
 	var out Measurement
@@ -209,6 +236,14 @@ func MeasureInstance(srv *serverless.Server, inst *serverless.Instance, md Mode,
 		out.JB = inst.Jukebox.Stats
 		if audit {
 			if err := faults.AuditJukebox(out.JB); err != nil {
+				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
+			}
+		}
+	}
+	if inst.Reap != nil {
+		out.Reap = inst.Reap.Stats
+		if audit {
+			if err := faults.AuditReap(out.Reap); err != nil {
 				return out, fmt.Errorf("%s: %w", inst.Workload.Name, err)
 			}
 		}

@@ -26,6 +26,7 @@ import (
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/program"
+	"lukewarm/internal/reap"
 	"lukewarm/internal/vm"
 	"lukewarm/internal/workload"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// Jukebox, when non-nil, deploys every instance with its own Jukebox
 	// using this configuration.
 	Jukebox *core.Config
+	// Reap, when non-nil, deploys every instance with a REAP working-set
+	// recorder/restorer (internal/reap) using this configuration. It
+	// composes with Jukebox and core prefetchers: REAP restores pages
+	// into the LLC and TLBs, Jukebox replays instruction regions into the
+	// L2.
+	Reap *reap.Config
 	// ThrashBytesPerMs is the volume of foreign microarchitectural state
 	// streamed through the core and caches per millisecond of idle time at
 	// the ambient server load (Fig. 1 runs at ~50% CPU load). The default
@@ -62,6 +69,10 @@ type Instance struct {
 	AS       *vm.AddressSpace
 	// Jukebox is the instance's prefetcher state, nil when disabled.
 	Jukebox *core.Jukebox
+	// Reap is the instance's working-set recorder/restorer, nil when
+	// disabled. Its sealed manifest conceptually lives with the snapshot,
+	// not the instance's memory, so it survives Evict.
+	Reap *reap.Reap
 	// Invocations counts invocations served.
 	Invocations uint64
 	srv         *Server
@@ -117,6 +128,11 @@ func (cfg Config) Validate() error {
 			return err
 		}
 	}
+	if cfg.Reap != nil {
+		if err := cfg.Reap.Validate(); err != nil {
+			return err
+		}
+	}
 	if cfg.ThrashBytesPerMs < 0 {
 		return cfgerr.New("server: negative ThrashBytesPerMs %d", cfg.ThrashBytesPerMs)
 	}
@@ -163,6 +179,9 @@ func (s *Server) Deploy(w workload.Workload) *Instance {
 	if s.cfg.Jukebox != nil {
 		inst.Jukebox = core.New(*s.cfg.Jukebox, s.Core.Hier, s.Core.MMU, s.Alloc)
 	}
+	if s.cfg.Reap != nil {
+		inst.Reap = reap.New(*s.cfg.Reap, s.Core.Hier, s.Core.MMU)
+	}
 	s.instances = append(s.instances, inst)
 	return inst
 }
@@ -172,13 +191,27 @@ func (s *Server) Instances() []*Instance { return s.instances }
 
 // Evict models the OS reclaiming the instance's memory mid-lifetime: the
 // address space is replaced by a fresh one (all pages gone) and any Jukebox
-// metadata — in-flight recording and sealed replay state — is discarded.
-// The next invocation behaves like a cold start microarchitecturally: it
-// faults its pages back in and records metadata from scratch.
+// metadata — in-flight recording and sealed replay state — is discarded,
+// since it lives in the instance's (reclaimed) memory. A REAP manifest, by
+// contrast, is part of the snapshot's record file and survives: the next
+// invocation is a cold start microarchitecturally but can still restore its
+// working set from the manifest — exactly the asymmetry the coldstart
+// comparator measures.
 func (inst *Instance) Evict() {
 	inst.AS = vm.NewAddressSpace(inst.srv.Alloc)
 	if inst.Jukebox != nil {
 		inst.Jukebox.DropMetadata()
+	}
+	if inst.Reap != nil {
+		inst.Reap.Abandon()
+	}
+}
+
+// DropManifest discards the instance's REAP manifest along with the rest of
+// its state — the crash path for a host that did not ship its record files.
+func (inst *Instance) DropManifest() {
+	if inst.Reap != nil {
+		inst.Reap.DropManifest()
 	}
 }
 
@@ -199,18 +232,29 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 		c.MMU.Flush()
 		s.lastAS[idx] = inst.AS
 	}
-	var pf cpu.InstrPrefetcher
-	switch {
-	case inst.Jukebox != nil && s.corePFs[idx] != nil:
-		inst.Jukebox.Bind(c.Hier, c.MMU)
-		pf = cpu.MultiPrefetcher{inst.Jukebox, s.corePFs[idx]}
-	case inst.Jukebox != nil:
-		inst.Jukebox.Bind(c.Hier, c.MMU)
-		pf = inst.Jukebox
-	default:
-		pf = s.corePFs[idx]
+	// Compose the present warm-up mechanisms in restore order: REAP's bulk
+	// page restore first (LLC + TLBs), then Jukebox's region replay (L2),
+	// then any core-level prefetcher.
+	var multi cpu.MultiPrefetcher
+	if inst.Reap != nil {
+		inst.Reap.Bind(c.Hier, c.MMU)
+		multi = append(multi, inst.Reap)
 	}
-	c.Prefetcher = pf
+	if inst.Jukebox != nil {
+		inst.Jukebox.Bind(c.Hier, c.MMU)
+		multi = append(multi, inst.Jukebox)
+	}
+	if s.corePFs[idx] != nil {
+		multi = append(multi, s.corePFs[idx])
+	}
+	switch len(multi) {
+	case 0:
+		c.Prefetcher = nil
+	case 1:
+		c.Prefetcher = multi[0]
+	default:
+		c.Prefetcher = multi
+	}
 	inv := inst.Workload.Program.NewInvocation(inst.Invocations)
 	inst.Invocations++
 	return c.RunInvocation(inv)

@@ -494,14 +494,26 @@ func (ts *TrafficSim) EarliestFreeAt() mem.Cycle {
 }
 
 // MarkCrashed models the instance dying with its host state: the address
-// space and any Jukebox metadata are reclaimed (Instance.Evict) and the next
-// dispatch cold-starts unconditionally, bypassing the keep-alive policy.
-func (ts *TrafficSim) MarkCrashed(inst *Instance) {
+// space and any Jukebox metadata are reclaimed (Instance.Evict), the REAP
+// manifest is lost with the host's snapshot store, and the next dispatch
+// cold-starts unconditionally, bypassing the keep-alive policy.
+func (ts *TrafficSim) MarkCrashed(inst *Instance) { ts.markCrashed(inst, false) }
+
+// MarkCrashedShipped is MarkCrashed for a fleet that ships REAP record
+// files off-host: the instance still cold-starts, but its sealed manifest
+// survives, so the restart restores its working set instead of demand-
+// faulting everything.
+func (ts *TrafficSim) MarkCrashedShipped(inst *Instance) { ts.markCrashed(inst, true) }
+
+func (ts *TrafficSim) markCrashed(inst *Instance, shipManifest bool) {
 	st := ts.state[inst]
 	if st == nil {
 		return
 	}
 	inst.Evict()
+	if !shipManifest {
+		inst.DropManifest()
+	}
 	st.forceCold = true
 	st.hasDone = false
 }

@@ -1,0 +1,130 @@
+package vm
+
+// These tests pin the translation semantics the REAP restore engine
+// (internal/reap) builds on: a restore-time translation must leave the TLB
+// warm for the demand stream that follows (prefetch-install), a TLB probe
+// must stay side-effect-free so the lukewarm delta-skip cannot perturb
+// state, and a page absent from the manifest must fault exactly as cold as
+// an untouched page (divergence).
+
+import (
+	"testing"
+
+	"lukewarm/internal/mem"
+)
+
+func TestRestoreTranslationPrePopulatesTLB(t *testing.T) {
+	m, _ := newTestMMU()
+	const vaddr = 0x40_2000
+
+	// The restore engine translates each manifest page once, up front.
+	if _, lat := m.TranslateInstr(0, vaddr); lat == 0 {
+		t.Fatal("first restore translation charged no walk")
+	}
+	if !m.ITLB.Probe(PageOf(vaddr)) {
+		t.Fatal("restore translation did not install the ITLB entry")
+	}
+
+	// The demand access that follows must ride the installed entry.
+	m.ITLB.ResetStats()
+	if _, lat := m.TranslateInstr(100, vaddr); lat != 0 {
+		t.Errorf("demand access after restore charged a walk (%d cycles)", lat)
+	}
+	if s := m.ITLB.Stats; s.Misses != 0 || s.Accesses != 1 {
+		t.Errorf("demand access after restore: %+v, want 1 hit", s)
+	}
+}
+
+func TestProbeIsSideEffectFree(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Sets: 2, Ways: 2})
+	tlb.Access(5)
+	before := tlb.Stats
+
+	// Probing a resident and a non-resident page must count nothing and
+	// insert nothing: the restore engine probes every manifest page on a
+	// lukewarm start to skip the resident delta.
+	if !tlb.Probe(5) {
+		t.Error("Probe missed a resident page")
+	}
+	if tlb.Probe(7) {
+		t.Error("Probe hit a page that was never accessed")
+	}
+	if tlb.Stats != before {
+		t.Errorf("Probe mutated stats: %+v -> %+v", before, tlb.Stats)
+	}
+	if tlb.Probe(7) {
+		t.Error("Probe inserted the probed page")
+	}
+}
+
+func TestDivergentPageFaultsCold(t *testing.T) {
+	m, _ := newTestMMU()
+
+	// Restore a small manifest: pages 0x100-0x103.
+	for vp := uint64(0x100); vp < 0x104; vp++ {
+		m.TranslateData(0, vp<<PageShift)
+	}
+	coldBase := m.Walker.ColdWalks
+
+	// A page the manifest never recorded (a divergent first touch) must pay
+	// the full cold path: DTLB miss plus a walk whose leaf PTE line is not
+	// in the walker cache, i.e. a DRAM access on top of the base latency.
+	_, lat := m.TranslateData(1000, 0x9000<<PageShift)
+	if lat <= DefaultWalkerConfig().BaseLatency {
+		t.Errorf("divergent page walk = %d cycles, want > base latency (cold PTE read)", lat)
+	}
+	if m.Walker.ColdWalks != coldBase+1 {
+		t.Errorf("divergent page did not take a cold walk (cold=%d, was %d)",
+			m.Walker.ColdWalks, coldBase)
+	}
+
+	// Whereas a re-touch of a restored page stays free.
+	if _, lat := m.TranslateData(2000, 0x100<<PageShift); lat != 0 {
+		t.Errorf("restored page re-touch charged %d cycles", lat)
+	}
+}
+
+func TestRestoreSurvivesEvictFractionPartially(t *testing.T) {
+	m, _ := newTestMMU()
+	const pages = 64
+	for vp := uint64(0); vp < pages; vp++ {
+		m.TranslateData(0, vp<<PageShift)
+	}
+
+	// Half-strength displacement (interleaved foreign translations between
+	// the restore and the demand run) must leave some restored entries live
+	// and kill others — the lukewarm middle ground between a fully warm TLB
+	// and a flushed one.
+	seed := uint64(42)
+	rng := func() uint64 { // xorshift64
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	m.DTLB.EvictFraction(0.5, rng)
+
+	live := 0
+	for vp := uint64(0); vp < pages; vp++ {
+		if m.DTLB.Probe(vp) {
+			live++
+		}
+	}
+	if live == 0 || live == pages {
+		t.Errorf("EvictFraction(0.5) left %d/%d restored entries, want a strict subset", live, pages)
+	}
+}
+
+func TestRestoreWalksShareLeafPTELines(t *testing.T) {
+	dram := mem.NewDRAM(mem.DRAMConfig{AccessLatency: 100, LinePeriod: 10})
+	w := NewWalker(WalkerConfig{BaseLatency: 25, CacheEntries: 16}, dram)
+
+	// A manifest replayed in virtual-page order touches 8 consecutive pages
+	// per leaf PTE line: only the first walk of each line goes to memory.
+	for vp := uint64(0); vp < 32; vp++ {
+		w.Walk(mem.Cycle(vp), vp)
+	}
+	if w.Walks != 32 || w.ColdWalks != 4 {
+		t.Errorf("sequential restore: walks=%d cold=%d, want 32/4", w.Walks, w.ColdWalks)
+	}
+}

@@ -205,6 +205,18 @@ func ByName(name string) (Workload, error) {
 // in Figs. 9 and 13: Email-P, Pay-N, ProdL-G.
 func Representatives() []string { return []string{"Email-P", "Pay-N", "ProdL-G"} }
 
+// WithChurnSlide returns a copy of w whose program's churned-heap window
+// slides by kb KB per invocation instead of flipping between two whole
+// generations (program.Config.ChurnSlideKB). A gradual slide makes a frozen
+// page manifest go stale monotonically with age — the axis the REAP
+// staleness sweep measures. The canonical suite keeps the default.
+func WithChurnSlide(w Workload, kb int) Workload {
+	cfg := w.Program.Config()
+	cfg.ChurnSlideKB = kb
+	w.Program = program.New(cfg)
+	return w
+}
+
 // Stressor builds the cache/BTB/TLB-thrashing program standing in for
 // stress-ng (Sec. 2.3): a large-footprint streaming workload whose execution
 // on the same core obliterates the function's microarchitectural state.

@@ -49,6 +49,7 @@ import (
 	"lukewarm/internal/mem"
 	"lukewarm/internal/pif"
 	"lukewarm/internal/program"
+	"lukewarm/internal/reap"
 	"lukewarm/internal/runner"
 	"lukewarm/internal/sched"
 	"lukewarm/internal/serverless"
@@ -83,6 +84,15 @@ type (
 	PIFConfig = pif.Config
 	// PIF is the Proactive Instruction Fetch baseline (Ferdman et al.).
 	PIF = pif.PIF
+	// ReapConfig parameterizes the REAP-style page-granular working-set
+	// recorder and restore-time prefetcher (Ustiugov et al., ASPLOS'21).
+	ReapConfig = reap.Config
+	// Reap is one instance's working-set recorder/prefetcher.
+	Reap = reap.Reap
+	// ReapStats are the recorder/prefetcher counters AuditReap checks.
+	ReapStats = reap.Stats
+	// ReapManifest is a sealed page manifest — the REAP record file.
+	ReapManifest = reap.Manifest
 	// ProgramConfig describes a custom synthetic function program.
 	ProgramConfig = program.Config
 	// Program is a synthetic function program.
@@ -131,6 +141,10 @@ type (
 	FleetCounters = faults.FleetCounters
 	// ClusterResult backs the fleet sweep experiment (see Cluster).
 	ClusterResult = experiments.ClusterResult
+	// ColdstartResult backs the cold-start comparator sweep (see Coldstart).
+	ColdstartResult = experiments.ColdstartResult
+	// ColdstartMech names one warm-up mechanism of the cold-start sweep.
+	ColdstartMech = experiments.ColdstartMech
 	// FaultKind enumerates the injectable fault classes.
 	FaultKind = faults.Kind
 	// FaultPlan is one seeded fault-injection campaign.
@@ -210,6 +224,11 @@ func DefaultJukeboxConfig() JukeboxConfig { return core.DefaultConfig() }
 
 // DefaultPIFConfig returns the published PIF configuration.
 func DefaultPIFConfig() PIFConfig { return pif.DefaultConfig() }
+
+// DefaultReapConfig returns the default REAP recorder/prefetcher
+// configuration: record and restore enabled, cumulative manifests, 8192-page
+// capacity. Attach it by setting ServerConfig.Reap.
+func DefaultReapConfig() ReapConfig { return reap.DefaultConfig() }
 
 // IdealPIFConfig returns PIF-ideal: unlimited, persistent metadata.
 func IdealPIFConfig() PIFConfig { return pif.IdealConfig() }
@@ -338,6 +357,20 @@ func AuditFleetResult(r *FleetResult) error { return cluster.Audit(r) }
 
 // AuditFleet checks a raw fleet-counter ledger's conservation invariants.
 func AuditFleet(c FleetCounters) error { return faults.AuditFleet(c) }
+
+// AuditReap checks a REAP stats snapshot's conservation invariants
+// (prefetched bytes bounded by manifest bytes, restored pages partition into
+// used/wasted, no counter double-counts a page as both prefetched and
+// demand-faulted).
+func AuditReap(s ReapStats) error { return faults.AuditReap(s) }
+
+// Coldstart runs the cold-start comparator: REAP page-granular
+// record/prefetch vs Jukebox, PIF and the combined REAP+Jukebox stack across
+// start conditions (true cold starts and a lukewarm IAT band), plus the
+// manifest-staleness sweep.
+func Coldstart(opt ExperimentOptions) (experiments.ColdstartResult, error) {
+	return experiments.Coldstart(opt)
+}
 
 // Placement policies for TrafficConfig.Placer.
 
