@@ -17,8 +17,9 @@ lint:
 	$(GO) run ./cmd/lukewarmlint ./...
 
 # bench captures the performance trajectory: the fleet-simulation benchmarks,
-# the raw simulator-throughput benchmark, and the REAP restore path, one
-# iteration each, serialized to BENCH_$(PR).json via cmd/benchjson. Refresh
+# the raw simulator-throughput benchmark, the REAP restore path, the arrival
+# forecasters and the pre-warm sweep kernel, one iteration each, serialized
+# to BENCH_$(PR).json via cmd/benchjson. Refresh
 # the committed snapshot when simulator performance changes materially.
 #
 # PR defaults to one past the highest committed BENCH_<n>.json so each PR's
@@ -26,6 +27,6 @@ lint:
 # with `make bench PR=ci` (or any explicit tag) to write elsewhere.
 PR ?= $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9]*\)\.json$$/\1/p' | sort -n | tail -1 | awk '{print $$1 + 1}')
 bench:
-	$(GO) test -run '^$$' -bench 'Fleet|ExtensionCluster|SimulationThroughput|ReapRestore' -benchtime 1x ./internal/cluster ./internal/reap . \
+	$(GO) test -run '^$$' -bench 'Fleet|ExtensionCluster|SimulationThroughput|ReapRestore|Forecast|PrewarmSweep' -benchtime 1x ./internal/cluster ./internal/reap ./internal/predict ./internal/serverless . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"

@@ -122,6 +122,7 @@ experiments:
   chaos                 fault-injection sweep with graceful-degradation checks
   cluster               fault-tolerant fleet sweep: nodes x failure rate x placement
   coldstart             REAP page-prefetch vs Jukebox vs PIF across start conditions
+  prewarm               predictive pre-warm sweep: forecaster x lead x arrival shape
   check                 differential-oracle + metamorphic-property validation battery
   all                   everything above, in paper order
 
@@ -332,6 +333,24 @@ func (s *session) runColdstart() error {
 	return nil
 }
 
+// runPrewarm executes the predictive pre-warm sweep, renders its table, and
+// records the headlines: the oracle forecaster's best lukewarm-penalty
+// recovery (where and how much), and the histogram forecaster's wasted
+// pre-warm fraction on the adversarial bursty shape.
+func (s *session) runPrewarm() error {
+	r, err := lukewarm.Prewarm(s.opt)
+	if err != nil {
+		return err
+	}
+	shape, lead, pct := r.OracleBestPenaltyRemovedPct()
+	s.rep.Headline["prewarm_oracle_best_penalty_removed_pct"] = pct
+	s.rep.Headline["prewarm_oracle_best_lead_ms"] = lead
+	s.rep.Headline["prewarm_bursty_histpeak_wasted_frac"] = r.BurstyHistpeakWastedFraction()
+	fmt.Printf("oracle best: %s at lead %g ms removes %.0f%% of the lukewarm CPI penalty\n",
+		shape, lead, pct)
+	return s.p.show(r.Table())
+}
+
 // runCheck executes the differential-oracle and metamorphic-property
 // validation battery; any FAIL row makes the command exit non-zero after the
 // full report has been rendered.
@@ -428,6 +447,8 @@ func (s *session) run(name string) error {
 		return s.step(name, s.runCluster)
 	case "coldstart":
 		return s.step(name, s.runColdstart)
+	case "prewarm":
+		return s.step(name, s.runPrewarm)
 	case "check":
 		return s.runCheck()
 	case "all":
@@ -505,6 +526,7 @@ func (s *session) runAll() error {
 		{"chaos", s.runChaos},
 		{"cluster", s.runCluster},
 		{"coldstart", s.runColdstart},
+		{"prewarm", s.runPrewarm},
 	}
 	for _, st := range steps {
 		if err := s.step(st.name, st.fn); err != nil {

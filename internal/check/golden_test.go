@@ -126,6 +126,10 @@ func goldenCases() []goldenCase {
 			r, err := experiments.Coldstart(o)
 			return []*stats.Table{r.Table(), r.CrossoverTable(), r.StalenessTable()}, err
 		}},
+		{"prewarm", 1.0, func(o experiments.Options) ([]*stats.Table, error) {
+			r, err := experiments.Prewarm(o)
+			return one(r.Table(), err)
+		}},
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/faults"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/predict"
 	"lukewarm/internal/program"
 	"lukewarm/internal/sched"
 	"lukewarm/internal/serverless"
@@ -124,6 +125,16 @@ type Config struct {
 	// instead of demand-faulting everything. No effect unless Node.Reap
 	// is configured.
 	ShipManifests bool
+
+	// PrewarmBudget caps predictive pre-warms fleet-wide (0 = unlimited)
+	// and PrewarmRefractoryMs is the minimum spacing between granted
+	// pre-warms of the same function anywhere in the fleet (0 = none):
+	// hedged or retried traffic judged on two nodes must not pre-warm (and
+	// charge) the same arrival twice. Both require Traffic.Predict armed;
+	// when either is set and Traffic.Predict.Budget is nil, Run installs a
+	// shared predict.Budget across every node's simulation.
+	PrewarmBudget       int
+	PrewarmRefractoryMs float64
 }
 
 // Validate reports whether the fleet configuration is runnable. Errors wrap
@@ -167,6 +178,13 @@ func (c Config) Validate() error {
 		return cfgerr.New("cluster: NodeCrashMTBFms %g needs a positive NodeDownMs, got %g", c.NodeCrashMTBFms, c.NodeDownMs)
 	case c.Faults == nil && (c.InstanceCrashProb > 0 || c.DispatchFlakeProb > 0 || c.NodeCrashMTBFms > 0):
 		return cfgerr.New("cluster: fault probabilities set but no fault plan armed")
+	case c.PrewarmBudget < 0:
+		return cfgerr.New("cluster: negative PrewarmBudget %d", c.PrewarmBudget)
+	case c.PrewarmRefractoryMs < 0:
+		return cfgerr.New("cluster: negative PrewarmRefractoryMs %g", c.PrewarmRefractoryMs)
+	case (c.PrewarmBudget > 0 || c.PrewarmRefractoryMs > 0) && c.Traffic.Predict == nil:
+		return cfgerr.New("cluster: pre-warm budget set (%d, %g ms) but Traffic.Predict is not armed",
+			c.PrewarmBudget, c.PrewarmRefractoryMs)
 	}
 	if err := c.Traffic.Validate(); err != nil {
 		return err
@@ -295,6 +313,16 @@ func Run(cfg Config) (Result, error) {
 	}
 	for _, fn := range cfg.LowPriority {
 		r.lowPri[fn] = true
+	}
+	// Arm the shared fleet pre-warm budget: every node's sim judges against
+	// the same allowance, so a function hedged across two nodes pre-warms
+	// on at most one of them. The caller's Config is copied, not mutated.
+	if cfg.Traffic.Predict != nil && cfg.Traffic.Predict.Budget == nil &&
+		(cfg.PrewarmBudget > 0 || cfg.PrewarmRefractoryMs > 0) {
+		pc := *cfg.Traffic.Predict
+		pc.Budget = predict.NewBudget(cfg.PrewarmBudget, cfg.PrewarmRefractoryMs)
+		cfg.Traffic.Predict = &pc
+		r.cfg.Traffic.Predict = &pc
 	}
 	// Build the fleet: identical nodes, every workload on every node.
 	for n := 0; n < cfg.Nodes; n++ {

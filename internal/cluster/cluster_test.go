@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"lukewarm/internal/cfgerr"
+	"lukewarm/internal/core"
 	"lukewarm/internal/faults"
+	"lukewarm/internal/predict"
+	"lukewarm/internal/reap"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/workload"
 )
@@ -253,5 +256,77 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if _, err := Run(cfg); !errors.Is(err, cfgerr.ErrBadConfig) {
 			t.Errorf("%s: error = %v, want ErrBadConfig", tc.name, err)
 		}
+	}
+}
+
+// predictTraffic arms smallTraffic with an oracle forecaster for the
+// fleet-budget tests.
+func predictTraffic() serverless.TrafficConfig {
+	tc := smallTraffic()
+	tc.InvocationsPerInstance = 8
+	tc.Predict = &predict.Config{Forecaster: predict.NewForecaster("oracle"), LeadMs: 4}
+	return tc
+}
+
+// prewarmNode deploys both warm-up mechanisms on every node.
+func prewarmNode() serverless.Config {
+	jb := core.DefaultConfig()
+	rc := reap.DefaultConfig()
+	return serverless.Config{Jukebox: &jb, Reap: &rc}
+}
+
+// TestFleetPrewarmBudgetLimitsDoublePrewarm checks the fleet-level
+// allowance: with hedging enabled the same function is judged on two nodes
+// around the same arrival, and the shared budget's refractory window must
+// stop the second node from pre-warming (and charging) what the first
+// already did. An uncapped fleet schedules freely; a capped one records
+// denials and stays within its total.
+func TestFleetPrewarmBudgetLimitsDoublePrewarm(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Nodes:           2,
+			Workloads:       testWorkloads(t, "Auth-G", "Email-P"),
+			Node:            prewarmNode(),
+			Traffic:         predictTraffic(),
+			HedgeDelayMinMs: 0.5,
+		}
+	}
+
+	free, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited := free.PrewarmLedger()
+	if unlimited.Scheduled == 0 {
+		t.Fatalf("uncapped fleet scheduled no pre-warms: %+v", unlimited)
+	}
+
+	cfg := base()
+	cfg.PrewarmBudget = unlimited.Scheduled / 2
+	cfg.PrewarmRefractoryMs = 1
+	capped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := capped.PrewarmLedger()
+	if l.Scheduled > cfg.PrewarmBudget {
+		t.Errorf("budget %d exceeded: %d scheduled", cfg.PrewarmBudget, l.Scheduled)
+	}
+	if l.BudgetDenied == 0 {
+		t.Errorf("capped fleet recorded no budget denials: %+v", l)
+	}
+	if err := Audit(&capped); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+}
+
+// TestFleetPrewarmBudgetRequiresPredict pins the validation coupling: a
+// budget without an armed forecaster is a configuration error, not a silent
+// no-op.
+func TestFleetPrewarmBudgetRequiresPredict(t *testing.T) {
+	cfg := Config{Nodes: 1, Workloads: testWorkloads(t, "Auth-G"),
+		Traffic: smallTraffic(), PrewarmBudget: 4}
+	if _, err := Run(cfg); !errors.Is(err, cfgerr.ErrBadConfig) {
+		t.Errorf("error = %v, want ErrBadConfig", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"lukewarm/internal/faults"
+	"lukewarm/internal/predict"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/stats"
 )
@@ -93,6 +94,16 @@ func (r *Result) P95LatencyCycles() float64 { return stats.Percentile(r.latencie
 
 // P99LatencyCycles reports the 99th-percentile end-to-end latency.
 func (r *Result) P99LatencyCycles() float64 { return stats.Percentile(r.latencies, 99) }
+
+// PrewarmLedger aggregates every node's predictive pre-warm ledger — the
+// fleet-wide speculation bill. Zero when Traffic.Predict is not armed.
+func (r *Result) PrewarmLedger() predict.Ledger {
+	var l predict.Ledger
+	for i := range r.PerNode {
+		l.Add(r.PerNode[i].Prewarm)
+	}
+	return l
+}
 
 // Counters flattens the result into the conservation ledger
 // faults.AuditFleet checks.
@@ -218,6 +229,11 @@ func (r *Result) String() string {
 		fmt.Fprintf(&b, " %s=%.0fms", TierNames[i], ms)
 	}
 	b.WriteString("\n")
+	if l := r.PrewarmLedger(); l.Scheduled > 0 || l.BudgetDenied > 0 {
+		fmt.Fprintf(&b, "  pre-warms: %d scheduled fleet-wide (%d used / %d partial / %d wasted, %d expired), %d budget-denied, %.1f KiB wasted replay\n",
+			l.Scheduled, l.Used, l.Partial, l.Wasted, l.Expired, l.BudgetDenied,
+			float64(l.WastedReplayBytes)/1024)
+	}
 	for i := range r.PerNode {
 		fmt.Fprintf(&b, "  node %d: %s\n", i, r.PerNode[i].String())
 	}

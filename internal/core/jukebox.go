@@ -52,6 +52,12 @@ type Jukebox struct {
 	// metadata is filled and written to memory.
 	pendingBits int
 
+	// prewarmed latches that a pre-warm already executed the replay phase
+	// on this core: the next InvocationStart skips its replay (the warmth
+	// is already installed) and clears the latch. Anything that invalidates
+	// the installed state — eviction, metadata loss — clears it too.
+	prewarmed bool
+
 	// ReplayHook, if set, is called once per metadata entry consumed during
 	// replay with the entry's index. It is a fault-injection seam: the
 	// harness uses it to trigger page migration mid-replay.
@@ -131,7 +137,40 @@ func (j *Jukebox) MetadataFootprintBytes() int {
 
 // InvocationStart triggers the replay phase (Sec. 3.3): the OS has scheduled
 // the instance onto the core and programmed the replay base/limit registers.
+// If a pre-warm already ran the replay (BeginPrewarm), the invocation skips
+// straight to execution — that skipped replay latency is the pre-warm's win.
 func (j *Jukebox) InvocationStart(now mem.Cycle) {
+	if j.prewarmed {
+		j.prewarmed = false
+		return
+	}
+	j.replayNow(now)
+}
+
+// BeginPrewarm runs the replay phase ahead of the predicted next arrival,
+// while the instance is still idle: the predictive orchestrator (rather than
+// a dispatch) programs the replay registers and fires the engine. It reports
+// whether a replay actually issued; when it did, a latch makes the next
+// InvocationStart skip its own replay phase. A pre-warm that already
+// happened is not repeated.
+func (j *Jukebox) BeginPrewarm(now mem.Cycle) bool {
+	if j.prewarmed {
+		return true
+	}
+	entriesBefore := j.Stats.ReplayEntries
+	degradedBefore := j.Stats.DegradedReplays
+	j.replayNow(now)
+	if j.Stats.DegradedReplays != degradedBefore || j.Stats.ReplayEntries == entriesBefore {
+		// Nothing sealed to replay, replay disabled, or the metadata failed
+		// its checksum (degraded to record-only): no warmth was installed.
+		return false
+	}
+	j.prewarmed = true
+	return true
+}
+
+// replayNow is the replay engine shared by InvocationStart and BeginPrewarm.
+func (j *Jukebox) replayNow(now mem.Cycle) {
 	if !j.cfg.ReplayEnabled || j.replay.Len() == 0 {
 		return
 	}
@@ -276,6 +315,7 @@ func (j *Jukebox) Abandon() {
 	j.crrb.Reset()
 	j.record.Reset()
 	j.pendingBits = 0
+	j.prewarmed = false
 }
 
 // DropMetadata discards both metadata directions and any in-flight recording
@@ -288,6 +328,24 @@ func (j *Jukebox) DropMetadata() {
 
 // ResetStats zeroes the counters (metadata contents persist).
 func (j *Jukebox) ResetStats() { j.Stats = Stats{} }
+
+// ReplayFootprintBytes reports the prefetch volume a replay of the sealed
+// metadata would issue — the set line bits across all entries times the line
+// size. The predictive orchestrator charges this to its wasted-pre-warm
+// ledger when a scheduled pre-warm's warmth decays unused.
+func (j *Jukebox) ReplayFootprintBytes() uint64 {
+	lines := j.cfg.LinesPerRegion()
+	var n uint64
+	for i := range j.replay.Entries() {
+		e := &j.replay.Entries()[i]
+		for b := 0; b < lines; b++ {
+			if e.Bit(b) {
+				n++
+			}
+		}
+	}
+	return n * mem.LineSize
+}
 
 // AdoptMetadata copies donor's sealed replay metadata into j, modeling a
 // snapshot-based cold boot (Sec. 3.4.2): the metadata recorded before the

@@ -137,3 +137,37 @@ func TestCrossExperimentCacheSharing(t *testing.T) {
 		t.Errorf("Fig13 reused %d cached cells, want >= 4", got)
 	}
 }
+
+// TestPrewarmDeterministicAcrossJobs gates the predictive pre-warm sweep:
+// forecaster state (histograms, EWMA), the pre-warm ledger and the
+// readiness-tier clocks all accumulate inside each traffic cell, so a
+// worker-order or cache-order dependence anywhere in the prediction path
+// shows up as a byte difference between a serial and an eight-wide run. One
+// function keeps the 40-cell sweep affordable; the raw rows are compared
+// unrounded.
+func TestPrewarmDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full pre-warm sweep twice; skipped in -short mode")
+	}
+	opt := detOpt
+	opt.Functions = []string{"Auth-G"}
+
+	render := func(jobs int) (string, string) {
+		o := opt
+		o.Engine = engineWith(t, jobs, "")
+		r, err := Prewarm(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Table().String(), fmt.Sprintf("%+v", r)
+	}
+
+	serialTab, serialRows := render(1)
+	wideTab, wideRows := render(8)
+	if wideTab != serialTab {
+		t.Errorf("prewarm table differs across jobs:\n--- jobs=1 ---\n%s--- jobs=8 ---\n%s", serialTab, wideTab)
+	}
+	if wideRows != serialRows {
+		t.Errorf("prewarm raw rows differ across jobs (table matched: rounding hid the drift)")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/predict"
 	"lukewarm/internal/reap"
 	"lukewarm/internal/serverless"
 	"lukewarm/internal/topdown"
@@ -151,6 +152,91 @@ func AuditTraffic(r serverless.TrafficResult) error {
 	if len(r.PerFunction) > 0 && (served != r.Served || cold != r.ColdStarts || shed != r.Shed || failed != r.Failed) {
 		return fmt.Errorf("faults: audit traffic: per-function sums %d/%d/%d/%d != fleet %d/%d/%d/%d",
 			served, cold, shed, failed, r.Served, r.ColdStarts, r.Shed, r.Failed)
+	}
+	// Readiness-tier accounting: every judged idle millisecond lands in
+	// exactly one tier.
+	if r.IdleMs < 0 || r.TierColdMs < 0 || r.TierResidentMs < 0 || r.TierPrewarmedMs < 0 {
+		return fmt.Errorf("faults: audit traffic: negative tier times (idle %g, cold %g, resident %g, prewarmed %g)",
+			r.IdleMs, r.TierColdMs, r.TierResidentMs, r.TierPrewarmedMs)
+	}
+	tol := 1e-6*r.IdleMs + 1e-3
+	if sum := r.TierColdMs + r.TierResidentMs + r.TierPrewarmedMs; math.Abs(sum-r.IdleMs) > tol {
+		return fmt.Errorf("faults: audit traffic: tiers sum to %g ms, idle %g ms (diff > tol %g)",
+			sum, r.IdleMs, tol)
+	}
+	// Synchronous dispatch-time replay: at most one charge per dispatched
+	// invocation, time only when charges exist.
+	if r.SyncReplays < 0 || r.SyncReplayMs < 0 {
+		return fmt.Errorf("faults: audit traffic: negative sync-replay counters (%d, %g ms)",
+			r.SyncReplays, r.SyncReplayMs)
+	}
+	if r.SyncReplays > r.Served+r.Failed {
+		return fmt.Errorf("faults: audit traffic: %d sync replays exceed dispatched %d",
+			r.SyncReplays, r.Served+r.Failed)
+	}
+	if r.SyncReplays == 0 && r.SyncReplayMs > 0 {
+		return fmt.Errorf("faults: audit traffic: %g ms sync-replay time with zero sync replays", r.SyncReplayMs)
+	}
+	// The pre-warm ledger must conserve, and the per-function breakdown must
+	// conserve the ledger: used pre-warms are counted at commit, wasted ones
+	// at judgment or expiry, each exactly once.
+	if err := AuditPredict(r.Prewarm, ""); err != nil {
+		return err
+	}
+	var used, wasted int
+	for _, f := range r.PerFunction {
+		if f.PrewarmsUsed < 0 || f.PrewarmsWasted < 0 || f.PredJudged < 0 || f.PredAbsErrMsSum < 0 {
+			return fmt.Errorf("faults: audit traffic: %s has negative pre-warm counters (%d used, %d wasted, %d judged, |err| sum %g)",
+				f.Name, f.PrewarmsUsed, f.PrewarmsWasted, f.PredJudged, f.PredAbsErrMsSum)
+		}
+		used += f.PrewarmsUsed
+		wasted += f.PrewarmsWasted
+	}
+	if len(r.PerFunction) > 0 && (used != r.Prewarm.Used || wasted != r.Prewarm.Wasted) {
+		return fmt.Errorf("faults: audit traffic: per-function pre-warms %d used / %d wasted != ledger %d / %d",
+			used, wasted, r.Prewarm.Used, r.Prewarm.Wasted)
+	}
+	return nil
+}
+
+// AuditPredict checks a pre-warm ledger's conservation invariants: every
+// scheduled pre-warm settles as exactly one of used, partial or wasted;
+// expiries are a subset of waste; and every used pre-warm corresponds to one
+// invocation that skipped its dispatch replay. forecaster, when non-empty,
+// enables forecaster-specific invariants: the schedule-peeking "oracle" on a
+// deterministic schedule never records a miss — no partial warmth, no waste
+// beyond end-of-run expiries, zero prediction error.
+func AuditPredict(l predict.Ledger, forecaster string) error {
+	switch {
+	case l.Scheduled < 0 || l.Used < 0 || l.Partial < 0 || l.Wasted < 0 ||
+		l.Expired < 0 || l.ReplaySkips < 0 || l.BudgetDenied < 0 || l.Judged < 0:
+		return fmt.Errorf("faults: audit predict: negative counters in %+v", l)
+	case l.AbsErrMsSum < 0 || l.PrewarmBusyMs < 0:
+		return fmt.Errorf("faults: audit predict: negative accumulators (|err| sum %g, busy %g ms)",
+			l.AbsErrMsSum, l.PrewarmBusyMs)
+	case l.Used+l.Partial+l.Wasted != l.Scheduled:
+		return fmt.Errorf("faults: audit predict: used %d + partial %d + wasted %d != scheduled %d",
+			l.Used, l.Partial, l.Wasted, l.Scheduled)
+	case l.Expired > l.Wasted:
+		return fmt.Errorf("faults: audit predict: expired %d exceed wasted %d", l.Expired, l.Wasted)
+	case l.ReplaySkips != l.Used:
+		return fmt.Errorf("faults: audit predict: %d replay skips for %d used pre-warms", l.ReplaySkips, l.Used)
+	case l.Used == 0 && l.UsedReplayBytes != 0,
+		l.Partial == 0 && l.PartialReplayBytes != 0,
+		l.Wasted == 0 && l.WastedReplayBytes != 0:
+		return fmt.Errorf("faults: audit predict: replay bytes charged without pre-warms (%d/%d/%d B for %d/%d/%d)",
+			l.UsedReplayBytes, l.PartialReplayBytes, l.WastedReplayBytes, l.Used, l.Partial, l.Wasted)
+	}
+	if forecaster == "oracle" {
+		tol := 1e-6*float64(l.Judged) + 1e-6
+		switch {
+		case l.Partial != 0:
+			return fmt.Errorf("faults: audit predict: oracle recorded %d partial pre-warms", l.Partial)
+		case l.Wasted != l.Expired:
+			return fmt.Errorf("faults: audit predict: oracle wasted %d pre-warms beyond %d expiries", l.Wasted, l.Expired)
+		case l.AbsErrMsSum > tol:
+			return fmt.Errorf("faults: audit predict: oracle prediction error %g ms (tol %g)", l.AbsErrMsSum, tol)
+		}
 	}
 	return nil
 }

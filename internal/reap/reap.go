@@ -192,6 +192,13 @@ type Reap struct {
 	// touch so used and wasted pages are never double-counted.
 	restored   map[uint64]mem.Cycle
 	restoreRan bool
+
+	// prewarmed latches that a pre-warm already ran the restore pass: the
+	// next InvocationStart keeps the installed pages' ready times (so
+	// used/late/wasted accounting settles inside the invocation as usual)
+	// and skips its own restore. Cleared by anything that invalidates the
+	// installed state.
+	prewarmed bool
 }
 
 // New builds a Reap bound to the hierarchy and MMU of the core it will
@@ -226,6 +233,9 @@ func (r *Reap) SetRecordEnabled(on bool) { r.record = on && r.cfg.Record }
 // SetRestoreEnabled toggles restore-at-start (record-only mode when off).
 func (r *Reap) SetRestoreEnabled(on bool) { r.restore = on && r.cfg.Restore }
 
+// RestoreEnabled reports whether restore-at-start is currently enabled.
+func (r *Reap) RestoreEnabled() bool { return r.restore }
+
 // Manifest exposes the sealed manifest (read-only; callers must not
 // mutate).
 func (r *Reap) ManifestView() *Manifest { return &r.sealed }
@@ -239,9 +249,38 @@ func (r *Reap) ManifestView() *Manifest { return &r.sealed }
 func (r *Reap) InvocationStart(now mem.Cycle) {
 	clear(r.seen)
 	r.rec = r.rec[:0]
+	if r.prewarmed {
+		// A pre-warm (BeginPrewarm) already streamed the manifest while the
+		// instance was idle: keep the restored pages' ready times so the
+		// invocation's demand touches settle used/late/wasted accounting
+		// exactly as if the restore had run here, and skip the second pass.
+		r.prewarmed = false
+		return
+	}
 	clear(r.restored)
 	r.restoreRan = false
+	r.restoreNow(now)
+}
 
+// BeginPrewarm runs the restore pass ahead of the predicted next arrival,
+// while the instance is idle. It reports whether a restore actually issued;
+// when it did, a latch makes the next InvocationStart adopt the installed
+// pages instead of restoring again. An already-pending pre-warm is not
+// repeated.
+func (r *Reap) BeginPrewarm(now mem.Cycle) bool {
+	if r.prewarmed {
+		return true
+	}
+	clear(r.restored)
+	r.restoreRan = false
+	r.restoreNow(now)
+	r.prewarmed = r.restoreRan
+	return r.restoreRan
+}
+
+// restoreNow is the restore engine shared by InvocationStart and
+// BeginPrewarm.
+func (r *Reap) restoreNow(now mem.Cycle) {
 	if !r.restore || len(r.sealed.Entries) == 0 {
 		return
 	}
@@ -456,6 +495,15 @@ func (r *Reap) DropManifest() {
 	r.replayOrder = nil
 	r.Stats.ManifestPages = 0
 	r.Stats.ManifestBytes = 0
+	r.prewarmed = false
+}
+
+// RestoreFootprintBytes reports the prefetch volume a full restore of the
+// sealed manifest would stream — every manifest page's worth of lines. The
+// predictive orchestrator charges this to its wasted-pre-warm ledger when a
+// scheduled pre-warm's warmth decays unused.
+func (r *Reap) RestoreFootprintBytes() uint64 {
+	return uint64(len(r.sealed.Entries)) * vm.PageSize
 }
 
 // Abandon discards in-flight per-invocation state without sealing — the
@@ -467,6 +515,7 @@ func (r *Reap) Abandon() {
 	r.rec = r.rec[:0]
 	clear(r.restored)
 	r.restoreRan = false
+	r.prewarmed = false
 }
 
 // ResetStats zeroes the counters while keeping the sealed manifest (and its

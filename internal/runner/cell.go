@@ -26,7 +26,9 @@ import (
 // v4: Cells gained the Reap field and Measurement the Reap stats (REAP
 // working-set restore; the data-access observer also shifts prefetcher
 // composition semantics).
-const SchemaVersion = 4
+// v5: TrafficSummary gained the readiness-tier partition and the predictive
+// pre-warm ledger (internal/predict).
+const SchemaVersion = 5
 
 // Mode selects the execution regime of a measurement cell.
 type Mode uint8

@@ -24,6 +24,13 @@ const (
 	// individually predictable (low CV, the common case in the Azure
 	// traces) while the rate drifts over the period.
 	Diurnal
+	// Bursty is the adversarial shape for pre-warm forecasters: an 80/20
+	// mixture of very short intra-burst gaps (mean/8) and very long lulls
+	// (4.5*mean), preserving the configured mean. A mode-seeking forecaster
+	// locks onto the short gap, so every lull both wastes its scheduled
+	// pre-warm and cold-faults the next arrival — mispredictions are
+	// maximally costly.
+	Bursty
 )
 
 // String names the shape for tables and variant tags.
@@ -37,6 +44,8 @@ func (k ShapeKind) String() string {
 		return "heavytail"
 	case Diurnal:
 		return "diurnal"
+	case Bursty:
+		return "bursty"
 	}
 	return "unknown"
 }
@@ -86,7 +95,7 @@ func exp(rng *program.RNG, mean float64) float64 {
 // simulated time the gap starts at (the previous arrival), used only by the
 // time-varying Diurnal shape. The number and order of RNG draws per kind is
 // part of the determinism contract: Fixed draws none, Poisson one, HeavyTail
-// two, Diurnal one.
+// two, Diurnal one, Bursty two.
 func (s Shape) GapMs(rng *program.RNG, nowMs float64) float64 {
 	switch s.Kind {
 	case Poisson:
@@ -96,6 +105,12 @@ func (s Shape) GapMs(rng *program.RNG, nowMs float64) float64 {
 			return exp(rng, s.MeanIATms/4)
 		}
 		return exp(rng, s.MeanIATms*7/4)
+	case Bursty:
+		// 0.8*(1/8) + 0.2*4.5 = 1: the mixture preserves MeanIATms.
+		if rng.Bool(0.8) {
+			return exp(rng, s.MeanIATms/8)
+		}
+		return exp(rng, s.MeanIATms*4.5)
 	case Diurnal:
 		rate := 1 + DiurnalAmplitude*math.Sin(2*math.Pi*nowMs/s.period())
 		jitter := 1 + DiurnalJitter*(2*rng.Float64()-1)

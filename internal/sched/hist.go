@@ -1,0 +1,97 @@
+package sched
+
+import "math"
+
+// Histogram geometry: 8 bins per octave starting at histMinMs gives ~9%
+// value resolution over a 0.1 ms – ~50 min range, plenty for IATs that the
+// Azure traces put between a second and a few minutes.
+const (
+	histBins        = 256
+	histMinMs       = 0.1
+	histBinsPerOct  = 8
+	histBinRatioLog = 0.0866433975699932 // ln(2)/8
+)
+
+// histBin maps an IAT to its bin index.
+func histBin(ms float64) int {
+	if ms <= histMinMs {
+		return 0
+	}
+	b := int(math.Log(ms/histMinMs) / histBinRatioLog)
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+// histValue returns the upper-edge IAT of a bin.
+func histValue(bin int) float64 {
+	return histMinMs * math.Exp(float64(bin+1)*histBinRatioLog)
+}
+
+// IATHistogram is one function's inter-arrival-time histogram: fixed-size
+// log-scale bins (8 per octave from 0.1 ms), so both the HybridHistogram
+// keep-alive policy and the predict forecasters can share one per-function
+// arrival model. The zero value is ready to use.
+type IATHistogram struct {
+	counts [histBins]int
+	n      int
+}
+
+// Add folds one observed gap into the histogram.
+func (h *IATHistogram) Add(ms float64) {
+	h.counts[histBin(ms)]++
+	h.n++
+}
+
+// N returns the number of observed gaps.
+func (h *IATHistogram) N() int { return h.n }
+
+// Percentile returns the upper edge of the bin holding the p-th percentile
+// observation (0 < p < 100). It returns 0 when the histogram is empty.
+func (h *IATHistogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int(math.Ceil(p / 100 * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for b := 0; b < histBins; b++ {
+		cum += h.counts[b]
+		if cum >= target {
+			return histValue(b)
+		}
+	}
+	return histValue(histBins - 1)
+}
+
+// Mode returns the upper-edge IAT of the most-populated bin (ties break to
+// the shortest gap, keeping the result deterministic) together with the
+// fraction of all observations that fall within ±window bins of it — the
+// natural confidence of a "next gap looks like the modal gap" forecast.
+// Empty histograms return (0, 0).
+func (h *IATHistogram) Mode(window int) (ms, mass float64) {
+	if h.n == 0 {
+		return 0, 0
+	}
+	best := 0
+	for b := 1; b < histBins; b++ {
+		if h.counts[b] > h.counts[best] {
+			best = b
+		}
+	}
+	lo, hi := best-window, best+window
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= histBins {
+		hi = histBins - 1
+	}
+	near := 0
+	for b := lo; b <= hi; b++ {
+		near += h.counts[b]
+	}
+	return histValue(best), float64(near) / float64(h.n)
+}

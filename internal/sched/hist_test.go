@@ -1,0 +1,79 @@
+package sched
+
+import "testing"
+
+func TestIATHistogramEmpty(t *testing.T) {
+	var h IATHistogram
+	if h.N() != 0 {
+		t.Fatalf("zero-value N = %d", h.N())
+	}
+	if p := h.Percentile(50); p != 0 {
+		t.Errorf("empty Percentile(50) = %v, want 0", p)
+	}
+	if ms, mass := h.Mode(2); ms != 0 || mass != 0 {
+		t.Errorf("empty Mode = (%v, %v), want (0, 0)", ms, mass)
+	}
+}
+
+func TestIATHistogramMode(t *testing.T) {
+	var h IATHistogram
+	// 30 observations at ~8 ms, 10 spread over a decade: the mode must land
+	// on the 8 ms bin with most of the mass inside the +/-2-bin window.
+	for i := 0; i < 30; i++ {
+		h.Add(8)
+	}
+	for _, ms := range []float64{1, 2, 40, 80, 160, 320, 640, 1280, 2560, 5120} {
+		h.Add(ms)
+	}
+	ms, mass := h.Mode(2)
+	if ms < 7 || ms > 9.5 {
+		t.Errorf("Mode value = %.2f ms, want ~8 within bin resolution", ms)
+	}
+	if mass < 0.7 || mass > 0.8 {
+		t.Errorf("Mode mass = %.3f, want 30/40 = 0.75", mass)
+	}
+}
+
+// Ties between equally-populated bins must resolve to the shortest gap so
+// Mode is a deterministic function of the observations.
+func TestIATHistogramModeTieBreaksLow(t *testing.T) {
+	var h IATHistogram
+	h.Add(10)
+	h.Add(1000)
+	ms, _ := h.Mode(0)
+	if ms > 11 {
+		t.Errorf("tied Mode = %.2f ms, want the 10 ms bin", ms)
+	}
+}
+
+// The window argument widens the confidence mass but never changes the modal
+// value, and mass is monotone in the window.
+func TestIATHistogramModeWindowMonotone(t *testing.T) {
+	var h IATHistogram
+	for _, ms := range []float64{10, 10, 10, 9, 11, 12, 8, 100} {
+		h.Add(ms)
+	}
+	prev := -1.0
+	v0, _ := h.Mode(0)
+	for w := 0; w <= 4; w++ {
+		v, mass := h.Mode(w)
+		if v != v0 {
+			t.Fatalf("Mode value changed with window %d: %v vs %v", w, v, v0)
+		}
+		if mass < prev {
+			t.Fatalf("Mode mass not monotone in window: %v after %v", mass, prev)
+		}
+		prev = mass
+	}
+	if _, mass := h.Mode(histBins); mass != 1 {
+		t.Errorf("full-window mass = %v, want 1", mass)
+	}
+}
+
+func TestIATHistogramPercentileClampsToLastBin(t *testing.T) {
+	var h IATHistogram
+	h.Add(1e12) // absurdly long gap lands in the final bin
+	if got, want := h.Percentile(99), histValue(histBins-1); got != want {
+		t.Errorf("Percentile(99) = %v, want final-bin edge %v", got, want)
+	}
+}

@@ -1,7 +1,5 @@
 package sched
 
-import "math"
-
 // Decision is a KeepAlive policy's verdict on one idle gap, consulted when
 // the function's next invocation arrives. The gap runs from the previous
 // invocation's completion to this arrival.
@@ -64,64 +62,6 @@ func (noEvict) Decide(_ string, idleMs float64) Decision {
 	return Decision{ResidentMs: idleMs}
 }
 
-// Histogram geometry: 8 bins per octave starting at histMinMs gives ~9%
-// value resolution over a 0.1 ms – ~50 min range, plenty for IATs that the
-// Azure traces put between a second and a few minutes.
-const (
-	histBins        = 256
-	histMinMs       = 0.1
-	histBinsPerOct  = 8
-	histBinRatioLog = 0.0866433975699932 // ln(2)/8
-)
-
-// histBin maps an IAT to its bin index.
-func histBin(ms float64) int {
-	if ms <= histMinMs {
-		return 0
-	}
-	b := int(math.Log(ms/histMinMs) / histBinRatioLog)
-	if b >= histBins {
-		b = histBins - 1
-	}
-	return b
-}
-
-// histValue returns the upper-edge IAT of a bin.
-func histValue(bin int) float64 {
-	return histMinMs * math.Exp(float64(bin+1)*histBinRatioLog)
-}
-
-// funcHist is one function's IAT histogram.
-type funcHist struct {
-	counts [histBins]int
-	n      int
-}
-
-func (h *funcHist) add(ms float64) {
-	h.counts[histBin(ms)]++
-	h.n++
-}
-
-// percentile returns the upper edge of the bin holding the p-th percentile
-// observation (0 < p < 100).
-func (h *funcHist) percentile(p float64) float64 {
-	if h.n == 0 {
-		return 0
-	}
-	target := int(math.Ceil(p / 100 * float64(h.n)))
-	if target < 1 {
-		target = 1
-	}
-	cum := 0
-	for b := 0; b < histBins; b++ {
-		cum += h.counts[b]
-		if cum >= target {
-			return histValue(b)
-		}
-	}
-	return histValue(histBins - 1)
-}
-
 // HybridConfig parameterizes the HybridHistogram policy. The zero value
 // selects the defaults documented on each field.
 //
@@ -157,7 +97,7 @@ func (c HybridConfig) withDefaults() HybridConfig {
 // hybridHistogram is the per-function hybrid policy of Shahrad et al.
 type hybridHistogram struct {
 	cfg   HybridConfig
-	hists map[string]*funcHist
+	hists map[string]*IATHistogram
 }
 
 // HybridHistogram returns the per-function hybrid keep-alive/pre-warm policy
@@ -174,7 +114,7 @@ type hybridHistogram struct {
 // memoryless arrival process). Functions with fewer than MinSamples observed
 // gaps use the FallbackMs fixed timeout.
 func HybridHistogram(cfg HybridConfig) KeepAlive {
-	return &hybridHistogram{cfg: cfg.withDefaults(), hists: map[string]*funcHist{}}
+	return &hybridHistogram{cfg: cfg.withDefaults(), hists: map[string]*IATHistogram{}}
 }
 
 func (*hybridHistogram) Name() string { return "HybridHistogram" }
@@ -182,11 +122,11 @@ func (*hybridHistogram) Name() string { return "HybridHistogram" }
 func (p *hybridHistogram) Decide(fn string, idleMs float64) Decision {
 	h := p.hists[fn]
 	if h == nil {
-		h = &funcHist{}
+		h = &IATHistogram{}
 		p.hists[fn] = h
 	}
 	d := p.decide(h, idleMs)
-	h.add(idleMs)
+	h.Add(idleMs)
 	return d
 }
 
@@ -203,14 +143,14 @@ func (p *hybridHistogram) fallbackMs() float64 {
 }
 
 // decide judges idleMs against the windows the current histogram implies.
-func (p *hybridHistogram) decide(h *funcHist, idleMs float64) Decision {
+func (p *hybridHistogram) decide(h *IATHistogram, idleMs float64) Decision {
 	// An empty history must fall back to the fixed timeout: percentile
 	// returns 0 for n == 0, which would otherwise collapse both windows to
 	// zero and evict (and "pre-warm") on every gap.
-	if h.n == 0 || h.n < p.cfg.MinSamples {
+	if h.N() == 0 || h.N() < p.cfg.MinSamples {
 		return fixedTimeout{timeoutMs: p.fallbackMs()}.Decide("", idleMs)
 	}
-	p5, p99 := h.percentile(5), h.percentile(99)
+	p5, p99 := h.Percentile(5), h.Percentile(99)
 	if p99 > p5*p.cfg.SpreadMax {
 		// Unpredictable: conservative keep-alive at the p99 gap, no pre-warm.
 		return fixedTimeout{timeoutMs: p99}.Decide("", idleMs)
@@ -239,10 +179,10 @@ func (p *hybridHistogram) decide(h *funcHist, idleMs float64) Decision {
 // effect).
 func (p *hybridHistogram) Windows(fn string) (headMs, prewarmMs, keepMs float64) {
 	h := p.hists[fn]
-	if h == nil || h.n == 0 || h.n < p.cfg.MinSamples {
+	if h == nil || h.N() == 0 || h.N() < p.cfg.MinSamples {
 		return 0, 0, p.fallbackMs()
 	}
-	p5, p99 := h.percentile(5), h.percentile(99)
+	p5, p99 := h.Percentile(5), h.Percentile(99)
 	if p99 > p5*p.cfg.SpreadMax {
 		return 0, 0, p99
 	}

@@ -142,22 +142,22 @@ func TestHybridHistogramUnpredictableFallsBackToP99(t *testing.T) {
 }
 
 func TestHistogramPercentiles(t *testing.T) {
-	var h funcHist
+	var h IATHistogram
 	for i := 1; i <= 100; i++ {
-		h.add(float64(i))
+		h.Add(float64(i))
 	}
-	p50 := h.percentile(50)
+	p50 := h.Percentile(50)
 	if p50 < 45 || p50 > 60 {
 		t.Errorf("p50 = %.1f, want ~50 within bin resolution", p50)
 	}
-	p99 := h.percentile(99)
+	p99 := h.Percentile(99)
 	if p99 < 95 || p99 > 110 {
 		t.Errorf("p99 = %.1f, want ~99 within bin resolution", p99)
 	}
 }
 
 func TestShapeSequencesDeterministic(t *testing.T) {
-	for _, kind := range []ShapeKind{Fixed, Poisson, HeavyTail, Diurnal} {
+	for _, kind := range []ShapeKind{Fixed, Poisson, HeavyTail, Diurnal, Bursty} {
 		s := Shape{Kind: kind, MeanIATms: 100}
 		a := s.Sequence(42, 7, 200)
 		b := s.Sequence(42, 7, 200)
@@ -185,7 +185,7 @@ func TestShapeSequencesDeterministic(t *testing.T) {
 }
 
 func TestShapeMeansRoughlyPreserved(t *testing.T) {
-	for _, kind := range []ShapeKind{Fixed, Poisson, HeavyTail, Diurnal} {
+	for _, kind := range []ShapeKind{Fixed, Poisson, HeavyTail, Diurnal, Bursty} {
 		s := Shape{Kind: kind, MeanIATms: 100}
 		gaps := s.Sequence(1, 1, 20000)
 		sum := 0.0
@@ -225,7 +225,7 @@ func TestDiurnalGapsPredictableBand(t *testing.T) {
 func TestHybridHistogramEmptyHistoryFallsBackToFixedTimeout(t *testing.T) {
 	// The degenerate construction: a zero-value config never run through
 	// withDefaults, as an embedding caller might build it.
-	p := &hybridHistogram{cfg: HybridConfig{}, hists: map[string]*funcHist{}}
+	p := &hybridHistogram{cfg: HybridConfig{}, hists: map[string]*IATHistogram{}}
 	d := p.Decide("f", 10)
 	if d.Evicted || d.Prewarmed {
 		t.Fatalf("empty history with 10 ms gap: %+v, want resident (250 ms fallback)", d)

@@ -25,6 +25,7 @@ import (
 	"lukewarm/internal/core"
 	"lukewarm/internal/cpu"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/predict"
 	"lukewarm/internal/program"
 	"lukewarm/internal/reap"
 	"lukewarm/internal/vm"
@@ -258,6 +259,60 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	inv := inst.Workload.Program.NewInvocation(inst.Invocations)
 	inst.Invocations++
 	return c.RunInvocation(inv)
+}
+
+// PrewarmOutcome reports what a predictive pre-warm pass installed.
+type PrewarmOutcome struct {
+	// Ran reports that at least one mechanism actually issued its replay
+	// (sealed state existed and verified).
+	Ran bool
+	// Bytes is the prefetch volume the pre-warm streamed on chip.
+	Bytes uint64
+	// BusyCycles is how long the replay engines stayed busy issuing.
+	BusyCycles mem.Cycle
+}
+
+// PrewarmOn pre-runs inst's warm-up mechanisms on core idx while the
+// instance is idle, ahead of its predicted next arrival: the OS schedules
+// the idle instance's restore onto the core exactly as a dispatch would
+// (address-space install, register programming), the selected mechanisms
+// replay immediately, and a latch makes the instance's next InvocationStart
+// skip its replay phase — the invocation starts microarchitecturally warm.
+// The replay engines run in the background of the idle core, so the core
+// clock does not advance; the occupancy is reported in BusyCycles and
+// charged to the predict ledger instead.
+func (s *Server) PrewarmOn(idx int, inst *Instance, mech predict.Mech) PrewarmOutcome {
+	c := s.Cores[idx]
+	if s.lastAS[idx] != inst.AS {
+		c.MMU.SetAddressSpace(inst.AS)
+		c.MMU.Flush()
+		s.lastAS[idx] = inst.AS
+	}
+	var out PrewarmOutcome
+	now := c.Now()
+	if inst.Reap != nil && mech != predict.MechJukebox {
+		inst.Reap.Bind(c.Hier, c.MMU)
+		before := inst.Reap.Stats.PrefetchedBytes
+		if inst.Reap.BeginPrewarm(now) {
+			out.Ran = true
+			out.Bytes += inst.Reap.Stats.PrefetchedBytes - before
+			if d := inst.Reap.Stats.LastRestoreDone; d > now {
+				out.BusyCycles += d - now
+			}
+		}
+	}
+	if inst.Jukebox != nil && mech != predict.MechReap {
+		inst.Jukebox.Bind(c.Hier, c.MMU)
+		before := inst.Jukebox.Stats.ReplayPrefetches
+		if inst.Jukebox.BeginPrewarm(now) {
+			out.Ran = true
+			out.Bytes += (inst.Jukebox.Stats.ReplayPrefetches - before) * mem.LineSize
+			if d := inst.Jukebox.Stats.LastReplayDone; d > now {
+				out.BusyCycles += d - now
+			}
+		}
+	}
+	return out
 }
 
 // FlushMicroarch obliterates all on-chip state on every core (the lukewarm

@@ -7,6 +7,7 @@ import (
 
 	"lukewarm/internal/cfgerr"
 	"lukewarm/internal/mem"
+	"lukewarm/internal/predict"
 	"lukewarm/internal/program"
 	"lukewarm/internal/sched"
 	"lukewarm/internal/stats"
@@ -34,8 +35,15 @@ type TrafficConfig struct {
 	// Diurnal selects near-periodic arrivals modulated by a fleet-wide
 	// sinusoidal rate cycle (see sched.Diurnal) — individually predictable
 	// gaps whose rate drifts over the period, the common pattern in the
-	// Azure traces. Takes precedence over HeavyTail and Poisson.
+	// Azure traces. Takes precedence over Bursty, HeavyTail and Poisson.
 	Diurnal bool
+	// Bursty selects the adversarial mixture shape (sched.Bursty): tight
+	// intra-burst gaps most of the time, long lulls otherwise, mean
+	// preserved — the worst case for gap forecasters, whose modal
+	// prediction fires into the occasional lull and is wasted. Takes
+	// precedence over HeavyTail and Poisson; Diurnal takes precedence
+	// over it.
+	Bursty bool
 	// DiurnalPeriodMs is the diurnal cycle length; 0 selects the default
 	// (sched.DiurnalPeriodInMeans mean gaps).
 	DiurnalPeriodMs float64
@@ -84,6 +92,27 @@ type TrafficConfig struct {
 	// Learning policies (HybridHistogram) must not be shared between
 	// concurrent ServeTraffic runs.
 	KeepAlive sched.KeepAlive
+	// SyncReplay charges dispatch-time warm-up replay to the invocation's
+	// critical path: the instance's restore (REAP's userspace bulk read,
+	// Jukebox's replay stream) runs to completion before execution begins,
+	// and its duration counts toward the invocation's service time, CPI and
+	// latency. This is the production semantics of snapshot restore — the
+	// function cannot run ahead of its own working set — and it is exactly
+	// the cost a timely pre-warm removes: a pre-warmed instance already ran
+	// its replay off the critical path, so its dispatch pays only the
+	// unfinished tail (if the replay fired late). Off by default, which
+	// preserves the historical overlap model where replay races execution.
+	SyncReplay bool
+	// Predict, when non-nil, arms predictive pre-warming: a forecaster
+	// predicts each resident instance's next arrival and its warm-up
+	// mechanisms (Jukebox replay, REAP restore) are pre-run LeadMs before
+	// it, so on-time arrivals skip the replay phase and start
+	// microarchitecturally warm. Mispredictions are charged to the
+	// TrafficResult.Prewarm ledger. The forecaster (and the optional
+	// shared Budget) is stateful; a cluster passes the same *predict.Config
+	// to every node's sim deliberately, single-node runs must not share it
+	// between concurrent simulations.
+	Predict *predict.Config
 	// Seed determinizes arrivals.
 	Seed uint64
 }
@@ -109,7 +138,7 @@ func (c TrafficConfig) Validate() error {
 	case c.ShedAfterMs < 0:
 		return cfgerr.New("traffic: negative ShedAfterMs %g", c.ShedAfterMs)
 	}
-	return nil
+	return c.Predict.Validate()
 }
 
 // shape resolves the configured arrival-process shape.
@@ -118,6 +147,8 @@ func (c TrafficConfig) shape() sched.Shape {
 	switch {
 	case c.Diurnal:
 		s.Kind = sched.Diurnal
+	case c.Bursty:
+		s.Kind = sched.Bursty
 	case c.HeavyTail:
 		s.Kind = sched.HeavyTail
 	case c.Poisson:
@@ -177,6 +208,14 @@ type FuncTraffic struct {
 	// CPISum accumulates per-invocation CPI; CPISum/Served is the
 	// function's mean CPI over the run.
 	CPISum float64
+	// PrewarmsUsed and PrewarmsWasted are this function's share of the
+	// predictive pre-warm ledger (always 0 without TrafficConfig.Predict);
+	// wasted includes end-of-run expiries.
+	PrewarmsUsed, PrewarmsWasted int
+	// PredJudged counts this function's idle gaps judged with a prediction
+	// in hand; PredAbsErrMsSum accumulates |predicted - observed| over them.
+	PredJudged      int
+	PredAbsErrMsSum float64
 }
 
 // MeanCPI reports the function's mean per-invocation CPI.
@@ -185,6 +224,15 @@ func (f FuncTraffic) MeanCPI() float64 {
 		return 0
 	}
 	return f.CPISum / float64(f.Served)
+}
+
+// MeanAbsPredErrMs reports the function's mean absolute prediction error
+// over judged gaps.
+func (f FuncTraffic) MeanAbsPredErrMs() float64 {
+	if f.PredJudged == 0 {
+		return 0
+	}
+	return f.PredAbsErrMsSum / float64(f.PredJudged)
 }
 
 // TrafficResult summarizes a traffic run.
@@ -219,6 +267,26 @@ type TrafficResult struct {
 	// memory-resident — the instance-memory budget the keep-alive policy
 	// spent. Busy (executing) time is not included.
 	ResidentMs float64
+	// IdleMs sums every judged idle gap (every dispatch of an instance
+	// with a previous completion), and the Tier fields partition it by the
+	// readiness ladder: TierColdMs the evicted remainder of gaps that
+	// cold-started, TierPrewarmedMs the tail of gaps spent with a used
+	// pre-warm's replay already installed, TierResidentMs everything else
+	// (memory-resident, microarchitecturally decaying). The partition
+	// invariant TierColdMs + TierResidentMs + TierPrewarmedMs == IdleMs is
+	// enforced by faults.AuditTraffic.
+	IdleMs          float64
+	TierColdMs      float64
+	TierResidentMs  float64
+	TierPrewarmedMs float64
+	// Prewarm is the predictive pre-warm conservation ledger (zero without
+	// TrafficConfig.Predict); faults.AuditPredict checks its invariants.
+	Prewarm predict.Ledger
+	// SyncReplays counts dispatches that paid a synchronous dispatch-time
+	// replay (TrafficConfig.SyncReplay), and SyncReplayMs is the total
+	// critical-path time they spent in it. Both are 0 without SyncReplay.
+	SyncReplays  int
+	SyncReplayMs float64
 	// PerFunction breaks Served/ColdStarts/Shed/Failed down by function, in
 	// deployment order.
 	PerFunction []FuncTraffic
@@ -279,7 +347,16 @@ type TrafficSummary struct {
 	MeanLatencyCycles, P99LatencyCyc float64
 	BusyFraction, SimulatedMs        float64
 	ResidentMs                       float64
-	PerFunction                      []FuncTraffic
+	// Readiness-tier partition of idle time (see TrafficResult.IdleMs).
+	IdleMs, TierColdMs              float64
+	TierResidentMs, TierPrewarmedMs float64
+	// Predictive pre-warm ledger projection (see predict.Ledger).
+	Prewarm predict.Ledger
+	// Synchronous dispatch-time replay accounting (see
+	// TrafficResult.SyncReplays).
+	SyncReplays  int
+	SyncReplayMs float64
+	PerFunction  []FuncTraffic
 }
 
 // Summary projects the result into its cacheable form.
@@ -296,6 +373,13 @@ func (r *TrafficResult) Summary() TrafficSummary {
 		BusyFraction:      r.BusyFraction,
 		SimulatedMs:       r.SimulatedMs,
 		ResidentMs:        r.ResidentMs,
+		IdleMs:            r.IdleMs,
+		TierColdMs:        r.TierColdMs,
+		TierResidentMs:    r.TierResidentMs,
+		TierPrewarmedMs:   r.TierPrewarmedMs,
+		Prewarm:           r.Prewarm,
+		SyncReplays:       r.SyncReplays,
+		SyncReplayMs:      r.SyncReplayMs,
 		PerFunction:       r.PerFunction,
 	}
 }
@@ -438,10 +522,12 @@ type TrafficSim struct {
 	res        TrafficResult
 	state      map[*Instance]*instSched
 	perFn      []*FuncTraffic
+	insts      []*Instance // registration order, for the Finish expiry sweep
 	coreServed []int
 	views      []sched.CoreView
 	start      mem.Cycle
 	busy       mem.Cycle
+	prewarmer  *predict.Prewarmer
 }
 
 // NewTrafficSim builds a dispatch engine for srv under cfg. The server's
@@ -462,6 +548,9 @@ func (s *Server) NewTrafficSim(cfg TrafficConfig) (*TrafficSim, error) {
 		views:       make([]sched.CoreView, len(s.Cores)),
 		start:       s.Core.Now(),
 	}
+	if cfg.Predict != nil {
+		ts.prewarmer = predict.NewPrewarmer(cfg.Predict)
+	}
 	for _, inst := range s.instances {
 		ts.Register(inst)
 	}
@@ -475,6 +564,7 @@ func (ts *TrafficSim) Register(inst *Instance) {
 	}
 	fn := &FuncTraffic{Name: inst.Workload.Name}
 	ts.perFn = append(ts.perFn, fn)
+	ts.insts = append(ts.insts, inst)
 	ts.state[inst] = &instSched{fn: fn, lastCore: -1}
 }
 
@@ -516,6 +606,39 @@ func (ts *TrafficSim) markCrashed(inst *Instance, shipManifest bool) {
 	}
 	st.forceCold = true
 	st.hasDone = false
+}
+
+// prewarmArmed reports whether inst has sealed warm-up state the selected
+// mechanism could replay ahead of an arrival.
+func (ts *TrafficSim) prewarmArmed(inst *Instance, mech predict.Mech) bool {
+	if inst.Reap != nil && mech != predict.MechJukebox &&
+		inst.Reap.RestoreEnabled() && inst.Reap.RestoreFootprintBytes() > 0 {
+		return true
+	}
+	if inst.Jukebox != nil && mech != predict.MechReap &&
+		inst.Jukebox.ReplayEnabled() && inst.Jukebox.ReplayFootprintBytes() > 0 {
+		return true
+	}
+	return false
+}
+
+// prewarmCharge estimates what a wasted pre-warm of inst costs: the full
+// replay prefetch volume of the selected mechanism(s) and the replay-engine
+// occupancy at one line per cycle. Wasted and partial pre-warms are never
+// physically executed (the warmth they installed is gone by dispatch), so
+// the ledger charges this static estimate instead.
+func (ts *TrafficSim) prewarmCharge(inst *Instance, mech predict.Mech) predict.Charge {
+	var bytes uint64
+	if inst.Reap != nil && mech != predict.MechJukebox && inst.Reap.RestoreEnabled() {
+		bytes += inst.Reap.RestoreFootprintBytes()
+	}
+	if inst.Jukebox != nil && mech != predict.MechReap && inst.Jukebox.ReplayEnabled() {
+		bytes += inst.Jukebox.ReplayFootprintBytes()
+	}
+	return predict.Charge{
+		Bytes:  bytes,
+		BusyMs: float64(bytes/mem.LineSize) / ts.cyclesPerMs,
+	}
 }
 
 // Dispatch serves one arrival of inst at time at: core placement, overload
@@ -574,14 +697,55 @@ func (ts *TrafficSim) Dispatch(inst *Instance, at mem.Cycle, doomed bool, due fu
 			return DispatchOutcome{Shed: true, Core: idx}
 		}
 	}
-	if core.Now() < at {
-		gap := at - core.Now()
+	// Predictive pre-warm: judge the gap's pre-warm against the observed
+	// arrival. The decision was conceptually made at the last completion
+	// (predict the gap, schedule the replay LeadMs early); the sim owns no
+	// event loop, so it is reconstructed lazily here, before the clock
+	// advances across the gap. A used pre-warm physically replays mid-gap
+	// below, and the remaining gap's ambient interleaving then decays the
+	// freshly installed warmth — firing too early is a real cost.
+	var pre predict.Outcome
+	var preMech predict.Mech
+	if ts.prewarmer != nil && st.hasDone && !st.forceCold {
+		idleMs := 0.0
+		if at > st.lastDone {
+			idleMs = float64(at-st.lastDone) / ts.cyclesPerMs
+		}
+		preMech = ts.prewarmer.Config().Mech(inst.Workload.Name)
+		pre = ts.prewarmer.Judge(inst.Workload.Name, idleMs, arrivalMs,
+			ts.prewarmArmed(inst, preMech), ts.prewarmCharge(inst, preMech))
+		if pre.HavePred {
+			st.fn.PredJudged++
+			st.fn.PredAbsErrMsSum += pre.AbsErrMs
+		}
+		if pre.Verdict == predict.VerdictWasted {
+			st.fn.PrewarmsWasted++
+		}
+	}
+	advance := func(to mem.Cycle) {
+		if to <= core.Now() {
+			return
+		}
+		gap := to - core.Now()
 		if cfg.AmbientThrash {
 			s.AdvanceIATOn(idx, float64(gap)/ts.cyclesPerMs)
 		} else {
 			core.AdvanceCycles(gap)
 		}
 	}
+	prewarmRan := false
+	if pre.Verdict == predict.VerdictUsed {
+		// Fire the replay at its scheduled point in the gap, then let the
+		// rest of the gap act on the freshly installed state.
+		advance(st.lastDone + mem.Cycle(pre.FireMs*ts.cyclesPerMs))
+		po := s.PrewarmOn(idx, inst, preMech)
+		ts.prewarmer.CommitUsed(po.Ran, po.Bytes, float64(po.BusyCycles)/ts.cyclesPerMs)
+		if po.Ran {
+			prewarmRan = true
+			st.fn.PrewarmsUsed++
+		}
+	}
+	advance(at)
 	var out DispatchOutcome
 	out.Core = idx
 	// Warmth class: fully warm only when nothing ran on the instance's last
@@ -615,6 +779,26 @@ func (ts *TrafficSim) Dispatch(inst *Instance, at mem.Cycle, doomed bool, due fu
 		}
 		d := ts.keepAlive.Decide(inst.Workload.Name, idleMs)
 		ts.res.ResidentMs += d.ResidentMs
+		// Readiness-tier partition of the gap: the evicted remainder is
+		// cold, the tail past a used pre-warm's firing point is pre-warmed,
+		// the rest plain resident.
+		ts.res.IdleMs += idleMs
+		coldMs := idleMs - d.ResidentMs
+		if coldMs < 0 {
+			coldMs = 0
+		}
+		resMs := idleMs - coldMs
+		if prewarmRan {
+			if pw := idleMs - pre.FireMs; pw > 0 {
+				if pw > resMs {
+					pw = resMs
+				}
+				resMs -= pw
+				ts.res.TierPrewarmedMs += pw
+			}
+		}
+		ts.res.TierColdMs += coldMs
+		ts.res.TierResidentMs += resMs
 		if d.Prewarmed {
 			ts.res.PrewarmHits++
 			out.Prewarmed = true
@@ -635,11 +819,29 @@ func (ts *TrafficSim) Dispatch(inst *Instance, at mem.Cycle, doomed bool, due fu
 	if inst.Jukebox != nil && st.lastCore != idx {
 		ts.res.JukeboxRebinds++
 	}
+	// Synchronous dispatch-time replay: run the restore to completion before
+	// execution and charge its duration to the invocation. The pre-warm
+	// latch makes this pay only for replay work a timely pre-warm did not
+	// already do — a fully pre-warmed instance is charged at most the
+	// unfinished tail of a replay that fired late in the gap.
+	var syncCycles mem.Cycle
+	if cfg.SyncReplay {
+		po := s.PrewarmOn(idx, inst, predict.MechAuto)
+		if po.BusyCycles > 0 {
+			core.AdvanceCycles(po.BusyCycles)
+			syncCycles = po.BusyCycles
+			ts.res.SyncReplays++
+			ts.res.SyncReplayMs += float64(po.BusyCycles) / ts.cyclesPerMs
+		}
+	}
 	r := s.InvokeOn(idx, inst)
-	ts.busy += r.Cycles
+	ts.busy += r.Cycles + syncCycles
 	out.Done = core.Now()
 	out.CPI = r.CPI()
-	out.ServiceCycles = float64(r.Cycles)
+	if r.Instrs > 0 {
+		out.CPI = float64(r.Cycles+syncCycles) / float64(r.Instrs)
+	}
+	out.ServiceCycles = float64(r.Cycles + syncCycles)
 	out.LatencyCycles = float64(core.Now() - at)
 	ts.coreServed[idx]++
 	if doomed {
@@ -670,6 +872,26 @@ func (ts *TrafficSim) Dispatch(inst *Instance, at mem.Cycle, doomed bool, due fu
 // Finish seals the run: busy fraction and span are computed and the
 // aggregate result returned. The sim must not be dispatched to afterwards.
 func (ts *TrafficSim) Finish() TrafficResult {
+	// Settle pre-warms left pending at end of run: each instance's
+	// forecaster would have scheduled one more after its last completion,
+	// and nothing ever arrived to consume it — fully wasted speculation.
+	if ts.prewarmer != nil {
+		for _, inst := range ts.insts {
+			st := ts.state[inst]
+			if st == nil || !st.hasDone {
+				continue
+			}
+			mech := ts.prewarmer.Config().Mech(inst.Workload.Name)
+			before := ts.prewarmer.Ledger.Expired
+			ts.prewarmer.Expire(inst.Workload.Name,
+				float64(st.lastDone)/ts.cyclesPerMs,
+				ts.prewarmArmed(inst, mech), ts.prewarmCharge(inst, mech))
+			if ts.prewarmer.Ledger.Expired > before {
+				st.fn.PrewarmsWasted++
+			}
+		}
+		ts.res.Prewarm = ts.prewarmer.Ledger
+	}
 	var span mem.Cycle
 	for _, c := range ts.srv.Cores {
 		if d := c.Now() - ts.start; d > span {
@@ -770,6 +992,10 @@ func (r *TrafficResult) String() string {
 	if r.JukeboxRebinds > 0 {
 		extra += fmt.Sprintf(", %d jukebox rebinds", r.JukeboxRebinds)
 	}
+	if r.SyncReplays > 0 {
+		extra += fmt.Sprintf(", %d sync replays (%.2f ms on critical path)",
+			r.SyncReplays, r.SyncReplayMs)
+	}
 	out := fmt.Sprintf(
 		"served %d of %d offered invocations over %.0f ms simulated (%.1f%% core busy, %d cold starts%s%s); "+
 			"mean CPI %.3f; service %.0f cycles mean; latency %.0f mean / %.0f p99 cycles; "+
@@ -786,6 +1012,25 @@ func (r *TrafficResult) String() string {
 		}
 		if len(parts) > 0 {
 			out += "; by function: " + strings.Join(parts, ", ")
+		}
+	}
+	if l := r.Prewarm; l.Scheduled > 0 || l.BudgetDenied > 0 {
+		out += fmt.Sprintf(
+			"; idle tiers %.0f cold / %.0f resident / %.0f pre-warmed of %.0f ms; "+
+				"pre-warms %d scheduled: %d used / %d partial / %d wasted (%d expired), "+
+				"%d budget-denied, %.1f KiB wasted replay, %.3f ms engine busy, mean |err| %.2f ms",
+			r.TierColdMs, r.TierResidentMs, r.TierPrewarmedMs, r.IdleMs,
+			l.Scheduled, l.Used, l.Partial, l.Wasted, l.Expired,
+			l.BudgetDenied, float64(l.WastedReplayBytes)/1024, l.PrewarmBusyMs, l.MeanAbsErrMs())
+		var parts []string
+		for _, f := range r.PerFunction {
+			if f.PrewarmsUsed > 0 || f.PrewarmsWasted > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d used/%d wasted (|err| %.1f ms)",
+					f.Name, f.PrewarmsUsed, f.PrewarmsWasted, f.MeanAbsPredErrMs()))
+			}
+		}
+		if len(parts) > 0 {
+			out += "; pre-warms by function: " + strings.Join(parts, ", ")
 		}
 	}
 	return out

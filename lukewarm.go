@@ -48,6 +48,7 @@ import (
 	"lukewarm/internal/faults"
 	"lukewarm/internal/mem"
 	"lukewarm/internal/pif"
+	"lukewarm/internal/predict"
 	"lukewarm/internal/program"
 	"lukewarm/internal/reap"
 	"lukewarm/internal/runner"
@@ -145,6 +146,22 @@ type (
 	ColdstartResult = experiments.ColdstartResult
 	// ColdstartMech names one warm-up mechanism of the cold-start sweep.
 	ColdstartMech = experiments.ColdstartMech
+	// PredictConfig arms predictive pre-warming on a traffic simulation
+	// (TrafficConfig.Predict): forecaster, lead time, freshness window,
+	// per-function mechanism choice and optional fleet budget.
+	PredictConfig = predict.Config
+	// Forecaster predicts a function's next inter-arrival gap; see
+	// NewForecaster for the built-in implementations.
+	Forecaster = predict.Forecaster
+	// PrewarmLedger is the pre-warm conservation ledger (scheduled =
+	// used + partial + wasted) that AuditPredict checks.
+	PrewarmLedger = predict.Ledger
+	// PrewarmBudget rate-limits pre-warms fleet-wide; see NewPrewarmBudget.
+	PrewarmBudget = predict.Budget
+	// PrewarmResult backs the predictive pre-warm sweep (see Prewarm).
+	PrewarmResult = experiments.PrewarmResult
+	// PrewarmRow is one (shape, forecaster, lead) cell of the sweep.
+	PrewarmRow = experiments.PrewarmRow
 	// FaultKind enumerates the injectable fault classes.
 	FaultKind = faults.Kind
 	// FaultPlan is one seeded fault-injection campaign.
@@ -370,6 +387,34 @@ func AuditReap(s ReapStats) error { return faults.AuditReap(s) }
 // manifest-staleness sweep.
 func Coldstart(opt ExperimentOptions) (experiments.ColdstartResult, error) {
 	return experiments.Coldstart(opt)
+}
+
+// Prewarm runs the predictive pre-warm sweep: forecaster x lead time x
+// arrival shape under synchronous restore semantics, with a bare
+// replay-at-dispatch baseline per shape and a fully warm reference closing
+// the penalty scale. Oracle rows bound what prediction can ever recover; the
+// bursty shape fills the wasted-replay ledger.
+func Prewarm(opt ExperimentOptions) (experiments.PrewarmResult, error) {
+	return experiments.Prewarm(opt)
+}
+
+// NewForecaster builds a fresh arrival forecaster by name — "histpeak"
+// (log-scale IAT histogram mode), "ewma" (exponentially weighted next gap)
+// or "oracle" (peeks at the true schedule; upper bound). Unknown names
+// return nil.
+func NewForecaster(name string) Forecaster { return predict.NewForecaster(name) }
+
+// NewPrewarmBudget builds a shared pre-warm allowance: total caps scheduled
+// pre-warms fleet-wide (0 = unlimited), refractoryMs is the minimum spacing
+// between granted pre-warms of the same function anywhere in the fleet.
+func NewPrewarmBudget(total int, refractoryMs float64) *PrewarmBudget {
+	return predict.NewBudget(total, refractoryMs)
+}
+
+// AuditPredict checks a pre-warm ledger's conservation invariants; a
+// non-empty forecaster name ("oracle") enables forecaster-specific checks.
+func AuditPredict(l PrewarmLedger, forecaster string) error {
+	return faults.AuditPredict(l, forecaster)
 }
 
 // Placement policies for TrafficConfig.Placer.
