@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench
+.PHONY: all build test lint bench benchdiff profile
 
 all: build test
 
@@ -30,3 +30,17 @@ bench:
 	$(GO) test -run '^$$' -bench 'Fleet|ExtensionCluster|SimulationThroughput|ReapRestore|Forecast|PrewarmSweep' -benchtime 1x ./internal/cluster ./internal/reap ./internal/predict ./internal/serverless . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"
+
+# benchdiff compares the two newest committed BENCH_<n>.json snapshots and
+# fails when the simulator-throughput trajectory regresses by more than 10%;
+# other benches (fleet sweeps dominated by scheduling noise) only warn.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
+
+# profile captures CPU and heap profiles of the simulator's hot loop (the
+# throughput benchmark); inspect with `go tool pprof cpu.prof`. The same
+# seams exist on the CLI: `lukewarm -cpuprofile cpu.prof <experiment>`.
+profile:
+	$(GO) test -run '^$$' -bench SimulationThroughput -benchtime 20x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof mem.prof (go tool pprof cpu.prof)"

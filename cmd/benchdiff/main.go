@@ -1,0 +1,186 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// cmd/benchjson and enforces the repository's throughput trajectory: the
+// simulator's instruction rate must not silently regress between PRs.
+//
+// Usage:
+//
+//	benchdiff [-dir DIR] [-threshold PCT] [old.json new.json]
+//
+// With explicit file arguments it diffs those two snapshots; with none it
+// picks the two highest-numbered BENCH_<n>.json files in -dir (default ".").
+// Every metric present in both snapshots is reported. A drop of more than
+// -threshold percent (default 10) in the SimulationThroughput benchmark's
+// Minstr/s is a hard failure (exit 1); regressions in other benchmarks —
+// fleet and experiment benches dominated by scheduling noise — are warnings
+// only. Higher-is-better metrics (Minstr/s and friends) and lower-is-better
+// ones (ns/op) are both handled.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// entry mirrors cmd/benchjson's output element.
+type entry struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// key identifies one metric of one benchmark across snapshots.
+type key struct {
+	bench, metric string
+}
+
+// gatedBench is the benchmark whose throughput trajectory is load-bearing:
+// PR 9's flattened timing core is only a win if it stays won.
+const (
+	gatedBench  = "BenchmarkSimulationThroughput"
+	gatedMetric = "Minstr/s"
+)
+
+// lowerIsBetter reports whether a metric improves downward.
+func lowerIsBetter(metric string) bool {
+	switch metric {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return false
+}
+
+func load(path string) (map[key]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := map[key]float64{}
+	for _, e := range entries {
+		for name, v := range e.Metrics {
+			m[key{e.Name, name}] = v
+		}
+	}
+	return m, nil
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestPair returns the two highest-numbered BENCH_<n>.json paths in dir,
+// oldest first.
+func latestPair(dir string) (string, string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	type snap struct {
+		n    int
+		path string
+	}
+	var snaps []snap
+	for _, p := range names {
+		m := benchFile.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap{n, p})
+	}
+	if len(snaps) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<n>.json snapshots in %s, found %d", dir, len(snaps))
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+	threshold := flag.Float64("threshold", 10, "max tolerated %% regression in the gated throughput metric")
+	flag.Parse()
+
+	var oldPath, newPath string
+	var err error
+	switch flag.NArg() {
+	case 0:
+		oldPath, newPath, err = latestPair(*dir)
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		err = fmt.Errorf("want zero or two file arguments, got %d", flag.NArg())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldM, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := make([]key, 0, len(newM))
+	for k := range newM {
+		if _, ok := oldM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].metric < keys[j].metric
+	})
+
+	fmt.Printf("benchdiff: %s -> %s\n", oldPath, newPath)
+	failed := false
+	for _, k := range keys {
+		ov, nv := oldM[k], newM[k]
+		if ov == 0 {
+			continue
+		}
+		deltaPct := (nv - ov) / ov * 100
+		regressPct := deltaPct // higher is better: a drop is negative
+		if lowerIsBetter(k.metric) {
+			regressPct = -deltaPct
+		}
+		status := "ok"
+		switch {
+		case k.bench == gatedBench && k.metric == gatedMetric && regressPct < -*threshold:
+			status = "FAIL"
+			failed = true
+		case regressPct < -*threshold:
+			status = "warn"
+		}
+		fmt.Printf("  %-4s %-50s %-10s %12.4g -> %-12.4g (%+.1f%%)\n",
+			status, k.bench, k.metric, ov, nv, deltaPct)
+	}
+	if _, ok := newM[key{gatedBench, gatedMetric}]; !ok {
+		fmt.Fprintf(os.Stderr, "benchdiff: gated metric %s %s missing from %s\n",
+			gatedBench, gatedMetric, newPath)
+		failed = true
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s %s regressed more than %.0f%%\n",
+			gatedBench, gatedMetric, *threshold)
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,12 +48,25 @@ func main() {
 	cacheDir := flag.String("cache", "", "persist the content-addressed result cache in this directory")
 	progress := flag.Bool("progress", false, "stream per-cell progress lines to stderr")
 	reportPath := flag.String("report", "", "write a JSON run report (wall time, cells, cache hits, headline metrics) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lukewarm:", err)
+		os.Exit(1)
+	}
+	// exit flushes the profiles before terminating: every exit path below
+	// this point must use it, or a profiled failing run writes no profile.
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
 	}
 	engCfg := lukewarm.EngineConfig{Jobs: *jobs, CacheDir: *cacheDir}
 	if *progress {
@@ -60,7 +75,7 @@ func main() {
 	eng, err := lukewarm.NewEngine(engCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lukewarm:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	opt := lukewarm.ExperimentOptions{
 		Measure: *measure, Warmup: *warmup, NoWarmup: *noWarmup,
@@ -84,14 +99,57 @@ func main() {
 	if *reportPath != "" {
 		if err := s.writeReport(*reportPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lukewarm: report:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "lukewarm:", runErr)
-		os.Exit(1)
+		exit(1)
 	}
+	stopProfiles()
 	fmt.Printf("(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+// startProfiles begins CPU profiling and arranges the exit-time heap
+// profile. The returned stop function is idempotent and must run on every
+// exit path once profiling has started; either path may be empty.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stopCPU := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		stopCPU()
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lukewarm: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lukewarm: memprofile:", err)
+		}
+	}, nil
 }
 
 func usage() {

@@ -92,6 +92,7 @@ func (r *Report) Table() *stats.Table {
 func battery() []namedCheck {
 	var checks []namedCheck
 	checks = append(checks, oracleChecks()...)
+	checks = append(checks, pagetableChecks()...)
 	checks = append(checks, propertyChecks()...)
 	return checks
 }

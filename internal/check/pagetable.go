@@ -1,0 +1,195 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"lukewarm/internal/program"
+	"lukewarm/internal/vm"
+)
+
+// refPageTable is the map-backed page table that internal/vm used before the
+// chunked flat frame table replaced it: one map entry per mapped virtual
+// page, demand allocation on first touch, and a collect-and-sort Pages walk.
+// It is deliberately the obviously-correct shape — every operation is a map
+// lookup — and serves as the differential reference the flat representation
+// is checked against, operation by operation.
+type refPageTable struct {
+	alloc  *vm.FrameAllocator
+	frames map[uint64]uint64 // vpage -> physical frame base
+	moved  uint64
+}
+
+func newRefPageTable(alloc *vm.FrameAllocator) *refPageTable {
+	return &refPageTable{alloc: alloc, frames: map[uint64]uint64{}}
+}
+
+func (r *refPageTable) translate(vaddr uint64) uint64 {
+	vp := vm.PageOf(vaddr)
+	base, ok := r.frames[vp]
+	if !ok {
+		base = r.alloc.Alloc()
+		r.frames[vp] = base
+	}
+	return base | (vaddr & (vm.PageSize - 1))
+}
+
+func (r *refPageTable) lookup(vaddr uint64) (uint64, bool) {
+	base, ok := r.frames[vm.PageOf(vaddr)]
+	if !ok {
+		return 0, false
+	}
+	return base | (vaddr & (vm.PageSize - 1)), true
+}
+
+func (r *refPageTable) pages() []uint64 {
+	out := make([]uint64, 0, len(r.frames))
+	for vp := range r.frames {
+		out = append(out, vp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// compact migrates every mapped page to a fresh frame in virtual-address
+// order — the same deterministic order the real Compact guarantees.
+func (r *refPageTable) compact() {
+	for _, vp := range r.pages() {
+		r.frames[vp] = r.alloc.Alloc()
+		r.moved++
+	}
+}
+
+// ptOp is one step of a page-table differential stream.
+type ptOp struct {
+	vaddr   uint64
+	kind    uint8 // 0 translate, 1 lookup, 2 compact
+	checkAt bool  // cross-check Pages()/MappedPages after this op
+}
+
+const (
+	ptTranslate = iota
+	ptLookup
+	ptCompact
+)
+
+// checkPageTable drives the flat AddressSpace and the map-backed reference
+// over the same operation stream from identical allocators and fails on the
+// first divergence in translations, lookups, page sets, or migration counts.
+func checkPageTable(ops []ptOp) error {
+	flat := vm.NewAddressSpace(vm.NewFrameAllocator(7))
+	ref := newRefPageTable(vm.NewFrameAllocator(7))
+	for i, op := range ops {
+		switch op.kind {
+		case ptTranslate:
+			got, want := flat.Translate(op.vaddr), ref.translate(op.vaddr)
+			if got != want {
+				return fmt.Errorf("op %d: Translate(%#x) = %#x, reference %#x", i, op.vaddr, got, want)
+			}
+		case ptLookup:
+			got, gok := flat.Lookup(op.vaddr)
+			want, wok := ref.lookup(op.vaddr)
+			if gok != wok || got != want {
+				return fmt.Errorf("op %d: Lookup(%#x) = %#x,%v, reference %#x,%v",
+					i, op.vaddr, got, gok, want, wok)
+			}
+		case ptCompact:
+			flat.Compact()
+			ref.compact()
+			if flat.Migrations != ref.moved {
+				return fmt.Errorf("op %d: Migrations = %d, reference %d", i, flat.Migrations, ref.moved)
+			}
+		}
+		if op.checkAt || i == len(ops)-1 {
+			if got, want := flat.MappedPages(), len(ref.frames); got != want {
+				return fmt.Errorf("op %d: MappedPages = %d, reference %d", i, got, want)
+			}
+			gp, wp := flat.Pages(), ref.pages()
+			if len(gp) != len(wp) {
+				return fmt.Errorf("op %d: Pages len %d, reference %d", i, len(gp), len(wp))
+			}
+			for j := range gp {
+				if gp[j] != wp[j] {
+					return fmt.Errorf("op %d: Pages[%d] = %#x, reference %#x", i, j, gp[j], wp[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// randomPTOps mixes translations, lookups and occasional compactions over a
+// bounded page range, with a sprinkle of sparse high-VA pages (the chunked
+// representation's worst case: single-page chunks far from the dense region).
+func randomPTOps(seed uint64, n int, pageSpan uint64) []ptOp {
+	rng := program.NewRNG(program.Mix(0xFA6E, seed))
+	ops := make([]ptOp, 0, n)
+	for i := 0; i < n; i++ {
+		var op ptOp
+		r := rng.Float64()
+		vp := rng.Uint64() % pageSpan
+		if rng.Float64() < 0.02 {
+			// Sparse high pages: distinct 2 MB chunks at gigabyte offsets.
+			vp = (1 << 30 >> vm.PageShift) + (rng.Uint64()%64)<<9
+		}
+		op.vaddr = vp<<vm.PageShift | (rng.Uint64() & (vm.PageSize - 1))
+		switch {
+		case r < 0.55:
+			op.kind = ptTranslate
+		case r < 0.98:
+			op.kind = ptLookup
+		default:
+			op.kind = ptCompact
+		}
+		op.checkAt = rng.Float64() < 0.01
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// stridedPTOps touches pages at a fixed stride — the chunk-boundary
+// crossing pattern — then re-walks the same range with lookups.
+func stridedPTOps(n int, stridePages uint64) []ptOp {
+	ops := make([]ptOp, 0, 2*n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, ptOp{vaddr: uint64(i) * stridePages << vm.PageShift, kind: ptTranslate})
+	}
+	for i := 0; i < n; i++ {
+		ops = append(ops, ptOp{vaddr: uint64(i) * stridePages << vm.PageShift, kind: ptLookup})
+	}
+	return ops
+}
+
+// churnPTOps alternates growth bursts with compactions: the allocator-churn
+// pattern that exercises Pages-cache invalidation and frame reassignment.
+func churnPTOps(seed uint64, rounds, pagesPerRound int) []ptOp {
+	rng := program.NewRNG(program.Mix(0xC4, seed))
+	var ops []ptOp
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < pagesPerRound; i++ {
+			vp := uint64(r*pagesPerRound+i) + rng.Uint64()%8
+			ops = append(ops, ptOp{vaddr: vp << vm.PageShift, kind: ptTranslate})
+		}
+		ops = append(ops, ptOp{kind: ptCompact, checkAt: true})
+	}
+	return ops
+}
+
+// pagetableChecks enumerates the flat-vs-map page-table differential battery.
+func pagetableChecks() []namedCheck {
+	return []namedCheck{
+		{"oracle/pagetable/random", func() error {
+			return checkPageTable(randomPTOps(1, 40000, 4096))
+		}},
+		{"oracle/pagetable/sparse", func() error {
+			return checkPageTable(randomPTOps(2, 20000, 1<<22))
+		}},
+		{"oracle/pagetable/strided", func() error {
+			// Stride of 512 pages lands every touch in its own chunk.
+			return checkPageTable(stridedPTOps(4000, 512))
+		}},
+		{"oracle/pagetable/churn-compact", func() error {
+			return checkPageTable(churnPTOps(3, 40, 200))
+		}},
+	}
+}

@@ -14,6 +14,25 @@ type InstrSource interface {
 	Next() (program.Instr, bool)
 }
 
+// batchSource is the bulk-delivery fast path: sources that implement it
+// (program.Invocation, trace.Reader) hand the core whole buffers of
+// instructions, so the inner loop pays no per-instruction interface call.
+// NextBatch must yield exactly the stream repeated Next calls would — the
+// differential tests in internal/check hold the two paths bit-identical.
+type batchSource interface {
+	NextBatch(buf []program.Instr) int
+}
+
+// batchLen is the core's instruction-buffer size (a few host cache pages).
+const batchLen = 512
+
+// tdAcc accumulates Top-Down cycles as integers during a run; RunInvocation
+// converts to the float Stack once at the end. Every charge is a
+// non-negative integer and invocation totals stay far below 2^53, so
+// float64 addition of the charges is exact and the one-shot conversion is
+// bit-identical to the previous per-charge Stack.Add calls.
+type tdAcc [topdown.NumCategories]mem.Cycle
+
 // InstrPrefetcher is the hook surface for instruction prefetchers (Jukebox
 // in package core, PIF in package pif). A nil prefetcher is valid.
 type InstrPrefetcher interface {
@@ -85,6 +104,10 @@ type Core struct {
 	lastDMissInstr uint64
 	dBurstCount    int
 	instrCount     uint64
+	// curBlock is the current fetch block during a run.
+	curBlock uint64
+	// batch is the reusable instruction buffer for batchSource streams.
+	batch []program.Instr
 }
 
 // NewCore builds a core from cfg with its own full memory hierarchy. The
@@ -132,8 +155,7 @@ func (c *Core) FlushMicroarch() {
 // RunInvocation executes one invocation stream to completion and returns its
 // timing decomposition. The prefetcher hooks fire at the boundaries.
 func (c *Core) RunInvocation(inv InstrSource) RunResult {
-	cfg := &c.Cfg
-	var td topdown.Stack
+	var acc tdAcc
 	var res RunResult
 	mispBefore := c.BP.Stats.Mispredicts
 	resteerBefore := c.BTB.Stats.Resteers
@@ -144,37 +166,30 @@ func (c *Core) RunInvocation(inv InstrSource) RunResult {
 		c.Prefetcher.InvocationStart(c.now)
 	}
 
-	var curBlock uint64 = ^uint64(0)
+	c.curBlock = ^uint64(0)
 
-	for {
-		in, ok := inv.Next()
-		if !ok {
-			break
+	if bs, ok := inv.(batchSource); ok {
+		if c.batch == nil {
+			c.batch = make([]program.Instr, batchLen)
 		}
-		c.instrCount++
-		res.Instrs++
-
-		// Retiring quantum: one cycle per DispatchWidth instructions.
-		c.retireAcc++
-		if c.retireAcc >= cfg.DispatchWidth {
-			c.retireAcc = 0
-			c.now++
-			td.Add(topdown.Retiring, 1)
+		for {
+			n := bs.NextBatch(c.batch)
+			if n == 0 {
+				break
+			}
+			res.Instrs += uint64(n)
+			for i := range c.batch[:n] {
+				c.exec(&c.batch[i], &acc)
+			}
 		}
-
-		// Front end: new fetch block?
-		if blk := in.VAddr &^ (mem.LineSize - 1); blk != curBlock {
-			curBlock = blk
-			c.fetchBlock(in.VAddr, &td)
-		}
-
-		switch in.Op {
-		case program.OpLoad:
-			c.load(&in, &td)
-		case program.OpStore:
-			c.store(&in, &td)
-		case program.OpBranch:
-			c.branch(&in, &td)
+	} else {
+		for {
+			in, ok := inv.Next()
+			if !ok {
+				break
+			}
+			res.Instrs++
+			c.exec(&in, &acc)
 		}
 	}
 
@@ -182,6 +197,10 @@ func (c *Core) RunInvocation(inv InstrSource) RunResult {
 		c.Prefetcher.InvocationEnd(c.now)
 	}
 
+	var td topdown.Stack
+	for cat, cyc := range acc {
+		td.Cycles[cat] = float64(cyc)
+	}
 	td.AddInstrs(res.Instrs)
 	res.Cycles = c.now - start
 	res.Stack = td
@@ -190,17 +209,45 @@ func (c *Core) RunInvocation(inv InstrSource) RunResult {
 	return res
 }
 
+// exec advances the model by one dynamic instruction.
+func (c *Core) exec(in *program.Instr, acc *tdAcc) {
+	c.instrCount++
+
+	// Retiring quantum: one cycle per DispatchWidth instructions.
+	c.retireAcc++
+	if c.retireAcc >= c.Cfg.DispatchWidth {
+		c.retireAcc = 0
+		c.now++
+		acc[topdown.Retiring]++
+	}
+
+	// Front end: new fetch block?
+	if blk := in.VAddr &^ (mem.LineSize - 1); blk != c.curBlock {
+		c.curBlock = blk
+		c.fetchBlock(in.VAddr, acc)
+	}
+
+	switch in.Op {
+	case program.OpLoad:
+		c.load(in, acc)
+	case program.OpStore:
+		c.store(in, acc)
+	case program.OpBranch:
+		c.branch(in, acc)
+	}
+}
+
 // fetchBlock performs the instruction-side access for a new fetch block:
 // ITLB translation, L1-I access, miss-latency exposure with fetch-engine
 // overlap, and prefetcher notification.
-func (c *Core) fetchBlock(vaddr uint64, td *topdown.Stack) {
+func (c *Core) fetchBlock(vaddr uint64, acc *tdAcc) {
 	cfg := &c.Cfg
 	paddr, walkLat := c.MMU.TranslateInstr(c.now, vaddr)
 	if walkLat > 0 {
 		// ITLB miss: the walk serializes instruction delivery.
 		w := walkLat / 2 // PTE reads partially overlap fetch-ahead
 		c.now += w
-		td.Add(topdown.FetchLatency, float64(w))
+		acc[topdown.FetchLatency] += w
 	}
 
 	fres := c.Hier.FetchInstr(c.now, paddr)
@@ -228,26 +275,26 @@ func (c *Core) fetchBlock(vaddr uint64, td *topdown.Stack) {
 	}
 	c.lastIMissInstr = c.instrCount
 	c.now += exposed
-	td.Add(topdown.FetchLatency, float64(exposed))
+	acc[topdown.FetchLatency] += exposed
 	// Decoder undersupply while the fetch queue refills after the miss: a
 	// small bandwidth-class cost that scales with the exposed latency, plus
 	// the fixed restart bubble.
 	fb := exposed/16 + cfg.MissDecodeBubble
 	if fb > 0 {
 		c.now += fb
-		td.Add(topdown.FetchBandwidth, float64(fb))
+		acc[topdown.FetchBandwidth] += fb
 	}
 }
 
 // load performs the data-side access for a load and charges exposed miss
 // latency to Backend Bound under the MLP model.
-func (c *Core) load(in *program.Instr, td *topdown.Stack) {
+func (c *Core) load(in *program.Instr, acc *tdAcc) {
 	cfg := &c.Cfg
 	paddr, walkLat := c.MMU.TranslateData(c.now, in.MemAddr)
 	if walkLat > 0 {
 		w := walkLat / 2
 		c.now += w
-		td.Add(topdown.BackendBound, float64(w))
+		acc[topdown.BackendBound] += w
 	}
 	res := c.Hier.AccessData(c.now, paddr, false)
 	if c.dataObs != nil {
@@ -275,17 +322,17 @@ func (c *Core) load(in *program.Instr, td *topdown.Stack) {
 	}
 	c.lastDMissInstr = c.instrCount
 	c.now += exposed
-	td.Add(topdown.BackendBound, float64(exposed))
+	acc[topdown.BackendBound] += exposed
 }
 
 // store retires through the store buffer: it consumes cache/DRAM bandwidth
 // but does not stall the pipeline.
-func (c *Core) store(in *program.Instr, td *topdown.Stack) {
+func (c *Core) store(in *program.Instr, acc *tdAcc) {
 	paddr, walkLat := c.MMU.TranslateData(c.now, in.MemAddr)
 	if walkLat > 0 {
 		w := walkLat / 2
 		c.now += w
-		td.Add(topdown.BackendBound, float64(w))
+		acc[topdown.BackendBound] += w
 	}
 	c.Hier.AccessData(c.now, paddr, true)
 	if c.dataObs != nil {
@@ -295,12 +342,12 @@ func (c *Core) store(in *program.Instr, td *topdown.Stack) {
 
 // branch resolves a control transfer: direction prediction for
 // conditionals, BTB target check for taken branches.
-func (c *Core) branch(in *program.Instr, td *topdown.Stack) {
+func (c *Core) branch(in *program.Instr, acc *tdAcc) {
 	cfg := &c.Cfg
 	if in.Cond {
 		if correct := c.BP.Update(in.VAddr, in.Taken); !correct {
 			c.now += cfg.MispredictPenalty
-			td.Add(topdown.BadSpeculation, float64(cfg.MispredictPenalty))
+			acc[topdown.BadSpeculation] += cfg.MispredictPenalty
 		}
 	}
 	if !in.Taken {
@@ -309,7 +356,7 @@ func (c *Core) branch(in *program.Instr, td *topdown.Stack) {
 	// Taken branch: fetch-block break.
 	if cfg.TakenBranchBubble > 0 {
 		c.now += cfg.TakenBranchBubble
-		td.Add(topdown.FetchBandwidth, float64(cfg.TakenBranchBubble))
+		acc[topdown.FetchBandwidth] += cfg.TakenBranchBubble
 	}
 	// Indirect branches never have a stable BTB target; model them as a
 	// fresh target each time (interpreter dispatch).
@@ -319,6 +366,6 @@ func (c *Core) branch(in *program.Instr, td *topdown.Stack) {
 	}
 	if hit := c.BTB.LookupAndUpdate(in.VAddr, target); !hit {
 		c.now += cfg.ResteerPenalty
-		td.Add(topdown.FetchLatency, float64(cfg.ResteerPenalty))
+		acc[topdown.FetchLatency] += cfg.ResteerPenalty
 	}
 }

@@ -2,21 +2,56 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lukewarm/internal/cfgerr"
 )
 
-// line is one cache block's bookkeeping.
-type line struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool  // filled by a prefetcher rather than demand
-	used       bool  // touched by a demand access since fill
-	ready      Cycle // for in-flight prefetches: cycle the data arrives
-	lru        uint64
-	kind       Kind
-}
+// The cache's per-line state is stored flat, in parallel arrays, so the hot
+// lookup path touches as few host cache lines as possible:
+//
+//   - tags holds the line tag (8 B/way), with invalidTag marking empty ways;
+//   - flags holds one byte per line: dirty, prefetched, used, and the fill
+//     kind, read on hits and at eviction;
+//   - ready (prefetch arrival cycles) is written and read only for
+//     prefetched lines, so demand traffic never touches it;
+//   - recency packs each set's LRU order into one uint64 — a move-to-front
+//     list of 4-bit way ids — replacing a per-line 8 B stamp. Victim choice
+//     is identical to stamp-based LRU: stamps only ever encode recency
+//     order within a set, and the list preserves exactly that order. Caches
+//     wider than 16 ways (the fully-associative differential oracle) fall
+//     back to per-line stamps;
+//   - setEpoch implements O(1) whole-cache flushes: Flush bumps the cache
+//     epoch and each set lazily re-zeroes its tags on its next fill.
+//     Flush-time overprediction accounting comes from running counters
+//     (liveValid, livePrefUnused) maintained at every fill/use/eviction.
+//
+// Every observable behavior — stats, LRU victim choice, eviction order,
+// per-line RNG draws in EvictFraction — is bit-identical to the original
+// struct-per-line implementation; internal/check's LRU differential oracle
+// and the golden-figure harness enforce that.
+
+// invalidTag marks an empty way. No real tag collides with it: tags are
+// addr>>LineShift and simulated physical addresses are far below 2^58.
+const invalidTag = ^uint64(0)
+
+// Flag bits of the per-line flags byte. lineKindData holds the fill Kind
+// (Instr=0, Data=1) in bit 3.
+const (
+	lineDirty = 1 << iota
+	linePrefetched
+	lineUsed
+	lineKindData
+)
+
+// flagsKind extracts the fill kind from a flags byte.
+func flagsKind(f uint8) Kind { return Kind(f>>3) & 1 }
+
+// maxPackedWays is the widest set the packed recency list covers.
+const maxPackedWays = 16
+
+// identityPerm is the initial recency list: way 0 in front, way 15 in back.
+const identityPerm = 0xFEDCBA9876543210
 
 // CacheStats aggregates the per-cache counters the experiments read.
 type CacheStats struct {
@@ -80,10 +115,25 @@ func (c Config) Validate() error {
 type Cache struct {
 	cfg     Config
 	sets    int
+	ways    int
 	setMask uint64
-	lines   []line // sets*ways, set-major
+	tags    []uint64 // sets*ways, set-major; invalidTag = empty
+	flags   []uint8  // parallel to tags
+	ready   []Cycle  // parallel to tags; meaningful while prefetched && !used
+	// recency is the packed per-set LRU list (ways <= maxPackedWays);
+	// wider caches use the lru stamp array instead.
+	recency []uint64
+	lru     []uint64
 	lruTick uint64
-	Stats   CacheStats
+	// setEpoch[s] != epoch means set s has not been touched since the last
+	// Flush and its tags are logically all-invalid.
+	setEpoch []uint64
+	epoch    uint64
+	// liveValid counts valid lines; livePrefUnused counts resident
+	// prefetched-never-used lines by fill kind. Both fund O(1) Flush.
+	liveValid      int
+	livePrefUnused [numKinds]uint64
+	Stats          CacheStats
 }
 
 // NewCache builds a cache from cfg. It panics if the geometry is invalid —
@@ -94,35 +144,101 @@ func NewCache(cfg Config) *Cache {
 		panic(fmt.Sprintf("mem: %v", err))
 	}
 	sets := cfg.Sets()
-	return &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		setMask: uint64(sets - 1),
-		lines:   make([]line, sets*cfg.Ways),
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*cfg.Ways),
+		flags:    make([]uint8, sets*cfg.Ways),
+		ready:    make([]Cycle, sets*cfg.Ways),
+		setEpoch: make([]uint64, sets),
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	if cfg.Ways <= maxPackedWays {
+		c.recency = make([]uint64, sets)
+		for i := range c.recency {
+			c.recency[i] = identityPerm
+		}
+	} else {
+		c.lru = make([]uint64, sets*cfg.Ways)
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) set(addr uint64) []line {
-	s := (addr >> LineShift) & c.setMask
-	base := int(s) * c.cfg.Ways
-	return c.lines[base : base+c.cfg.Ways]
+// setIdx lazily resets a flushed set and returns its index. Only mutators
+// (fill) call it — lookups bail out on a stale epoch without writing.
+func (c *Cache) setIdx(addr uint64) int {
+	s := int((addr >> LineShift) & c.setMask)
+	if c.setEpoch[s] != c.epoch {
+		c.setEpoch[s] = c.epoch
+		base := s * c.ways
+		t := c.tags[base : base+c.ways]
+		for i := range t {
+			t[i] = invalidTag
+		}
+	}
+	return s
+}
+
+// valid reports whether absolute way index i holds a live line, without
+// materializing lazily flushed sets.
+func (c *Cache) valid(i int) bool {
+	return c.setEpoch[i/c.ways] == c.epoch && c.tags[i] != invalidTag
 }
 
 func tagOf(addr uint64) uint64 { return addr >> LineShift }
 
-// Probe reports whether addr is present, without touching LRU or counters.
-func (c *Cache) Probe(addr uint64) bool {
+// findWay returns the set index and absolute way index of addr, or way -1.
+// It never writes: a set not touched since the last Flush is simply a miss.
+func (c *Cache) findWay(addr uint64) (int, int) {
+	s := int((addr >> LineShift) & c.setMask)
+	if c.setEpoch[s] != c.epoch {
+		return s, -1
+	}
 	tag := tagOf(addr)
-	for i := range c.set(addr) {
-		ln := &c.set(addr)[i]
-		if ln.valid && ln.tag == tag {
-			return true
+	base := s * c.ways
+	t := c.tags[base : base+c.ways]
+	for i := range t {
+		if t[i] == tag {
+			return s, base + i
 		}
 	}
-	return false
+	return s, -1
+}
+
+// touch moves way w of set s to the front of the recency order (the packed
+// list, or a fresh stamp for wide caches).
+func (c *Cache) touch(s, w int) {
+	if c.recency == nil {
+		c.lruTick++
+		c.lru[s*c.ways+w] = c.lruTick
+		return
+	}
+	l := c.recency[s]
+	uw := uint64(w)
+	if l&0xF == uw {
+		return // already most recent
+	}
+	// Locate w's nibble with a SWAR zero-scan: x has exactly one zero nibble
+	// (the list is a permutation), and the borrow in the subtract can only
+	// produce spurious high bits above it, so the lowest set bit is exact.
+	x := l ^ uw*0x1111111111111111
+	m := (x - 0x1111111111111111) &^ x & 0x8888888888888888
+	pos := uint(bits.TrailingZeros64(m)) &^ 3
+	lowMask := uint64(1)<<pos - 1
+	c.recency[s] = (l&lowMask)<<4 | l&^(uint64(1)<<(pos+4)-1) | uw
+}
+
+// Probe reports whether addr is present, without touching LRU or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	_, i := c.findWay(addr)
+	return i >= 0
 }
 
 // accessOutcome describes a demand lookup.
@@ -136,33 +252,33 @@ type accessOutcome struct {
 // demand counters.
 func (c *Cache) access(now Cycle, addr uint64, k Kind, write bool) accessOutcome {
 	c.Stats.DemandAccesses[k]++
-	tag := tagOf(addr)
-	set := c.set(addr)
-	for i := range set {
-		ln := &set[i]
-		if !ln.valid || ln.tag != tag {
-			continue
-		}
-		c.lruTick++
-		ln.lru = c.lruTick
-		if write {
-			ln.dirty = true
-		}
-		out := accessOutcome{hit: true}
-		if ln.prefetched && !ln.used {
-			out.prefetchHit = true
-			c.Stats.PrefetchUsed[ln.kind]++
-			if ln.ready > now {
-				out.extraWait = ln.ready - now
-				c.Stats.PrefetchLate[ln.kind]++
-			}
-		}
-		ln.used = true
-		c.Stats.DemandHits[k]++
-		return out
+	s, i := c.findWay(addr)
+	if i < 0 {
+		c.Stats.DemandMisses[k]++
+		return accessOutcome{}
 	}
-	c.Stats.DemandMisses[k]++
-	return accessOutcome{}
+	c.touch(s, i-s*c.ways)
+	f := c.flags[i]
+	out := accessOutcome{hit: true}
+	if f&(linePrefetched|lineUsed) == linePrefetched {
+		out.prefetchHit = true
+		fk := flagsKind(f)
+		c.Stats.PrefetchUsed[fk]++
+		c.livePrefUnused[fk]--
+		if r := c.ready[i]; r > now {
+			out.extraWait = r - now
+			c.Stats.PrefetchLate[fk]++
+		}
+	}
+	nf := f | lineUsed
+	if write {
+		nf |= lineDirty
+	}
+	if nf != f {
+		c.flags[i] = nf
+	}
+	c.Stats.DemandHits[k]++
+	return out
 }
 
 // victim describes a line displaced by a fill.
@@ -178,49 +294,73 @@ type victim struct {
 // fills pass now).
 func (c *Cache) fill(now Cycle, addr uint64, k Kind, prefetched bool, ready Cycle) victim {
 	tag := tagOf(addr)
-	set := c.set(addr)
-	// Already present (e.g., a prefetch raced a demand fill): refresh only.
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
+	s := c.setIdx(addr)
+	base := s * c.ways
+	t := c.tags[base : base+c.ways]
+	// One pass: detect an already-present line (e.g., a prefetch raced a
+	// demand fill, which refreshes without a recency touch) while noting
+	// the first invalid way.
+	firstInvalid := -1
+	for i := range t {
+		switch t[i] {
+		case tag:
 			if !prefetched {
-				ln.used = true
+				f := c.flags[base+i]
+				if f&(linePrefetched|lineUsed) == linePrefetched {
+					c.livePrefUnused[flagsKind(f)]--
+				}
+				c.flags[base+i] = f | lineUsed
 			}
 			return victim{}
+		case invalidTag:
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
 		}
 	}
-	// Pick an invalid way, else the LRU way.
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
-			vi = i
-			break
-		}
-		if set[i].lru < set[vi].lru {
-			vi = i
+	// Pick the first invalid way, else the LRU way.
+	w := firstInvalid
+	if w < 0 {
+		if c.recency != nil {
+			w = int(c.recency[s] >> (4 * (c.ways - 1)) & 0xF)
+		} else {
+			w = 0
+			for i := 1; i < c.ways; i++ {
+				if c.lru[base+i] < c.lru[base+w] {
+					w = i
+				}
+			}
 		}
 	}
-	ln := &set[vi]
+	vi := base + w
 	var v victim
-	if ln.valid {
+	if c.tags[vi] != invalidTag {
 		// The victim's block address is reconstructed from its tag; the set
 		// index is implied by the set being filled.
-		v = victim{valid: true, dirty: ln.dirty, kind: ln.kind, addr: ln.tag << LineShift}
+		f := c.flags[vi]
+		v = victim{valid: true, dirty: f&lineDirty != 0, kind: flagsKind(f),
+			addr: c.tags[vi] << LineShift}
 		c.Stats.Evictions++
-		if ln.dirty {
+		if v.dirty {
 			c.Stats.DirtyEvictions++
 		}
-		if ln.prefetched && !ln.used {
-			c.Stats.PrefetchEvictedUnused[ln.kind]++
+		if f&(linePrefetched|lineUsed) == linePrefetched {
+			c.Stats.PrefetchEvictedUnused[v.kind]++
+			c.livePrefUnused[v.kind]--
 		}
+		c.liveValid--
 	}
-	c.lruTick++
-	*ln = line{tag: tag, valid: true, prefetched: prefetched, used: !prefetched,
-		ready: ready, lru: c.lruTick, kind: k}
+	c.tags[vi] = tag
+	c.liveValid++
+	nf := lineUsed | uint8(k)<<3
 	if prefetched {
-		ln.used = false
+		nf = linePrefetched | uint8(k)<<3
+		c.ready[vi] = ready
 		c.Stats.PrefetchFills[k]++
+		c.livePrefUnused[k]++
 	}
+	c.flags[vi] = nf
+	c.touch(s, w)
 	return v
 }
 
@@ -245,42 +385,38 @@ func (c *Cache) DemandAccess(now Cycle, addr uint64, k Kind, write bool) bool {
 // prefetched line, the residual wait at time now. Counters and LRU are not
 // touched.
 func (c *Cache) probeWait(now Cycle, addr uint64) (wait Cycle, present bool) {
-	tag := tagOf(addr)
-	for _, ln := range c.set(addr) {
-		if ln.valid && ln.tag == tag {
-			if ln.prefetched && !ln.used && ln.ready > now {
-				wait = ln.ready - now
-			}
-			return wait, true
+	_, i := c.findWay(addr)
+	if i < 0 {
+		return 0, false
+	}
+	if f := c.flags[i]; f&(linePrefetched|lineUsed) == linePrefetched {
+		if r := c.ready[i]; r > now {
+			wait = r - now
 		}
 	}
-	return 0, false
+	return wait, true
 }
 
 // markDirty sets the dirty bit on addr's line if present (write-allocate
 // fills).
 func (c *Cache) markDirty(addr uint64) {
-	tag := tagOf(addr)
-	set := c.set(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].dirty = true
-			return
-		}
+	if _, i := c.findWay(addr); i >= 0 {
+		c.flags[i] |= lineDirty
 	}
 }
 
 // Flush invalidates every line, modeling complete obliteration of the
 // cache's contents by interleaved executions. Unused prefetched lines are
-// counted as overpredicted.
+// counted as overpredicted. The flush is O(1): the epoch bump makes every
+// set lazily reset on its next fill, and the overprediction charge comes
+// from the running livePrefUnused counters.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if ln.valid && ln.prefetched && !ln.used {
-			c.Stats.PrefetchEvictedUnused[ln.kind]++
-		}
-		ln.valid = false
+	for k := range c.livePrefUnused {
+		c.Stats.PrefetchEvictedUnused[k] += c.livePrefUnused[k]
+		c.livePrefUnused[k] = 0
 	}
+	c.liveValid = 0
+	c.epoch++
 }
 
 // EvictFraction invalidates approximately frac of the cache's valid lines,
@@ -295,41 +431,39 @@ func (c *Cache) EvictFraction(frac float64, rng func() uint64) {
 		return
 	}
 	threshold := uint64(frac * float64(1<<32))
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if !ln.valid {
+	for i := range c.tags {
+		if !c.valid(i) {
 			continue
 		}
 		if rng()&0xFFFFFFFF < threshold {
-			if ln.prefetched && !ln.used {
-				c.Stats.PrefetchEvictedUnused[ln.kind]++
+			if f := c.flags[i]; f&(linePrefetched|lineUsed) == linePrefetched {
+				fk := flagsKind(f)
+				c.Stats.PrefetchEvictedUnused[fk]++
+				c.livePrefUnused[fk]--
 			}
-			ln.valid = false
+			c.tags[i] = invalidTag
+			c.liveValid--
 		}
 	}
 }
 
 // CountValid reports the number of valid lines (used by tests and the
 // thrash model).
-func (c *Cache) CountValid() int {
-	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) CountValid() int { return c.liveValid }
 
 // DrainUnusedPrefetches counts still-resident never-used prefetched lines as
 // overpredicted and marks them used so repeated calls are idempotent. Call at
 // the end of a measurement window.
 func (c *Cache) DrainUnusedPrefetches() {
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if ln.valid && ln.prefetched && !ln.used {
-			c.Stats.PrefetchEvictedUnused[ln.kind]++
-			ln.used = true
+	for i := range c.tags {
+		if !c.valid(i) {
+			continue
+		}
+		if f := c.flags[i]; f&(linePrefetched|lineUsed) == linePrefetched {
+			fk := flagsKind(f)
+			c.Stats.PrefetchEvictedUnused[fk]++
+			c.livePrefUnused[fk]--
+			c.flags[i] = f | lineUsed
 		}
 	}
 }
@@ -342,12 +476,9 @@ func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
 // returns it, in set-major order. Context-restoration schemes (RECAP-style)
 // use this to snapshot a cache's footprint at descheduling time.
 func (c *Cache) ResidentBlocks(dst []uint64) []uint64 {
-	for s := 0; s < c.sets; s++ {
-		base := s * c.cfg.Ways
-		for w := 0; w < c.cfg.Ways; w++ {
-			if c.lines[base+w].valid {
-				dst = append(dst, c.lines[base+w].tag<<LineShift)
-			}
+	for i := range c.tags {
+		if c.valid(i) {
+			dst = append(dst, c.tags[i]<<LineShift)
 		}
 	}
 	return dst

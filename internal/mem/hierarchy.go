@@ -75,6 +75,11 @@ type Hierarchy struct {
 	DRAM              *DRAM
 	cfg               HierarchyConfig
 	lastDataBlock     uint64
+	// Per-level hit latencies and the in-flight-prefetch wait cap, hoisted
+	// out of the Config structs at construction so the demand path reads
+	// them from the Hierarchy itself.
+	l1iLat, l1dLat, l2Lat, llcLat Cycle
+	maxWait                       Cycle
 	// PerfectL1I services every instruction fetch at L1 hit latency,
 	// modeling the paper's "Perfect I-cache" upper bound (Sec. 5.2).
 	PerfectL1I bool
@@ -98,12 +103,17 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // host (private L1s and L2, shared LLC, one memory system).
 func NewSharedHierarchy(cfg HierarchyConfig, llc *Cache, dram *DRAM) *Hierarchy {
 	return &Hierarchy{
-		L1I:  NewCache(cfg.L1I),
-		L1D:  NewCache(cfg.L1D),
-		L2:   NewCache(cfg.L2),
-		LLC:  llc,
-		DRAM: dram,
-		cfg:  cfg,
+		L1I:     NewCache(cfg.L1I),
+		L1D:     NewCache(cfg.L1D),
+		L2:      NewCache(cfg.L2),
+		LLC:     llc,
+		DRAM:    dram,
+		cfg:     cfg,
+		l1iLat:  cfg.L1I.HitLatency,
+		l1dLat:  cfg.L1D.HitLatency,
+		l2Lat:   cfg.L2.HitLatency,
+		llcLat:  cfg.LLC.HitLatency,
+		maxWait: cfg.L2.HitLatency + cfg.LLC.HitLatency + dram.Config().AccessLatency,
 	}
 }
 
@@ -124,7 +134,7 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // paddr at time now.
 func (h *Hierarchy) FetchInstr(now Cycle, paddr uint64) Result {
 	if h.PerfectL1I {
-		return Result{Latency: h.cfg.L1I.HitLatency, Level: LevelL1}
+		return Result{Latency: h.l1iLat, Level: LevelL1}
 	}
 	return h.demand(now, paddr, Instr, false)
 }
@@ -144,12 +154,13 @@ func (h *Hierarchy) demand(now Cycle, paddr uint64, k Kind, write bool) Result {
 	// never longer than the rest of the miss path it replaced (the demand
 	// would otherwise have fetched the line itself): the cap shrinks by the
 	// hit latencies already paid at each level.
-	maxWait := h.cfg.L2.HitLatency + h.cfg.LLC.HitLatency + h.DRAM.Config().AccessLatency
+	maxWait := h.maxWait
 	l1 := h.L1I
+	lat := h.l1iLat
 	if k == Data {
 		l1 = h.L1D
+		lat = h.l1dLat
 	}
-	lat := l1.Config().HitLatency
 	if out := l1.access(now, paddr, k, write); out.hit {
 		return Result{Latency: lat + min(out.extraWait, maxWait), Level: LevelL1}
 	}
@@ -160,7 +171,7 @@ func (h *Hierarchy) demand(now Cycle, paddr uint64, k Kind, write bool) Result {
 	if k == Instr && len(h.pfBuf) > 0 {
 		if wait, hit := h.pfBufTake(now, paddr); hit {
 			l2Wait, l2Present := h.L2.probeWait(now, paddr)
-			if !l2Present || wait <= l2Wait+h.cfg.L2.HitLatency {
+			if !l2Present || wait <= l2Wait+h.l2Lat {
 				h.PFBuf.Hits++
 				l1.fill(now, paddr, k, false, 0)
 				return Result{Latency: lat + 2 + min(wait, maxWait), Level: LevelL1}
@@ -170,21 +181,21 @@ func (h *Hierarchy) demand(now Cycle, paddr uint64, k Kind, write bool) Result {
 
 	// L1 miss: look up the unified L2.
 	if out := h.L2.access(now+lat, paddr, k, false); out.hit {
-		cap := maxWait - h.cfg.L2.HitLatency
-		total := lat + h.L2.Config().HitLatency + min(out.extraWait, cap)
+		cap := maxWait - h.l2Lat
+		total := lat + h.l2Lat + min(out.extraWait, cap)
 		l1.fill(now, paddr, k, false, 0)
 		return Result{Latency: total, Level: LevelL2, L2PrefetchHit: out.prefetchHit}
 	}
-	lat += h.L2.Config().HitLatency
+	lat += h.l2Lat
 
 	// L2 miss: look up the shared LLC.
 	if out := h.LLC.access(now+lat, paddr, k, false); out.hit {
-		cap := maxWait - h.cfg.L2.HitLatency - h.cfg.LLC.HitLatency
-		total := lat + h.LLC.Config().HitLatency + min(out.extraWait, cap)
+		cap := maxWait - h.l2Lat - h.llcLat
+		total := lat + h.llcLat + min(out.extraWait, cap)
 		h.fillOnPath(now, paddr, k, write)
 		return Result{Latency: total, Level: LevelLLC, L2Miss: true}
 	}
-	lat += h.LLC.Config().HitLatency
+	lat += h.llcLat
 
 	// LLC miss: go to memory.
 	lat += h.DRAM.Access(now+lat, TrafficDemand)
@@ -239,15 +250,15 @@ func (h *Hierarchy) nextLinePrefetch(now Cycle, paddr uint64) {
 	if h.L1D.Probe(next) {
 		return
 	}
-	ready := now + h.cfg.L1D.HitLatency
+	ready := now + h.l1dLat
 	switch {
 	case h.L2.Probe(next):
-		ready += h.cfg.L2.HitLatency
+		ready += h.l2Lat
 	case h.LLC.Probe(next):
-		ready += h.cfg.L2.HitLatency + h.cfg.LLC.HitLatency
+		ready += h.l2Lat + h.llcLat
 		h.L2.fill(now, next, Data, true, ready)
 	default:
-		ready += h.cfg.L2.HitLatency + h.cfg.LLC.HitLatency + h.DRAM.Access(now, TrafficPrefetch)
+		ready += h.l2Lat + h.llcLat + h.DRAM.Access(now, TrafficPrefetch)
 		h.LLC.fill(now, next, Data, true, ready)
 		h.L2.fill(now, next, Data, true, ready)
 	}

@@ -21,7 +21,11 @@
 // bit-identically no matter how many times it is generated.
 package program
 
-import "lukewarm/internal/cfgerr"
+import (
+	"math"
+
+	"lukewarm/internal/cfgerr"
+)
 
 // Op classifies a dynamic instruction.
 type Op uint8
@@ -208,6 +212,83 @@ type Program struct {
 	// singlePassInstrs is the expected dynamic length of one template pass,
 	// used to scale loop padding toward DynamicInstrs.
 	singlePassInstrs int
+	// der holds values derived once from cfg so the per-instruction walker
+	// does not recompute them. Each is the exact float/integer value the
+	// walker previously computed inline (float addition is deterministic),
+	// so hoisting them is bit-identical.
+	der derived
+	// loopSegs lists the loop-class segment indices in template order, the
+	// padding pool buildPlanInto cycles through.
+	loopSegs []int
+}
+
+// derived caches per-instruction constants of one program.
+type derived struct {
+	stride    uint64  // bytes between instruction slots in a line
+	condTaken float64 // 1 - CondBias
+	warmLo    uint64  // warm-region offset lower bound
+	warmHalf  uint64  // half the warm region
+	// Integer probability thresholds for the per-instruction draws:
+	// RNG.Bool(p) is Float64() < p, Float64 is the exact value
+	// (Uint64()>>11)/2^53, and p*2^53 is an exact float64 (power-of-two
+	// scaling), so `Uint64()>>11 < ceil(p*2^53)` decides the identical
+	// predicate without the int-to-float conversion and float compare.
+	thrLoad      uint64 // LoadFrac
+	thrLoadStore uint64 // LoadFrac + StoreFrac
+	thrDepLoad   uint64 // DepLoadFrac
+	thrHot       uint64 // HotDataFrac
+	thrHotCold   uint64 // HotDataFrac + ColdDataFrac
+	thrHalf      uint64 // 0.5 (warm-half split)
+	// Fixed-divisor reducers for the effective-address generator: the
+	// hot-region span, the warm half-span, and the churned-arena extent.
+	// Each replaces a hardware `%` on the walker's hottest path.
+	hotDiv   divider
+	warmDiv  divider
+	warm2Div divider
+}
+
+// probThreshold converts probability p into the integer draw threshold t
+// such that Uint64()>>11 < t exactly when Float64() < p (see derived).
+func probThreshold(p float64) uint64 {
+	t := math.Ceil(p * (1 << 53))
+	if t <= 0 {
+		return 0
+	}
+	return uint64(t)
+}
+
+func (p *Program) deriveConstants() {
+	cfg := &p.cfg
+	lo := uint64(cfg.HotDataKB << 10)
+	hi := uint64(cfg.DataKB << 10)
+	if hi <= lo {
+		hi = lo + 16
+	}
+	half := (hi - lo) / 2
+	d := derived{
+		stride:       uint64(lineSize / cfg.InstrPerLine),
+		condTaken:    1 - cfg.CondBias,
+		warmLo:       lo,
+		warmHalf:     half,
+		thrLoad:      probThreshold(cfg.LoadFrac),
+		thrLoadStore: probThreshold(cfg.LoadFrac + cfg.StoreFrac),
+		thrDepLoad:   probThreshold(cfg.DepLoadFrac),
+		thrHot:       probThreshold(cfg.HotDataFrac),
+		thrHotCold:   probThreshold(cfg.HotDataFrac + cfg.ColdDataFrac),
+		thrHalf:      probThreshold(0.5),
+		warmDiv:      newDivider(half),
+		warm2Div:     newDivider(2 * half),
+	}
+	if span := cfg.HotDataKB << 10; span > 0 {
+		d.hotDiv = newDivider(uint64(span))
+	}
+	p.der = d
+	p.loopSegs = p.loopSegs[:0]
+	for si := range p.segments {
+		if p.segments[si].loop {
+			p.loopSegs = append(p.loopSegs, si)
+		}
+	}
 }
 
 // New builds a program from cfg. It panics on invalid configuration —
@@ -231,6 +312,7 @@ func NewErr(cfg Config) (*Program, error) {
 	p := &Program{cfg: cfg}
 	p.layout()
 	p.singlePassInstrs = p.expectedPassInstrs()
+	p.deriveConstants()
 	return p, nil
 }
 

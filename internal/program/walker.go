@@ -11,7 +11,7 @@ package program
 // the way real call-heavy runtime code does.
 type Invocation struct {
 	p    *Program
-	rng  *RNG
+	rng  RNG
 	id   uint64
 	plan []int // sequence of segment indices
 
@@ -37,25 +37,36 @@ type Invocation struct {
 // NewInvocation creates the walker for invocation id. Ids are arbitrary;
 // distinct ids differ in optional-segment inclusion and data access streams.
 func (p *Program) NewInvocation(id uint64) *Invocation {
-	rng := NewRNG(Mix(p.cfg.Seed, Mix(0x1907, id)))
-	inv := &Invocation{p: p, rng: rng, id: id, plan: p.buildPlan(rng)}
-	cur, ok := inv.advanceLine()
-	if !ok {
-		inv.done = true
-		return inv
-	}
-	inv.cur = cur
-	inv.next, inv.haveNext = inv.advanceLine()
+	inv := &Invocation{}
+	p.ResetInvocation(inv, id)
 	return inv
 }
 
-// buildPlan selects the segments this invocation executes, in template
+// ResetInvocation reinitializes inv as invocation id of p, reusing inv's
+// plan storage. The resulting walker is indistinguishable from a fresh
+// NewInvocation — the server's dispatch path uses it to serve every
+// invocation of an instance from one pooled walker with no steady-state
+// allocation.
+func (p *Program) ResetInvocation(inv *Invocation, id uint64) {
+	plan := inv.plan[:0]
+	*inv = Invocation{p: p, id: id, rng: *NewRNG(Mix(p.cfg.Seed, Mix(0x1907, id)))}
+	inv.plan = p.buildPlanInto(plan, &inv.rng)
+	cur, ok := inv.advanceLine()
+	if !ok {
+		inv.done = true
+		return
+	}
+	inv.cur = cur
+	inv.next, inv.haveNext = inv.advanceLine()
+}
+
+// buildPlanInto selects the segments this invocation executes, in template
 // order, interleaved with dispatcher re-entries, padded with loop-segment
-// iterations toward the configured dynamic length.
-func (p *Program) buildPlan(rng *RNG) []int {
+// iterations toward the configured dynamic length. The plan is appended to
+// plan's storage (pass plan[:0] to reuse an existing buffer).
+func (p *Program) buildPlanInto(plan []int, rng *RNG) []int {
 	per := float64(p.cfg.InstrPerLine)
 	expand := p.callExpansion()
-	plan := make([]int, 0, len(p.segments)*2)
 	est := 0.0
 	add := func(si int) {
 		plan = append(plan, si)
@@ -90,12 +101,7 @@ func (p *Program) buildPlan(rng *RNG) []int {
 
 	// Pad with loop-segment iterations (the handler's compute kernels)
 	// until the dynamic-length target is met.
-	var loops []int
-	for si := range p.segments {
-		if p.segments[si].loop {
-			loops = append(loops, si)
-		}
-	}
+	loops := p.loopSegs
 	// Bias slightly above the target: the call-expansion estimate is an
 	// upper bound (some call draws fail), so undershoot would otherwise be
 	// systematic.
@@ -148,6 +154,41 @@ func (inv *Invocation) advanceLine() (int, bool) {
 // Emitted reports the number of instructions produced so far.
 func (inv *Invocation) Emitted() uint64 { return inv.emitted }
 
+// NextBatch fills buf with the next instructions of the stream and returns
+// how many were produced; 0 means the stream has ended. The stream is
+// exactly the one repeated Next calls yield — same instructions, same RNG
+// consumption — so the core's batched fast path is bit-identical to the
+// per-instruction one (internal/check's differential tests enforce this).
+//
+// The body inlines Next's common case — a non-terminal instruction of the
+// current code line, which needs no control-transfer decision — and falls
+// back to Next itself for line-terminal instructions, so the two paths
+// share the control-transfer logic rather than duplicating it.
+func (inv *Invocation) NextBatch(buf []Instr) int {
+	p := inv.p
+	last := p.cfg.InstrPerLine - 1
+	stride := p.der.stride
+	n := 0
+	for n < len(buf) && !inv.done {
+		if inv.instr != last {
+			in := &buf[n]
+			*in = Instr{VAddr: p.lineAddr[inv.cur] + uint64(inv.instr)*stride}
+			inv.emitted++
+			inv.emitOp(in)
+			inv.instr++
+			n++
+			continue
+		}
+		in, ok := inv.Next()
+		if !ok {
+			break
+		}
+		buf[n] = in
+		n++
+	}
+	return n
+}
+
 // Next produces the next dynamic instruction; ok is false at stream end.
 func (inv *Invocation) Next() (in Instr, ok bool) {
 	if inv.done {
@@ -155,8 +196,7 @@ func (inv *Invocation) Next() (in Instr, ok bool) {
 	}
 	cfg := &inv.p.cfg
 	lineAddr := inv.p.lineAddr[inv.cur]
-	stride := uint64(lineSize / cfg.InstrPerLine)
-	in.VAddr = lineAddr + uint64(inv.instr)*stride
+	in.VAddr = lineAddr + uint64(inv.instr)*inv.p.der.stride
 	inv.emitted++
 
 	if inv.instr != cfg.InstrPerLine-1 {
@@ -212,7 +252,7 @@ func (inv *Invocation) Next() (in Instr, ok bool) {
 			// Biased, learnable conditional.
 			in.Op = OpBranch
 			in.Cond = true
-			in.Taken = inv.rng.Bool(1 - cfg.CondBias)
+			in.Taken = inv.rng.Bool(inv.p.der.condTaken)
 			in.Target = nextAddr
 		} else {
 			inv.emitOp(&in)
@@ -229,18 +269,18 @@ func (inv *Invocation) Next() (in Instr, ok bool) {
 // emitOp fills in a non-control instruction: plain, load, or store, with a
 // generated effective address.
 func (inv *Invocation) emitOp(in *Instr) {
-	cfg := &inv.p.cfg
-	r := inv.rng.Float64()
+	der := &inv.p.der
+	u := inv.rng.Uint64() >> 11
 	switch {
-	case r < cfg.LoadFrac:
+	case u < der.thrLoad:
 		in.Op = OpLoad
 		in.MemAddr = inv.dataAddr()
-		if inv.prevLoad && inv.rng.Bool(cfg.DepLoadFrac) {
+		if inv.prevLoad && inv.rng.Uint64()>>11 < der.thrDepLoad {
 			in.DepLoad = true
 		}
 		inv.prevLoad = true
 		return
-	case r < cfg.LoadFrac+cfg.StoreFrac:
+	case u < der.thrLoadStore:
 		in.Op = OpStore
 		in.MemAddr = inv.dataAddr()
 	default:
@@ -267,12 +307,11 @@ const coldRegionBytes = 256 << 10
 func (inv *Invocation) dataAddr() uint64 {
 	cfg := &inv.p.cfg
 	gen := inv.id & 1
-	r := inv.rng.Float64()
+	u := inv.rng.Uint64() >> 11
 	switch {
-	case r < cfg.HotDataFrac:
-		span := cfg.HotDataKB << 10
-		return heapBase + uint64(inv.rng.Intn(span))&^7
-	case r < cfg.HotDataFrac+cfg.ColdDataFrac:
+	case u < inv.p.der.thrHot:
+		return heapBase + inv.p.der.hotDiv.mod(inv.rng.Uint64())&^7
+	case u < inv.p.der.thrHotCold:
 		inv.coldPtr += lineSize
 		if inv.coldPtr >= coldRegionBytes {
 			inv.coldPtr = 0
@@ -285,14 +324,11 @@ func (inv *Invocation) dataAddr() uint64 {
 		}
 		return coldBase + gen*coldRegionBytes + inv.coldPtr
 	default:
-		lo := uint64(cfg.HotDataKB << 10)
-		hi := uint64(cfg.DataKB << 10)
-		if hi <= lo {
-			hi = lo + 16
-		}
-		half := (hi - lo) / 2
-		off := uint64(inv.rng.Intn(int(half))) &^ 7
-		if inv.rng.Bool(0.5) {
+		der := &inv.p.der
+		lo := der.warmLo
+		half := der.warmHalf
+		off := der.warmDiv.mod(inv.rng.Uint64()) &^ 7
+		if inv.rng.Uint64()>>11 < der.thrHalf {
 			// Persistent warm half.
 			return heapBase + lo + off
 		}
@@ -306,7 +342,7 @@ func (inv *Invocation) dataAddr() uint64 {
 		if cfg.ChurnSlideKB > 0 {
 			slide = uint64(cfg.ChurnSlideKB) << 10
 		}
-		return heapBase + lo + half + (inv.id*slide+off)%(2*half)
+		return heapBase + lo + half + der.warm2Div.mod(inv.id*slide+off)
 	}
 }
 

@@ -77,6 +77,9 @@ type Instance struct {
 	// Invocations counts invocations served.
 	Invocations uint64
 	srv         *Server
+	// inv is the instance's pooled walker, reset per dispatch so the steady
+	// state of a warm instance allocates nothing.
+	inv program.Invocation
 }
 
 // Server is one simulated host with its co-resident instances. Core points
@@ -90,6 +93,10 @@ type Server struct {
 	thrashRNG *program.RNG
 	lastAS    []*vm.AddressSpace
 	corePFs   []cpu.InstrPrefetcher
+	// pfScratch is per-core reusable storage for the composed prefetcher
+	// list a dispatch installs; per-core because each core retains its
+	// current composition in Core.Prefetcher between dispatches.
+	pfScratch []cpu.MultiPrefetcher
 }
 
 // AttachCorePrefetcher installs a core-level instruction prefetcher (e.g.
@@ -161,6 +168,7 @@ func New(cfg Config) *Server {
 		thrashRNG: program.NewRNG(0x7A4A5),
 		lastAS:    make([]*vm.AddressSpace, cfg.Cores),
 		corePFs:   make([]cpu.InstrPrefetcher, cfg.Cores),
+		pfScratch: make([]cpu.MultiPrefetcher, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		hier := mem.NewSharedHierarchy(cfg.CPU.Hier, llc, dram)
@@ -236,7 +244,7 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	// Compose the present warm-up mechanisms in restore order: REAP's bulk
 	// page restore first (LLC + TLBs), then Jukebox's region replay (L2),
 	// then any core-level prefetcher.
-	var multi cpu.MultiPrefetcher
+	multi := s.pfScratch[idx][:0]
 	if inst.Reap != nil {
 		inst.Reap.Bind(c.Hier, c.MMU)
 		multi = append(multi, inst.Reap)
@@ -248,6 +256,7 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	if s.corePFs[idx] != nil {
 		multi = append(multi, s.corePFs[idx])
 	}
+	s.pfScratch[idx] = multi
 	switch len(multi) {
 	case 0:
 		c.Prefetcher = nil
@@ -256,9 +265,9 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	default:
 		c.Prefetcher = multi
 	}
-	inv := inst.Workload.Program.NewInvocation(inst.Invocations)
+	inst.Workload.Program.ResetInvocation(&inst.inv, inst.Invocations)
 	inst.Invocations++
-	return c.RunInvocation(inv)
+	return c.RunInvocation(&inst.inv)
 }
 
 // PrewarmOutcome reports what a predictive pre-warm pass installed.

@@ -1,7 +1,6 @@
 package serverless
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 
@@ -424,19 +423,61 @@ type arrival struct {
 	seq  int // tie-breaker for determinism
 }
 
-// arrivalQueue is a min-heap of arrivals ordered by time.
+// arrivalQueue is a typed min-heap of arrivals ordered by (time, seq). The
+// ordering is total, so the pop sequence — the only observable — is
+// independent of heap internals; the typed implementation exists so pushes
+// do not box each arrival into an interface (the dispatch loop's last
+// steady-state allocation).
 type arrivalQueue []arrival
 
 func (q arrivalQueue) Len() int { return len(q) }
-func (q arrivalQueue) Less(i, j int) bool {
+func (q arrivalQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q arrivalQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *arrivalQueue) Push(x any)   { *q = append(*q, x.(arrival)) }
-func (q *arrivalQueue) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+
+// push adds a onto the heap.
+func (q *arrivalQueue) push(a arrival) {
+	*q = append(*q, a)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum arrival.
+func (q *arrivalQueue) pop() arrival {
+	h := *q
+	n := len(h) - 1
+	v := h[0]
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.less(r, l) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return v
+}
+
 func (q arrivalQueue) Peek() arrival { return q[0] }
 
 // instSched is the per-instance bookkeeping the scheduling policies read.
@@ -946,26 +987,26 @@ func (s *Server) ServeTraffic(cfg TrafficConfig) (TrafficResult, error) {
 		remaining[inst] = cfg.InvocationsPerInstance
 		// Phase-shift first arrivals across instances.
 		first := s.Core.Now() + mem.Cycle(rng.Float64()*cfg.MeanIATms*cyclesPerMs)
-		heap.Push(&q, arrival{at: first, inst: inst, seq: seq})
+		q.push(arrival{at: first, inst: inst, seq: seq})
 		seq++
 	}
 
-	for q.Len() > 0 {
-		a := heap.Pop(&q).(arrival)
-		out := sim.Dispatch(a.inst, a.at, false, func(coreNow mem.Cycle) int {
-			due := 0
-			for _, p := range q {
-				if p.at <= coreNow {
-					due++
-				}
+	due := func(coreNow mem.Cycle) int {
+		due := 0
+		for _, p := range q {
+			if p.at <= coreNow {
+				due++
 			}
-			return due
-		})
-		_ = out
+		}
+		return due
+	}
+	for q.Len() > 0 {
+		a := q.pop()
+		sim.Dispatch(a.inst, a.at, false, due)
 		remaining[a.inst]--
 		if remaining[a.inst] > 0 {
 			arrivalMs := float64(a.at) / cyclesPerMs
-			heap.Push(&q, arrival{at: a.at + nextGap(arrivalMs), inst: a.inst, seq: seq})
+			q.push(arrival{at: a.at + nextGap(arrivalMs), inst: a.inst, seq: seq})
 			seq++
 		}
 	}

@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"sort"
+	"testing"
+)
+
+// fuzzRefPageTable is the obviously-correct map-backed page table the
+// chunked flat frame table replaced: one map entry per mapped virtual page,
+// demand allocation on first touch, compaction in virtual-address order.
+// FuzzFlatPageTable drives both representations from identical allocators
+// over arbitrary byte-derived operation streams and fails on any divergence.
+type fuzzRefPageTable struct {
+	alloc  *FrameAllocator
+	frames map[uint64]uint64
+	moved  uint64
+}
+
+func (r *fuzzRefPageTable) translate(vaddr uint64) uint64 {
+	vp := PageOf(vaddr)
+	base, ok := r.frames[vp]
+	if !ok {
+		base = r.alloc.Alloc()
+		r.frames[vp] = base
+	}
+	return base | (vaddr & (PageSize - 1))
+}
+
+func (r *fuzzRefPageTable) lookup(vaddr uint64) (uint64, bool) {
+	base, ok := r.frames[PageOf(vaddr)]
+	if !ok {
+		return 0, false
+	}
+	return base | (vaddr & (PageSize - 1)), true
+}
+
+func (r *fuzzRefPageTable) pages() []uint64 {
+	out := make([]uint64, 0, len(r.frames))
+	for vp := range r.frames {
+		out = append(out, vp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r *fuzzRefPageTable) compact() {
+	for _, vp := range r.pages() {
+		r.frames[vp] = r.alloc.Alloc()
+		r.moved++
+	}
+}
+
+// FuzzFlatPageTable decodes the input as a stream of 3-byte operations —
+// opcode plus a 16-bit virtual page — and checks the flat AddressSpace
+// against the map reference after every step. Opcode bit 6 relocates the
+// page to a gigabyte-offset sparse region, the chunked layout's worst case
+// (single-page chunks far above the dense heap).
+func FuzzFlatPageTable(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x00, 0x05, 0x02, 0x00, 0x0F, 0x01, 0x00})
+	f.Add([]byte{0x40, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x0F, 0x00, 0x00, 0x45, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat := NewAddressSpace(NewFrameAllocator(11))
+		ref := &fuzzRefPageTable{alloc: NewFrameAllocator(11), frames: map[uint64]uint64{}}
+		for len(data) >= 3 {
+			op := data[0]
+			vp := uint64(data[1])<<8 | uint64(data[2])
+			data = data[3:]
+			if op&0x40 != 0 {
+				// Sparse high pages: distinct far-away chunks.
+				vp = (1 << 30 >> PageShift) + vp<<9
+			}
+			vaddr := vp<<PageShift | uint64(op)&(PageSize-1)
+			switch k := op & 0x0F; {
+			case k < 9:
+				if got, want := flat.Translate(vaddr), ref.translate(vaddr); got != want {
+					t.Fatalf("Translate(%#x) = %#x, reference %#x", vaddr, got, want)
+				}
+			case k < 14:
+				got, gok := flat.Lookup(vaddr)
+				want, wok := ref.lookup(vaddr)
+				if gok != wok || got != want {
+					t.Fatalf("Lookup(%#x) = %#x,%v, reference %#x,%v", vaddr, got, gok, want, wok)
+				}
+			default:
+				flat.Compact()
+				ref.compact()
+				if flat.Migrations != ref.moved {
+					t.Fatalf("Migrations = %d, reference %d", flat.Migrations, ref.moved)
+				}
+			}
+			if got, want := flat.MappedPages(), len(ref.frames); got != want {
+				t.Fatalf("MappedPages = %d, reference %d", got, want)
+			}
+		}
+		gp, wp := flat.Pages(), ref.pages()
+		if len(gp) != len(wp) {
+			t.Fatalf("Pages len %d, reference %d", len(gp), len(wp))
+		}
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("Pages[%d] = %#x, reference %#x", i, gp[i], wp[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package vm
+
+import "testing"
+
+// TestPagesCacheReuseAndInvalidation pins the Pages() contract that replaced
+// the old collect-and-sort-per-call implementation: repeated calls without
+// intervening mutation return the identical cached slice (no re-sort, no
+// allocation), while mapping a new page or compacting rebuilds it.
+func TestPagesCacheReuseAndInvalidation(t *testing.T) {
+	as := NewAddressSpace(NewFrameAllocator(0))
+	as.Translate(5 << PageShift)
+	as.Translate(0)
+
+	p1 := as.Pages()
+	if len(p1) != 2 || p1[0] != 0 || p1[1] != 5 {
+		t.Fatalf("Pages = %v, want [0 5]", p1)
+	}
+	if p2 := as.Pages(); &p2[0] != &p1[0] {
+		t.Fatal("Pages rebuilt with no intervening mutation")
+	}
+	if avg := testing.AllocsPerRun(4, func() { as.Pages() }); avg != 0 {
+		t.Fatalf("cached Pages allocates %.2f objects/call, want 0", avg)
+	}
+
+	// Re-translating an already-mapped page and lookups are not mutations.
+	as.Translate(5<<PageShift | 12)
+	as.Lookup(0)
+	if p3 := as.Pages(); &p3[0] != &p1[0] {
+		t.Fatal("Pages rebuilt after non-mutating accesses")
+	}
+
+	// A new mapping invalidates: the fresh slice must include it, sorted.
+	as.Translate(3 << PageShift)
+	p4 := as.Pages()
+	if len(p4) != 3 || p4[0] != 0 || p4[1] != 3 || p4[2] != 5 {
+		t.Fatalf("Pages after new mapping = %v, want [0 3 5]", p4)
+	}
+
+	// Compact migrates frames; the page set is unchanged but the cache must
+	// not serve a slice observed before the migration.
+	before := as.Translate(3 << PageShift)
+	p4 = as.Pages()
+	as.Compact()
+	if after := as.Translate(3 << PageShift); after == before {
+		t.Fatal("Compact did not migrate the page")
+	}
+	p5 := as.Pages()
+	if len(p5) != 3 || p5[0] != 0 || p5[1] != 3 || p5[2] != 5 {
+		t.Fatalf("Pages after Compact = %v, want [0 3 5]", p5)
+	}
+	if as.MappedPages() != 3 {
+		t.Fatalf("MappedPages = %d, want 3", as.MappedPages())
+	}
+}

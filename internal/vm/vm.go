@@ -11,7 +11,6 @@ package vm
 
 import (
 	"fmt"
-	"slices"
 
 	"lukewarm/internal/cfgerr"
 )
@@ -61,18 +60,79 @@ func (f *FrameAllocator) AllocContiguous(n int) uint64 {
 // the allocator's base.
 func (f *FrameAllocator) FramesAllocated(baseFrame uint64) uint64 { return f.next - baseFrame }
 
-// AddressSpace is one process's page table: a demand-populated map from
-// virtual page to physical frame.
+// Chunk geometry of the flat page table: each chunk covers chunkPages
+// contiguous virtual pages (2 MB of VA), so the sparse gigabyte-wide gaps
+// between the code/heap/kernel regions cost nothing while lookups within a
+// region are a single indexed load.
+const (
+	chunkShift = 9
+	chunkPages = 1 << chunkShift
+	chunkMask  = chunkPages - 1
+)
+
+// asChunk is one 2 MB-aligned window of the page table. frames[i] holds the
+// physical frame base address of page (base+i) with framePresent set in its
+// low bit (frame bases are page-aligned, so the bit is free); 0 means
+// unmapped.
+type asChunk struct {
+	base   uint64 // first vpage covered
+	frames [chunkPages]uint64
+}
+
+// framePresent marks a populated frame slot.
+const framePresent = 1
+
+// AddressSpace is one process's page table: a demand-populated flat frame
+// table over 2 MB chunks, kept sorted by base virtual page. The previous
+// map-backed representation survives as the differential reference model in
+// internal/check.
 type AddressSpace struct {
-	alloc *FrameAllocator
-	table map[uint64]uint64 // vpage -> physical frame base address
+	alloc  *FrameAllocator
+	chunks []*asChunk // sorted by base
+	last   *asChunk   // last chunk touched: locality makes this hit ~always
+	mapped int
+	// pages caches the sorted mapped-vpage slice Pages returns; nil when a
+	// new mapping or a Compact invalidated it.
+	pages []uint64
 	// Migrations counts pages moved by Compact, for reporting.
 	Migrations uint64
 }
 
 // NewAddressSpace creates an empty address space drawing frames from alloc.
 func NewAddressSpace(alloc *FrameAllocator) *AddressSpace {
-	return &AddressSpace{alloc: alloc, table: make(map[uint64]uint64)}
+	return &AddressSpace{alloc: alloc}
+}
+
+// chunkFor returns the chunk containing vp, creating it if grow is set,
+// nil otherwise.
+func (as *AddressSpace) chunkFor(vp uint64, grow bool) *asChunk {
+	base := vp &^ uint64(chunkMask)
+	if c := as.last; c != nil && c.base == base {
+		return c
+	}
+	// Binary search the sorted chunk list.
+	lo, hi := 0, len(as.chunks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if as.chunks[mid].base < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(as.chunks) && as.chunks[lo].base == base {
+		as.last = as.chunks[lo]
+		return as.last
+	}
+	if !grow {
+		return nil
+	}
+	c := &asChunk{base: base}
+	as.chunks = append(as.chunks, nil)
+	copy(as.chunks[lo+1:], as.chunks[lo:])
+	as.chunks[lo] = c
+	as.last = c
+	return c
 }
 
 // Translate maps vaddr to its physical address, demand-allocating a frame on
@@ -80,43 +140,73 @@ func NewAddressSpace(alloc *FrameAllocator) *AddressSpace {
 // memory-resident, swap is disabled on FaaS hosts).
 func (as *AddressSpace) Translate(vaddr uint64) uint64 {
 	vp := PageOf(vaddr)
-	frame, ok := as.table[vp]
-	if !ok {
-		frame = as.alloc.Alloc()
-		as.table[vp] = frame
+	c := as.last
+	if c == nil || c.base != vp&^uint64(chunkMask) {
+		c = as.chunkFor(vp, true)
 	}
-	return frame | (vaddr & (PageSize - 1))
+	slot := &c.frames[vp&chunkMask]
+	if *slot == 0 {
+		*slot = as.alloc.Alloc() | framePresent
+		as.mapped++
+		as.pages = nil
+	}
+	return (*slot &^ (PageSize - 1)) | (vaddr & (PageSize - 1))
 }
 
 // Lookup is Translate without demand allocation; ok reports whether the page
 // is mapped.
 func (as *AddressSpace) Lookup(vaddr uint64) (paddr uint64, ok bool) {
-	frame, ok := as.table[PageOf(vaddr)]
-	if !ok {
+	vp := PageOf(vaddr)
+	c := as.chunkFor(vp, false)
+	if c == nil {
 		return 0, false
 	}
-	return frame | (vaddr & (PageSize - 1)), true
+	slot := c.frames[vp&chunkMask]
+	if slot == 0 {
+		return 0, false
+	}
+	return (slot &^ (PageSize - 1)) | (vaddr & (PageSize - 1)), true
 }
 
 // MappedPages reports the number of resident pages.
-func (as *AddressSpace) MappedPages() int { return len(as.table) }
+func (as *AddressSpace) MappedPages() int { return as.mapped }
+
+// Pages returns the mapped virtual page numbers in ascending order. The
+// slice is cached and shared between calls — callers must not mutate it —
+// and is rebuilt only after a new mapping or a Compact invalidated it, so
+// iteration sites no longer pay a per-call collect-and-sort.
+func (as *AddressSpace) Pages() []uint64 {
+	if as.pages == nil && as.mapped > 0 {
+		pages := make([]uint64, 0, as.mapped)
+		for _, c := range as.chunks {
+			for i := range c.frames {
+				if c.frames[i] != 0 {
+					pages = append(pages, c.base+uint64(i))
+				}
+			}
+		}
+		as.pages = pages
+	}
+	return as.pages
+}
 
 // Compact migrates every mapped page to a fresh physical frame, modeling OS
 // memory compaction / page migration. Virtual addresses are unaffected;
 // all previously returned physical addresses become stale. Pages migrate in
-// virtual-address order: frame assignment must not depend on map iteration
+// virtual-address order: frame assignment must not depend on iteration
 // order, or physically-indexed cache behaviour after compaction — and with
-// it the compaction experiment — differs run to run.
+// it the compaction experiment — differs run to run. The chunk list is
+// sorted by construction, so the walk is already in virtual-address order.
 func (as *AddressSpace) Compact() {
-	vps := make([]uint64, 0, len(as.table))
-	for vp := range as.table {
-		vps = append(vps, vp)
+	for _, c := range as.chunks {
+		for i := range c.frames {
+			if c.frames[i] != 0 {
+				c.frames[i] = as.alloc.Alloc() | framePresent
+				as.Migrations++
+			}
+		}
 	}
-	slices.Sort(vps)
-	for _, vp := range vps {
-		as.table[vp] = as.alloc.Alloc()
-		as.Migrations++
-	}
+	as.pages = nil
 }
 
 // TLBConfig describes one TLB's geometry and the cost model of refills.
@@ -135,12 +225,10 @@ func (c TLBConfig) Validate() error {
 	return nil
 }
 
-// tlbEntry is one translation cache entry.
-type tlbEntry struct {
-	vpage uint64
-	valid bool
-	lru   uint64
-}
+// invalidVPage marks an empty TLB way. No real vpage collides with it:
+// vpages are addr>>PageShift and simulated virtual addresses sit far below
+// 2^52.
+const invalidVPage = ^uint64(0)
 
 // TLBStats counts TLB demand traffic.
 type TLBStats struct {
@@ -152,10 +240,15 @@ type TLBStats struct {
 // TLB is a set-associative translation lookaside buffer over virtual pages.
 // It caches only reachability (the physical mapping is read from the
 // AddressSpace on every translation, so Compact takes effect immediately
-// after a Flush, exactly like a real TLB shootdown).
+// after a Flush, exactly like a real TLB shootdown). Entries are stored flat
+// in parallel arrays — the hit-path scan touches only the vpage tags — with
+// the set mask and way count hoisted out of the config at construction.
 type TLB struct {
 	cfg     TLBConfig
-	entries []tlbEntry
+	ways    int
+	setMask uint64
+	vpages  []uint64 // sets*ways, set-major; invalidVPage = empty
+	lru     []uint64 // parallel to vpages
 	tick    uint64
 	Stats   TLBStats
 }
@@ -166,48 +259,59 @@ func NewTLB(cfg TLBConfig) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("vm: %v", err))
 	}
-	return &TLB{cfg: cfg, entries: make([]tlbEntry, cfg.Sets*cfg.Ways)}
+	t := &TLB{
+		cfg:     cfg,
+		ways:    cfg.Ways,
+		setMask: uint64(cfg.Sets - 1),
+		vpages:  make([]uint64, cfg.Sets*cfg.Ways),
+		lru:     make([]uint64, cfg.Sets*cfg.Ways),
+	}
+	for i := range t.vpages {
+		t.vpages[i] = invalidVPage
+	}
+	return t
 }
 
 // Config returns the TLB's configuration.
 func (t *TLB) Config() TLBConfig { return t.cfg }
 
-func (t *TLB) set(vpage uint64) []tlbEntry {
-	s := int(vpage) & (t.cfg.Sets - 1)
-	return t.entries[s*t.cfg.Ways : (s+1)*t.cfg.Ways]
+func (t *TLB) setBase(vpage uint64) int {
+	return int(vpage&t.setMask) * t.ways
 }
 
 // Access looks up vpage, returning whether it hit, and inserts it on a miss.
 func (t *TLB) Access(vpage uint64) bool {
 	t.Stats.Accesses++
-	set := t.set(vpage)
-	for i := range set {
-		if set[i].valid && set[i].vpage == vpage {
+	base := t.setBase(vpage)
+	for i := base; i < base+t.ways; i++ {
+		if t.vpages[i] == vpage {
 			t.tick++
-			set[i].lru = t.tick
+			t.lru[i] = t.tick
 			return true
 		}
 	}
 	t.Stats.Misses++
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
+	vi := base
+	for i := base; i < base+t.ways; i++ {
+		if t.vpages[i] == invalidVPage {
 			vi = i
 			break
 		}
-		if set[i].lru < set[vi].lru {
+		if t.lru[i] < t.lru[vi] {
 			vi = i
 		}
 	}
 	t.tick++
-	set[vi] = tlbEntry{vpage: vpage, valid: true, lru: t.tick}
+	t.vpages[vi] = vpage
+	t.lru[vi] = t.tick
 	return false
 }
 
 // Probe reports residency without inserting or counting.
 func (t *TLB) Probe(vpage uint64) bool {
-	for _, e := range t.set(vpage) {
-		if e.valid && e.vpage == vpage {
+	base := t.setBase(vpage)
+	for i := base; i < base+t.ways; i++ {
+		if t.vpages[i] == vpage {
 			return true
 		}
 	}
@@ -216,8 +320,8 @@ func (t *TLB) Probe(vpage uint64) bool {
 
 // Flush invalidates all entries (context switch / shootdown).
 func (t *TLB) Flush() {
-	for i := range t.entries {
-		t.entries[i].valid = false
+	for i := range t.vpages {
+		t.vpages[i] = invalidVPage
 	}
 	t.Stats.Flushes++
 }
@@ -232,9 +336,9 @@ func (t *TLB) EvictFraction(frac float64, rng func() uint64) {
 		return
 	}
 	threshold := uint64(frac * float64(1<<32))
-	for i := range t.entries {
-		if t.entries[i].valid && rng()&0xFFFFFFFF < threshold {
-			t.entries[i].valid = false
+	for i := range t.vpages {
+		if t.vpages[i] != invalidVPage && rng()&0xFFFFFFFF < threshold {
+			t.vpages[i] = invalidVPage
 		}
 	}
 }
