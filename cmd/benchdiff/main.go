@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-dir DIR] [-threshold PCT] [old.json new.json]
+//	benchdiff [-dir DIR] [-threshold PCT] [-strict] [old.json new.json]
 //
 // With explicit file arguments it diffs those two snapshots; with none it
 // picks the two highest-numbered BENCH_<n>.json files in -dir (default ".").
@@ -12,8 +12,9 @@
 // -threshold percent (default 10) in the SimulationThroughput benchmark's
 // Minstr/s is a hard failure (exit 1); regressions in other benchmarks —
 // fleet and experiment benches dominated by scheduling noise — are warnings
-// only. Higher-is-better metrics (Minstr/s and friends) and lower-is-better
-// ones (ns/op) are both handled.
+// only, unless -strict promotes every over-threshold regression to a
+// failure. Higher-is-better metrics (Minstr/s and friends) and
+// lower-is-better ones (ns/op) are both handled.
 package main
 
 import (
@@ -106,9 +107,60 @@ func latestPair(dir string) (string, string, error) {
 	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, nil
 }
 
+// compare diffs every metric present in both snapshots. rows holds one
+// rendered table line per shared metric in (bench, metric) order; failures
+// holds one message per tripped gate — the gated throughput metric past
+// threshold, any over-threshold regression when strict is set, and the gated
+// metric going missing from the new snapshot.
+func compare(oldM, newM map[key]float64, threshold float64, strict bool) (rows, failures []string) {
+	keys := make([]key, 0, len(newM))
+	for k := range newM {
+		if _, ok := oldM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].metric < keys[j].metric
+	})
+
+	for _, k := range keys {
+		ov, nv := oldM[k], newM[k]
+		if ov == 0 {
+			continue
+		}
+		deltaPct := (nv - ov) / ov * 100
+		regressPct := deltaPct // higher is better: a drop is negative
+		if lowerIsBetter(k.metric) {
+			regressPct = -deltaPct
+		}
+		status := "ok"
+		if regressPct < -threshold {
+			gated := k.bench == gatedBench && k.metric == gatedMetric
+			if gated || strict {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s %s regressed %.1f%% (threshold %.0f%%)",
+					k.bench, k.metric, -regressPct, threshold))
+			} else {
+				status = "warn"
+			}
+		}
+		rows = append(rows, fmt.Sprintf("  %-4s %-50s %-10s %12.4g -> %-12.4g (%+.1f%%)",
+			status, k.bench, k.metric, ov, nv, deltaPct))
+	}
+	if _, ok := newM[key{gatedBench, gatedMetric}]; !ok {
+		failures = append(failures, fmt.Sprintf("gated metric %s %s missing from the new snapshot",
+			gatedBench, gatedMetric))
+	}
+	return rows, failures
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
 	threshold := flag.Float64("threshold", 10, "max tolerated %% regression in the gated throughput metric")
+	strict := flag.Bool("strict", false, "fail on any over-threshold regression, not just the gated metric")
 	flag.Parse()
 
 	var oldPath, newPath string
@@ -137,50 +189,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	keys := make([]key, 0, len(newM))
-	for k := range newM {
-		if _, ok := oldM[k]; ok {
-			keys = append(keys, k)
-		}
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].bench != keys[j].bench {
-			return keys[i].bench < keys[j].bench
-		}
-		return keys[i].metric < keys[j].metric
-	})
-
 	fmt.Printf("benchdiff: %s -> %s\n", oldPath, newPath)
-	failed := false
-	for _, k := range keys {
-		ov, nv := oldM[k], newM[k]
-		if ov == 0 {
-			continue
-		}
-		deltaPct := (nv - ov) / ov * 100
-		regressPct := deltaPct // higher is better: a drop is negative
-		if lowerIsBetter(k.metric) {
-			regressPct = -deltaPct
-		}
-		status := "ok"
-		switch {
-		case k.bench == gatedBench && k.metric == gatedMetric && regressPct < -*threshold:
-			status = "FAIL"
-			failed = true
-		case regressPct < -*threshold:
-			status = "warn"
-		}
-		fmt.Printf("  %-4s %-50s %-10s %12.4g -> %-12.4g (%+.1f%%)\n",
-			status, k.bench, k.metric, ov, nv, deltaPct)
+	rows, failures := compare(oldM, newM, *threshold, *strict)
+	for _, row := range rows {
+		fmt.Println(row)
 	}
-	if _, ok := newM[key{gatedBench, gatedMetric}]; !ok {
-		fmt.Fprintf(os.Stderr, "benchdiff: gated metric %s %s missing from %s\n",
-			gatedBench, gatedMetric, newPath)
-		failed = true
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchdiff:", f)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: %s %s regressed more than %.0f%%\n",
-			gatedBench, gatedMetric, *threshold)
+	if len(failures) > 0 {
 		os.Exit(1)
 	}
 }

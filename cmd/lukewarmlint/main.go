@@ -1,16 +1,19 @@
 // Command lukewarmlint is the multichecker for lukewarm's static-enforcement
-// suite (internal/analysis): five analyzers that hold the tree to the
-// determinism and configuration-hygiene invariants the golden-figure and
-// oracle harnesses otherwise only catch at run time.
+// suite (internal/analysis): the determinism/configuration analyzers plus the
+// perf-invariant suite (internal/analysis/perf) that holds annotated hot
+// paths to their declared compiler-verified invariants.
 //
 // Usage:
 //
-//	lukewarmlint [-list] [packages]
+//	lukewarmlint [-list] [-perf=false] [packages]
 //
 // Packages default to ./... and accept any `go list` pattern; run it from
-// inside the module (type information is resolved from source through the
-// module's own `go list`). Exit status: 0 clean, 1 findings, 2 usage or
-// load failure. CI runs `go run ./cmd/lukewarmlint ./...` as a hard gate.
+// the module root (type information is resolved from source through the
+// module's own `go list`, and the perf gate's diagnostic rebuild runs from
+// the current directory). -perf=false skips the perf suite — both the pure
+// analyzers and the `go build -gcflags=-m` compiler gate — for quick
+// iteration on the base suite. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure. CI runs `make lint` (`go vet` + this command) as a hard gate.
 package main
 
 import (
@@ -20,20 +23,28 @@ import (
 	"path/filepath"
 
 	"lukewarm/internal/analysis"
+	"lukewarm/internal/analysis/perf"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	perfOn := flag.Bool("perf", true, "run the perf-invariant suite (hotpath analyzers + compiler gate)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lukewarmlint [-list] [packages]\n\nAnalyzers:\n")
-		for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "usage: lukewarmlint [-list] [-perf=false] [packages]\n\nAnalyzers:\n")
+		for _, a := range allAnalyzers(true) {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", "perfgate",
+			"verifies //lukewarm:hotpath invariants against go build -gcflags="+
+				"'-m=2 -d=ssa/check_bce/debug=1' diagnostics")
 	}
 	flag.Parse()
 	if *list {
-		for _, a := range analysis.All() {
+		for _, a := range allAnalyzers(*perfOn) {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		if *perfOn {
+			fmt.Printf("%-12s %s\n", "perfgate", "verifies //lukewarm:hotpath invariants against compiler diagnostics")
 		}
 		return
 	}
@@ -47,10 +58,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lukewarmlint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analysis.All())
+	diags, err := analysis.Run(pkgs, allAnalyzers(*perfOn))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lukewarmlint:", err)
 		os.Exit(2)
+	}
+	if *perfOn {
+		gate, err := perf.CompileCheck(".", pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lukewarmlint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, gate...)
 	}
 	cwd, _ := os.Getwd()
 	for _, d := range diags {
@@ -65,4 +84,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lukewarmlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func allAnalyzers(perfOn bool) []*analysis.Analyzer {
+	as := analysis.All()
+	if perfOn {
+		as = append(as, perf.Analyzers()...)
+	}
+	return as
 }

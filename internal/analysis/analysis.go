@@ -178,7 +178,8 @@ func simulation(path string) bool {
 		return true // fixtures
 	}
 	return strings.HasPrefix(path, modulePath+"/internal/") &&
-		path != modulePath+"/internal/analysis"
+		path != modulePath+"/internal/analysis" &&
+		!strings.HasPrefix(path, modulePath+"/internal/analysis/")
 }
 
 // ---------------------------------------------------------------------------
@@ -207,6 +208,26 @@ func (p *Pass) waived(pos token.Pos, directive string) bool {
 		}
 	}
 	return false
+}
+
+// Waived is the exported face of waived, for the perf sub-package's
+// analyzers: their waiver directives (`hothygiene`, `hotalloc`) obey the same
+// placement and mandatory-reason rules as the base suite's.
+func (p *Pass) Waived(pos token.Pos, directive string) bool {
+	return p.waived(pos, directive)
+}
+
+// WaiverReason is the exported face of waiverReason: the perf sub-package
+// reuses the directive parser for its `//lukewarm:hotpath` annotations so the
+// grammar stays in one place.
+func WaiverReason(comment, directive string) (string, bool) {
+	return waiverReason(comment, directive)
+}
+
+// Simulation is the exported face of simulation, for the perf sub-package's
+// scope checks.
+func Simulation(path string) bool {
+	return simulation(path)
 }
 
 // waiverReason extracts the reason from a `//lukewarm:<directive> <reason>`

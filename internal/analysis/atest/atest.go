@@ -1,0 +1,123 @@
+// Package atest is the analysistest-style expectation checker shared by the
+// analyzer test suites (internal/analysis and internal/analysis/perf). A
+// fixture package carries `// want "regexp"` comments on the lines where
+// diagnostics are expected (multiple quoted or backquoted regexps per comment
+// are allowed), and Check reports unmatched expectations and unexpected
+// diagnostics symmetrically, like
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// The package deliberately does not import internal/analysis — diagnostics
+// arrive pre-flattened as Diag values — so the analysis package's in-package
+// test files can import it without an import cycle, and any future analyzer
+// suite can reuse it.
+package atest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// TB is the subset of *testing.T the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Diag is one analyzer finding, flattened to what matching needs.
+type Diag struct {
+	File    string // base name of the file the diagnostic landed in
+	Line    int
+	Message string
+}
+
+// wantRe extracts the quoted/backquoted patterns of one want comment.
+var wantRe = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Check parses the want comments of every .go file in dir and matches diags
+// against them: each diagnostic must be claimed by an expectation on its line,
+// and each expectation must be matched by a diagnostic.
+func Check(t TB, dir string, diags []Diag) {
+	t.Helper()
+	expects, err := parseExpectations(dir)
+	if err != nil {
+		t.Fatalf("parse want comments: %v", err)
+	}
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != d.File || e.line != d.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.File, d.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func parseExpectations(dir string) ([]*expectation, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var expects []*expectation
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					pattern := arg
+					if pattern[0] == '"' {
+						if pattern, err = strconv.Unquote(arg); err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %s: %v", file, arg, err)
+						}
+					} else {
+						pattern = pattern[1 : len(pattern)-1]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", file, arg, err)
+					}
+					expects = append(expects, &expectation{
+						file: filepath.Base(file),
+						line: fset.Position(c.Pos()).Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return expects, nil
+}

@@ -1,36 +1,17 @@
 package analysis
 
-// analysistest-style fixture runner: each fixture is a package under
-// testdata/src/<name>, annotated with `// want "regexp"` comments on the
-// lines where diagnostics are expected (multiple quoted or backquoted
-// regexps per comment are allowed). The runner reports unmatched
-// expectations and unexpected diagnostics symmetrically, like
-// golang.org/x/tools/go/analysis/analysistest.
+// runFixture loads testdata/src/<fixture> as a package named <fixture> and
+// checks one analyzer's diagnostics against the fixture's `// want "regexp"`
+// comments. The expectation matching itself lives in internal/analysis/atest
+// so the perf sub-package's fixture tests share it.
 
 import (
-	"fmt"
-	"go/parser"
-	"go/token"
 	"path/filepath"
-	"regexp"
-	"strconv"
 	"testing"
+
+	"lukewarm/internal/analysis/atest"
 )
 
-// wantRe extracts the quoted/backquoted patterns of one want comment.
-var wantRe = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
-
-var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
-
-type expectation struct {
-	file    string
-	line    int
-	re      *regexp.Regexp
-	matched bool
-}
-
-// runFixture loads testdata/src/<fixture> as a package named <fixture> and
-// checks the analyzer's diagnostics against the fixture's want comments.
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
@@ -42,75 +23,13 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
 	}
-
-	expects, err := parseExpectations(dir)
-	if err != nil {
-		t.Fatalf("parse want comments: %v", err)
-	}
-
+	flat := make([]atest.Diag, 0, len(diags))
 	for _, d := range diags {
-		base := filepath.Base(d.Pos.Filename)
-		found := false
-		for _, e := range expects {
-			if e.matched || e.file != base || e.line != d.Pos.Line {
-				continue
-			}
-			if e.re.MatchString(d.Message) {
-				e.matched = true
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.Errorf("unexpected diagnostic at %s:%d: %s", base, d.Pos.Line, d.Message)
-		}
+		flat = append(flat, atest.Diag{
+			File:    filepath.Base(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Message: d.Message,
+		})
 	}
-	for _, e := range expects {
-		if !e.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
-		}
-	}
-}
-
-func parseExpectations(dir string) ([]*expectation, error) {
-	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	var expects []*expectation
-	for _, file := range files {
-		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
-					pattern := arg
-					if pattern[0] == '"' {
-						if pattern, err = strconv.Unquote(arg); err != nil {
-							return nil, fmt.Errorf("%s: bad want pattern %s: %v", file, arg, err)
-						}
-					} else {
-						pattern = pattern[1 : len(pattern)-1]
-					}
-					re, err := regexp.Compile(pattern)
-					if err != nil {
-						return nil, fmt.Errorf("%s: bad want regexp %s: %v", file, arg, err)
-					}
-					expects = append(expects, &expectation{
-						file: filepath.Base(file),
-						line: fset.Position(c.Pos()).Line,
-						re:   re,
-					})
-				}
-			}
-		}
-	}
-	return expects, nil
+	atest.Check(t, dir, flat)
 }

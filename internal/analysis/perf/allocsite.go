@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lukewarm/internal/analysis"
+)
+
+// AllocSite flags explicit allocation sites in every function reachable from
+// a //lukewarm:hotpath root within its package: make and new (one allocation
+// per call), heap composite literals (&T{...} and slice/map literals), and
+// append into a backing array that was not pre-sized in the same function
+// (growth reallocates and copies). Amortized allocations — a buffer that
+// grows to a high-water mark once and is reused thereafter — are the
+// sanctioned exception and carry `//lukewarm:hotalloc <reason>` waivers.
+var AllocSite = &analysis.Analyzer{
+	Name: "allocsite",
+	Doc:  "flags make/new, heap composite literals, and growing append on hot paths",
+	Run:  runAllocSite,
+}
+
+func runAllocSite(pass *analysis.Pass) error {
+	roots := hotpathsIn(pass.Fset, pass.Files, nil)
+	if len(roots) == 0 {
+		return nil
+	}
+	for _, fd := range reachableFrom(pass, roots) {
+		checkAllocs(pass, fd)
+	}
+	return nil
+}
+
+func checkAllocs(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	presized := presizedSlices(pass, fd)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pass.Waived(pos, "hotalloc") {
+			pass.Reportf(pos, format+"; hoist it off the hot path or waive with //lukewarm:hotalloc <reason>", args...)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				report(n.Pos(), "&%s literal on hot path %s allocates on the heap",
+					typeLabel(pass, cl), funcName(fd))
+				return false
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.Types[n].Type
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal on hot path %s allocates its backing array per call", funcName(fd))
+			case *types.Map:
+				report(n.Pos(), "map literal on hot path %s allocates per call", funcName(fd))
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+			if !ok {
+				return true
+			}
+			switch b.Name() {
+			case "make", "new":
+				report(n.Pos(), "%s on hot path %s allocates per call", b.Name(), funcName(fd))
+			case "append":
+				if len(n.Args) > 0 && appendsToPresized(pass, n.Args[0], presized) {
+					return true
+				}
+				report(n.Pos(), "append on hot path %s may grow its backing array", funcName(fd))
+			}
+		}
+		return true
+	})
+}
+
+// presizedSlices collects the slice variables this function creates with an
+// explicit capacity — `s := make([]T, n, cap)` — whose appends up to that
+// capacity cannot reallocate. (The make itself is still reported; the blessed
+// hot-path pattern keeps the make off the hot path entirely and reuses the
+// buffer.)
+func presizedSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	presized := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.DEFINE || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "make" {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					presized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return presized
+}
+
+// appendsToPresized reports whether the append target is one of the
+// function's capacity-presized slices (possibly re-sliced, `s[:0]`).
+func appendsToPresized(pass *analysis.Pass, target ast.Expr, presized map[types.Object]bool) bool {
+	target = ast.Unparen(target)
+	if sl, ok := target.(*ast.SliceExpr); ok {
+		target = ast.Unparen(sl.X)
+	}
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && presized[obj]
+}
+
+// typeLabel renders a composite literal's type for diagnostics.
+func typeLabel(pass *analysis.Pass, cl *ast.CompositeLit) string {
+	if cl.Type != nil {
+		return types.ExprString(cl.Type)
+	}
+	if t := pass.TypesInfo.Types[cl].Type; t != nil {
+		return t.String()
+	}
+	return "composite"
+}

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lukewarm/internal/analysis"
+)
+
+// HotHygiene flags allocation-prone constructs in every function reachable
+// from a //lukewarm:hotpath root within its package: defer (a per-call defer
+// record), map iteration (a hidden iterator and random order), closures
+// (captures escape), string concatenation (a fresh backing array per +), and
+// implicit interface conversions of non-pointer values (runtime boxing). The
+// compiler gate (CompileCheck) is ground truth for what actually allocates;
+// this pass front-runs it with precise positions on the idioms whose escape
+// output is attributed poorly or not at all (defer, boxing through inlined
+// callees).
+//
+// Intentional occurrences carry `//lukewarm:hothygiene <reason>` on the line
+// or the line above.
+var HotHygiene = &analysis.Analyzer{
+	Name: "hothygiene",
+	Doc:  "flags defer, map range, closures, string concat, and interface boxing on hot paths",
+	Run:  runHotHygiene,
+}
+
+func runHotHygiene(pass *analysis.Pass) error {
+	roots := hotpathsIn(pass.Fset, pass.Files, nil)
+	if len(roots) == 0 {
+		return nil
+	}
+	for _, fd := range reachableFrom(pass, roots) {
+		checkHygiene(pass, fd)
+	}
+	return nil
+}
+
+func checkHygiene(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pass.Waived(pos, "hothygiene") {
+			pass.Reportf(pos, format+"; hoist it off the hot path or waive with //lukewarm:hothygiene <reason>", args...)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer on hot path %s allocates a defer record per call", funcName(fd))
+		case *ast.RangeStmt:
+			if isMapType(pass.TypesInfo.Types[n.X].Type) {
+				report(n.Pos(), "map iteration on hot path %s walks buckets in random order through a hidden iterator", funcName(fd))
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure on hot path %s heap-allocates its captures", funcName(fd))
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypesInfo.Types[n].Type) &&
+				pass.TypesInfo.Types[n].Value == nil {
+				report(n.Pos(), "string concatenation on hot path %s allocates a fresh backing array", funcName(fd))
+				return false // the operands of a+b+c are more BinaryExprs
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if boxes(pass, pass.TypesInfo.Types[lhs].Type, n.Rhs[i]) {
+					report(n.Rhs[i].Pos(), "assignment boxes %s into an interface on hot path %s",
+						types.ExprString(n.Rhs[i]), funcName(fd))
+				}
+			}
+		case *ast.CallExpr:
+			checkCallBoxing(pass, fd, n, report)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fd, n, report)
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags arguments whose static type is a concrete
+// non-pointer value passed into an interface parameter, and conversions
+// T(x) where T is an interface type.
+func checkCallBoxing(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, report reportFunc) {
+	funTV := pass.TypesInfo.Types[call.Fun]
+	if funTV.IsType() {
+		if types.IsInterface(funTV.Type) && len(call.Args) == 1 &&
+			boxes(pass, funTV.Type, call.Args[0]) {
+			report(call.Args[0].Pos(), "conversion boxes %s into an interface on hot path %s",
+				types.ExprString(call.Args[0]), funcName(fd))
+		}
+		return
+	}
+	sig, ok := funTV.Type.(*types.Signature)
+	if !ok {
+		return // builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through unboxed
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pass, pt, arg) {
+			report(arg.Pos(), "argument boxes %s into an interface on hot path %s",
+				types.ExprString(arg), funcName(fd))
+		}
+	}
+}
+
+// checkReturnBoxing flags results whose static type is a concrete
+// non-pointer value returned through an interface result.
+func checkReturnBoxing(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt, report reportFunc) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if len(ret.Results) != results.Len() {
+		return // bare return or single multi-value call
+	}
+	for i, res := range ret.Results {
+		if boxes(pass, results.At(i).Type(), res) {
+			report(res.Pos(), "return boxes %s into an interface on hot path %s",
+				types.ExprString(res), funcName(fd))
+		}
+	}
+}
+
+// boxes reports whether assigning e to a target of type target performs a
+// runtime interface conversion that allocates: the target is an interface,
+// and e's static type is a concrete value the runtime cannot store directly
+// in the interface word. Constants (compiled to static data), nil, pointers,
+// and other pointer-shaped types (chan, map, func, unsafe.Pointer) do not
+// box.
+func boxes(pass *analysis.Pass, target types.Type, e ast.Expr) bool {
+	if target == nil || !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

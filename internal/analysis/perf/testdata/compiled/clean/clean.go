@@ -1,0 +1,15 @@
+// Package clean is the passing CompileCheck fixture: every annotation's
+// invariants hold, so the gate must report nothing.
+package clean
+
+//lukewarm:hotpath noalloc,noescape,inline,nobce fixture: branch-free register arithmetic stays on the stack
+func mix(a, b uint64) uint64 {
+	a ^= b << 13
+	b ^= a >> 7
+	return a + b
+}
+
+//lukewarm:hotpath noalloc,nobce fixture: the mask proves the index in range, eliminating the bounds check
+func lookup(table *[256]uint8, x uint64) uint8 {
+	return table[x&255]
+}

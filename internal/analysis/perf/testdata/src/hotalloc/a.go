@@ -1,0 +1,53 @@
+// Fixture for the allocsite analyzer: explicit allocation sites inside
+// functions reachable from a hotpath root are flagged (make/new, heap
+// composite literals, growing append); the pre-sized-append idiom,
+// unreachable functions, and reasoned waivers pass.
+package hotalloc
+
+type chunk struct{ data [64]byte }
+
+type pool struct {
+	free []*chunk
+	buf  []int
+}
+
+//lukewarm:hotpath noalloc fixture: allocation-site root
+func (p *pool) root(xs []int) {
+	c := &chunk{} // want `&chunk literal on hot path .* allocates on the heap`
+	_ = c
+	m := make([]int, 8) // want `make on hot path .* allocates per call`
+	_ = m
+	n := new(chunk) // want `new on hot path .* allocates per call`
+	_ = n
+	s := []int{1, 2, 3} // want `slice literal on hot path .* allocates its backing array per call`
+	_ = s
+	lut := map[int]int{1: 1} // want `map literal on hot path .* allocates per call`
+	_ = lut
+	p.buf = append(p.buf, xs...) // want `append on hot path .* may grow its backing array`
+	p.grow(xs)
+	sized(xs)
+}
+
+// grow is reachable from the root: its append is amortized growth to a
+// high-water mark, so it carries a waiver.
+func (p *pool) grow(xs []int) {
+	//lukewarm:hotalloc fixture: amortized growth to a high-water mark, buffer reused across calls
+	p.buf = append(p.buf, xs...)
+}
+
+// sized demonstrates the blessed idiom: append into a slice made with an
+// explicit capacity in the same function cannot grow, so only the make is
+// reported.
+func sized(xs []int) {
+	out := make([]int, 0, len(xs)) // want `make on hot path sized allocates per call`
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	_ = out
+}
+
+// cold allocates freely but is not reachable from any hotpath root.
+func cold() []int {
+	tmp := make([]int, 3)
+	return append(tmp, 4)
+}

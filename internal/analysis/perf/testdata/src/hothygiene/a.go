@@ -1,0 +1,70 @@
+// Fixture for the hothygiene analyzer: allocation-prone constructs inside
+// functions reachable from a hotpath root are flagged (defer, map range,
+// closures, string concatenation, interface boxing); unreachable functions
+// and reasoned waivers pass.
+package hothygiene
+
+type sink interface{ m() }
+
+type val struct{ x int }
+
+func (v val) m() {}
+
+type pval struct{ x int }
+
+func (p *pval) m() {}
+
+var global sink
+
+//lukewarm:hotpath noalloc fixture: hygiene root
+func root(m map[int]int, names []string) {
+	defer cleanup() // want `defer on hot path root allocates a defer record`
+	for k := range m { // want `map iteration on hot path root walks buckets in random order`
+		_ = k
+	}
+	f := func() int { return 1 } // want `closure on hot path root heap-allocates its captures`
+	_ = f
+	helper(names)
+	waived(m)
+}
+
+func cleanup() {}
+
+// helper is reachable from root, so it is held to the same hygiene.
+func helper(names []string) {
+	s := ""
+	for _, n := range names {
+		s = s + n // want `string concatenation on hot path helper allocates`
+	}
+	_ = s
+	global = val{x: 1} // want `assignment boxes .* into an interface on hot path helper`
+	p := &pval{x: 1}
+	global = p // a pointer fits the interface word: no boxing
+	take(val{x: 2}) // want `argument boxes .* into an interface on hot path helper`
+	take(p)
+	global = retBox(val{x: 3}) // interface-to-interface: the boxing happens (and is flagged) inside retBox
+}
+
+func take(s sink) { _ = s }
+
+// retBox is reachable through helper's call.
+func retBox(v val) sink {
+	return v // want `return boxes v into an interface on hot path retBox`
+}
+
+// notReachable commits every sin but is never called from a hotpath root, so
+// nothing is reported.
+func notReachable(m map[int]int) {
+	defer cleanup()
+	for k := range m {
+		_ = k
+	}
+	global = val{x: 9}
+}
+
+// waived shows the escape hatch: a reasoned waiver on the line above.
+func waived(m map[int]int) {
+	//lukewarm:hothygiene fixture: pure counting is order-insensitive and the iterator is amortized
+	for range m {
+	}
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import "testing"
+
+// TestFleetStepWarmAllocs pins the fleet front end's steady-state event step.
+// Once the event heap, per-node walkers, and latency buffers reach their
+// high-water marks, a warm dispatch step must average well under one object:
+// the typed event heap removed the last per-push interface box, and anything
+// above the amortized slice-growth residue means a per-dispatch allocation
+// crept back in.
+func TestFleetStepWarmAllocs(t *testing.T) {
+	tc := smallTraffic()
+	tc.InvocationsPerInstance = 500
+	r, err := newRun(Config{
+		Nodes:     1,
+		Workloads: testWorkloads(t, "Auth-G"),
+		Traffic:   tc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		if r.live == 0 {
+			t.Fatal("run drained mid-measure; raise InvocationsPerInstance")
+		}
+		if err := r.stepOne(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm until every pooled buffer has seen enough traffic to reach a
+	// stable capacity.
+	for i := 0; i < 200; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(32, step)
+	if avg > 0.5 {
+		t.Fatalf("warm fleet step allocates %.2f objects/run, want < 0.5", avg)
+	}
+}

@@ -25,7 +25,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"math"
 
 	"lukewarm/internal/cfgerr"
@@ -221,19 +220,62 @@ type event struct {
 	node int
 }
 
-// eventQueue is a min-heap of events ordered by (time, insertion order).
+// eventQueue is a typed min-heap of events ordered by (time, insertion
+// order). The ordering is total, so the pop sequence — the only observable —
+// is independent of heap internals; the typed implementation (mirroring
+// serverless.arrivalQueue) exists so pushes do not box each event into an
+// interface on every enqueue.
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+
+// push adds e onto the heap.
+//lukewarm:hotpath noalloc every fleet event — arrivals, retries, crashes, readmissions — is enqueued here
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e) //lukewarm:hotalloc the backing array grows to the in-flight high-water mark once, then is reused
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+//lukewarm:hotpath noalloc,noescape one pop per fleet event; pure in-place swaps
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	v := h[0]
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.less(r, l) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return v
+}
 
 // node is one failure domain: a full serverless server plus its health and
 // availability state.
@@ -280,6 +322,11 @@ type run struct {
 	seq         int
 	live        int // requests not yet resolved (incl. not yet injected)
 
+	// Per-attempt placement scratch, reused across events so the dispatch
+	// front end stays allocation-free; every placer only reads the views.
+	healthyScratch []int
+	viewScratch    []sched.CoreView
+
 	arrivalRNG *program.RNG
 	jitterRNG  *program.RNG
 	shape      sched.Shape
@@ -298,8 +345,23 @@ type run struct {
 // returned. It returns an error (wrapping cfgerr.ErrBadConfig) for an
 // unrunnable configuration.
 func Run(cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	r, err := newRun(cfg)
+	if err != nil {
 		return Result{}, err
+	}
+	for r.live > 0 {
+		if err := r.stepOne(); err != nil {
+			return Result{}, err
+		}
+	}
+	return r.finish(), nil
+}
+
+// newRun validates cfg, builds the fleet, and injects every arrival stream,
+// leaving the run ready for stepOne to drain.
+func newRun(cfg Config) (*run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	r := &run{
 		cfg:        cfg,
@@ -328,7 +390,7 @@ func Run(cfg Config) (Result, error) {
 	for n := 0; n < cfg.Nodes; n++ {
 		srv, err := serverless.NewErr(cfg.Node)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		nd := &node{srv: srv}
 		for _, w := range cfg.Workloads {
@@ -339,7 +401,7 @@ func Run(cfg Config) (Result, error) {
 			tcfg.Placer = cfg.NodePlacer()
 		}
 		if nd.sim, err = srv.NewTrafficSim(tcfg); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		r.nodes = append(r.nodes, nd)
 	}
@@ -372,23 +434,27 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	for r.live > 0 {
-		if r.q.Len() == 0 {
-			return Result{}, cfgerr.New("cluster: event heap drained with %d requests unresolved", r.live)
-		}
-		e := heap.Pop(&r.q).(event)
-		r.accountTier(e.at)
-		switch e.kind {
-		case evNodeCrash:
-			r.crashNode(e)
-		case evReadmit:
-			r.nodes[e.node].consecFails = 0
-			r.res.Readmissions++
-		case evArrival:
-			r.serveAttempt(e)
-		}
+	return r, nil
+}
+
+// stepOne pops and serves one fleet event — the per-dispatch front-end step
+// the steady-state allocation pin measures.
+func (r *run) stepOne() error {
+	if r.q.Len() == 0 {
+		return cfgerr.New("cluster: event heap drained with %d requests unresolved", r.live)
 	}
-	return r.finish(), nil
+	e := r.q.pop()
+	r.accountTier(e.at)
+	switch e.kind {
+	case evNodeCrash:
+		r.crashNode(e)
+	case evReadmit:
+		r.nodes[e.node].consecFails = 0
+		r.res.Readmissions++
+	case evArrival:
+		r.serveAttempt(e)
+	}
+	return nil
 }
 
 // reqKey identifies one request for keyed fault draws.
@@ -400,7 +466,7 @@ func reqKey(flowIdx, reqIdx int) uint64 {
 func (r *run) push(e event) {
 	e.seq = r.seq
 	r.seq++
-	heap.Push(&r.q, e)
+	r.q.push(e)
 }
 
 // accountTier charges the time since the last event to the current tier.
@@ -521,9 +587,9 @@ func (r *run) serveAttempt(e event) {
 		r.resolve(e, first)
 		return
 	}
-	// Healthy-node views for the fleet placer.
-	healthy := make([]int, 0, len(r.nodes))
-	views := make([]sched.CoreView, 0, len(r.nodes))
+	// Healthy-node views for the fleet placer, built in pooled scratch.
+	healthy := r.healthyScratch[:0]
+	views := r.viewScratch[:0]
 	af := &r.aff[f.wIdx]
 	for n, nd := range r.nodes {
 		if !nd.healthy(e.at) {
@@ -540,6 +606,7 @@ func (r *run) serveAttempt(e event) {
 		healthy = append(healthy, n)
 		views = append(views, v)
 	}
+	r.healthyScratch, r.viewScratch = healthy, views
 	if len(healthy) == 0 {
 		r.attemptFailed(e, first)
 		return

@@ -210,6 +210,7 @@ func (c *Core) RunInvocation(inv InstrSource) RunResult {
 }
 
 // exec advances the model by one dynamic instruction.
+//lukewarm:hotpath noalloc,noescape,nobce the per-instruction timing step; everything the simulator measures flows through it
 func (c *Core) exec(in *program.Instr, acc *tdAcc) {
 	c.instrCount++
 
@@ -240,6 +241,7 @@ func (c *Core) exec(in *program.Instr, acc *tdAcc) {
 // fetchBlock performs the instruction-side access for a new fetch block:
 // ITLB translation, L1-I access, miss-latency exposure with fetch-engine
 // overlap, and prefetcher notification.
+//lukewarm:hotpath noalloc,noescape the batched front-end step, once per 64 B fetch block
 func (c *Core) fetchBlock(vaddr uint64, acc *tdAcc) {
 	cfg := &c.Cfg
 	paddr, walkLat := c.MMU.TranslateInstr(c.now, vaddr)
@@ -288,6 +290,7 @@ func (c *Core) fetchBlock(vaddr uint64, acc *tdAcc) {
 
 // load performs the data-side access for a load and charges exposed miss
 // latency to Backend Bound under the MLP model.
+//lukewarm:hotpath noalloc,noescape,nobce roughly a third of dynamic instructions are loads
 func (c *Core) load(in *program.Instr, acc *tdAcc) {
 	cfg := &c.Cfg
 	paddr, walkLat := c.MMU.TranslateData(c.now, in.MemAddr)
@@ -327,6 +330,7 @@ func (c *Core) load(in *program.Instr, acc *tdAcc) {
 
 // store retires through the store buffer: it consumes cache/DRAM bandwidth
 // but does not stall the pipeline.
+//lukewarm:hotpath noalloc,noescape,nobce store retirement shares the data path's zero-alloc requirement
 func (c *Core) store(in *program.Instr, acc *tdAcc) {
 	paddr, walkLat := c.MMU.TranslateData(c.now, in.MemAddr)
 	if walkLat > 0 {
@@ -342,6 +346,7 @@ func (c *Core) store(in *program.Instr, acc *tdAcc) {
 
 // branch resolves a control transfer: direction prediction for
 // conditionals, BTB target check for taken branches.
+//lukewarm:hotpath noalloc,noescape one control transfer per generated code line
 func (c *Core) branch(in *program.Instr, acc *tdAcc) {
 	cfg := &c.Cfg
 	if in.Cond {

@@ -1,0 +1,35 @@
+package predict
+
+import "testing"
+
+// TestForecasterSteadyStateAllocs pins the learned forecasters' hot loop at
+// zero steady-state allocations. The first Observe for a function allocates
+// its per-function model (histogram or EWMA state); every Predict+Observe
+// after that runs once per judged idle gap across the whole fleet sweep, so
+// a single surviving allocation here multiplies by millions of dispatches.
+func TestForecasterSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Forecaster
+	}{
+		{"histpeak", HistogramPeak(0, 0)},
+		{"ewma", EWMA(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 16; i++ {
+				tc.f.Observe("Auth-G", 100+float64(i%3))
+			}
+			i := 0
+			avg := testing.AllocsPerRun(32, func() {
+				if _, ok := tc.f.Predict("Auth-G"); !ok {
+					t.Fatal("forecaster has no model after warm-up")
+				}
+				tc.f.Observe("Auth-G", 100+float64(i%3))
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state Predict+Observe allocates %.2f objects/run, want 0", avg)
+			}
+		})
+	}
+}

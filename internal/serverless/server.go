@@ -234,6 +234,7 @@ func (s *Server) Invoke(inst *Instance) cpu.RunResult { return s.InvokeOn(0, ins
 // Jukebox base/limit registers of the chosen core from the instance's
 // bookkeeping (Sec. 3.4.1) — metadata lives in memory, so the instance can
 // run on any core.
+//lukewarm:hotpath noalloc the fleet multiplies every dispatch by millions of invocations; the OS model must not allocate
 func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	c := s.Cores[idx]
 	if s.lastAS[idx] != inst.AS {
@@ -247,14 +248,14 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	multi := s.pfScratch[idx][:0]
 	if inst.Reap != nil {
 		inst.Reap.Bind(c.Hier, c.MMU)
-		multi = append(multi, inst.Reap)
+		multi = append(multi, inst.Reap) //lukewarm:hotalloc per-core scratch grows to the mechanism count (<=3) once
 	}
 	if inst.Jukebox != nil {
 		inst.Jukebox.Bind(c.Hier, c.MMU)
-		multi = append(multi, inst.Jukebox)
+		multi = append(multi, inst.Jukebox) //lukewarm:hotalloc per-core scratch grows to the mechanism count (<=3) once
 	}
 	if s.corePFs[idx] != nil {
-		multi = append(multi, s.corePFs[idx])
+		multi = append(multi, s.corePFs[idx]) //lukewarm:hotalloc per-core scratch grows to the mechanism count (<=3) once
 	}
 	s.pfScratch[idx] = multi
 	switch len(multi) {
@@ -263,7 +264,10 @@ func (s *Server) InvokeOn(idx int, inst *Instance) cpu.RunResult {
 	case 1:
 		c.Prefetcher = multi[0]
 	default:
-		c.Prefetcher = multi
+		// Hand the core a pointer to the per-core scratch slot: assigning
+		// the slice value itself would box it into the interface and heap-
+		// allocate on every composed dispatch.
+		c.Prefetcher = &s.pfScratch[idx]
 	}
 	inst.Workload.Program.ResetInvocation(&inst.inv, inst.Invocations)
 	inst.Invocations++

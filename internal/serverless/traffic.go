@@ -439,8 +439,9 @@ func (q arrivalQueue) less(i, j int) bool {
 }
 
 // push adds a onto the heap.
+//lukewarm:hotpath noalloc one push per generated invocation; boxing here was the dispatch loop's last steady-state allocation
 func (q *arrivalQueue) push(a arrival) {
-	*q = append(*q, a)
+	*q = append(*q, a) //lukewarm:hotalloc the backing array grows to the in-flight high-water mark once, then is reused
 	h := *q
 	for i := len(h) - 1; i > 0; {
 		parent := (i - 1) / 2
@@ -453,6 +454,7 @@ func (q *arrivalQueue) push(a arrival) {
 }
 
 // pop removes and returns the minimum arrival.
+//lukewarm:hotpath noalloc,noescape one pop per dispatched invocation; pure in-place swaps
 func (q *arrivalQueue) pop() arrival {
 	h := *q
 	n := len(h) - 1
